@@ -1,0 +1,262 @@
+// Benchmark targets regenerating each of the paper's tables and figures.
+// Every target reports the same quantities the paper's table/figure plots
+// (ops/sec as "vops/s" — virtual, from the simulated clock — and p99
+// latencies in microseconds as "p99w-us"/"p99r-us"). The full printed
+// tables come from cmd/experiments; these targets exist so
+// `go test -bench=.` exercises every experiment path and reports its cells.
+//
+//	go test -bench=BenchmarkTable1 -benchtime=1x
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/lsm"
+)
+
+const benchScale = 400 // 1/400 of the paper's op counts: CI-friendly
+
+// tunedSnapshot is a representative configuration the mock expert converges
+// to (write-leaning). Table/figure *sessions* derive their own tuned config;
+// the table benchmarks compare default vs this snapshot so a single
+// benchmark iteration has a stable meaning.
+func tunedSnapshot() *lsm.Options {
+	o := lsm.DBBenchDefaults()
+	for name, value := range map[string]string{
+		"max_background_jobs":                    "4",
+		"max_background_flushes":                 "2",
+		"max_background_compactions":             "3",
+		"wal_bytes_per_sync":                     "1048576",
+		"bytes_per_sync":                         "1048576",
+		"max_write_buffer_number":                "3",
+		"min_write_buffer_number_to_merge":       "2",
+		"level0_file_num_compaction_trigger":     "6",
+		"filter_policy":                          "bloomfilter:10:false",
+		"block_cache_size":                       "1073741824",
+		"use_direct_io_for_flush_and_compaction": "true",
+	} {
+		if err := o.SetByName(name, value); err != nil {
+			panic(err)
+		}
+	}
+	return o
+}
+
+// runWorkload executes one scaled workload with b.N operations and reports
+// virtual throughput and tail latencies.
+func runWorkload(b *testing.B, dev *device.Model, prof device.Profile, opts *lsm.Options, spec *bench.Spec) {
+	b.Helper()
+	env := lsm.NewScaledSimEnv(dev, prof, benchScale, 11)
+	o := opts.Scaled(benchScale)
+	o.Env = env
+	db, err := lsm.Open("/bench-db", o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	rep, err := (&bench.Runner{DB: db, Spec: spec}).Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rep.Throughput, "vops/s")
+	if rep.Write.Count() > 0 {
+		b.ReportMetric(rep.P99Write(), "p99w-us")
+	}
+	if rep.Read.Count() > 0 {
+		b.ReportMetric(rep.P99Read(), "p99r-us")
+	}
+}
+
+// fillSpec sizes fillrandom from b.N with a floor for meaningful dynamics.
+func fillSpec(n int) *bench.Spec {
+	ops := int64(n)
+	if ops < 20000 {
+		ops = 20000
+	}
+	return bench.FillRandom(ops, 400, 3)
+}
+
+// BenchmarkTable1HardwareThroughput regenerates Table 1's cells: fillrandom
+// throughput on NVMe across the four hardware profiles, default vs tuned.
+func BenchmarkTable1HardwareThroughput(b *testing.B) {
+	for _, prof := range device.AllProfiles() {
+		for _, cfg := range []struct {
+			name string
+			opts *lsm.Options
+		}{{"default", lsm.DBBenchDefaults()}, {"tuned", tunedSnapshot()}} {
+			b.Run(fmt.Sprintf("%s/%s", prof.Name, cfg.name), func(b *testing.B) {
+				runWorkload(b, device.NVMe(), prof, cfg.opts, fillSpec(b.N))
+			})
+		}
+	}
+}
+
+// BenchmarkTable2HardwareP99 regenerates Table 2 (same runs; the p99w-us
+// metric is the table's cell).
+func BenchmarkTable2HardwareP99(b *testing.B) {
+	for _, prof := range []device.Profile{device.Profile2C4G(), device.Profile4C8G()} {
+		for _, cfg := range []struct {
+			name string
+			opts *lsm.Options
+		}{{"default", lsm.DBBenchDefaults()}, {"tuned", tunedSnapshot()}} {
+			b.Run(fmt.Sprintf("%s/%s", prof.Name, cfg.name), func(b *testing.B) {
+				runWorkload(b, device.NVMe(), prof, cfg.opts, fillSpec(b.N))
+			})
+		}
+	}
+}
+
+// workloadSpecForBench builds each paper workload sized from b.N.
+func workloadSpecForBench(name string, n int) *bench.Spec {
+	ops := int64(n)
+	if ops < 20000 {
+		ops = 20000
+	}
+	switch name {
+	case "fillrandom":
+		return bench.FillRandom(ops, 400, 3)
+	case "readrandom":
+		return bench.ReadRandom(ops, uint64(ops)*5/2, 400, 3)
+	case "readrandomwriterandom":
+		return bench.ReadRandomWriteRandom(ops, 400, 3)
+	default:
+		return bench.Mixgraph(ops, 400, 3)
+	}
+}
+
+// BenchmarkTable3WorkloadThroughput regenerates Table 3: all four workloads
+// on 4 CPU + 4 GiB NVMe, default vs tuned.
+func BenchmarkTable3WorkloadThroughput(b *testing.B) {
+	for _, wl := range experiments.Workloads() {
+		for _, cfg := range []struct {
+			name string
+			opts *lsm.Options
+		}{{"default", lsm.DBBenchDefaults()}, {"tuned", tunedSnapshot()}} {
+			b.Run(fmt.Sprintf("%s/%s", wl, cfg.name), func(b *testing.B) {
+				runWorkload(b, device.NVMe(), device.Profile4C4G(), cfg.opts, workloadSpecForBench(wl, b.N))
+			})
+		}
+	}
+}
+
+// BenchmarkTable4WorkloadP99 regenerates Table 4 (p99w-us / p99r-us are the
+// split cells).
+func BenchmarkTable4WorkloadP99(b *testing.B) {
+	for _, wl := range []string{"readrandomwriterandom", "mixgraph"} {
+		for _, cfg := range []struct {
+			name string
+			opts *lsm.Options
+		}{{"default", lsm.DBBenchDefaults()}, {"tuned", tunedSnapshot()}} {
+			b.Run(fmt.Sprintf("%s/%s", wl, cfg.name), func(b *testing.B) {
+				runWorkload(b, device.NVMe(), device.Profile4C4G(), cfg.opts, workloadSpecForBench(wl, b.N))
+			})
+		}
+	}
+}
+
+// runSessionBench runs b.N full tuning sessions and reports the improvement
+// factor and final throughput — the quantity behind Table 5 and the
+// per-iteration figures.
+func runSessionBench(b *testing.B, dev *device.Model, prof device.Profile, workload string) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunSession(context.Background(), dev, prof, workload,
+			experiments.Config{Scale: 800, Seed: int64(9 + i), MaxIterations: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s.Result.ImprovementFactor()
+		b.ReportMetric(s.TunedMetrics().Throughput, "tuned-vops/s")
+		b.ReportMetric(s.DefaultMetrics().Throughput, "default-vops/s")
+	}
+	b.ReportMetric(last, "improvement-x")
+}
+
+// BenchmarkTable5OptionTrajectory regenerates Table 5's session (fillrandom
+// on SATA HDD, 2 CPU + 4 GiB) — the trajectory itself is printed by
+// cmd/experiments -only table5.
+func BenchmarkTable5OptionTrajectory(b *testing.B) {
+	runSessionBench(b, device.SATAHDD(), device.Profile2C4G(), "fillrandom")
+}
+
+// BenchmarkFigure3HDDIterations regenerates Figure 3's sessions (per-
+// iteration series on SATA HDD).
+func BenchmarkFigure3HDDIterations(b *testing.B) {
+	for _, wl := range experiments.FigureWorkloads() {
+		b.Run(wl, func(b *testing.B) {
+			runSessionBench(b, device.SATAHDD(), device.Profile4C4G(), wl)
+		})
+	}
+}
+
+// BenchmarkFigure4SSDIterations regenerates Figure 4's sessions (per-
+// iteration series on NVMe SSD).
+func BenchmarkFigure4SSDIterations(b *testing.B) {
+	for _, wl := range experiments.FigureWorkloads() {
+		b.Run(wl, func(b *testing.B) {
+			runSessionBench(b, device.NVMe(), device.Profile4C4G(), wl)
+		})
+	}
+}
+
+// Engine micro-benchmarks (ablation-grade: the mechanisms the tuned options
+// act on).
+
+// BenchmarkEngineMemtableInsert measures raw skiplist write throughput.
+func BenchmarkEngineMemtableInsert(b *testing.B) {
+	env := lsm.NewSimEnv(device.NVMe(), device.Profile4C8G(), 1)
+	opts := lsm.DefaultOptions()
+	opts.Env = env
+	opts.WriteBufferSize = 1 << 30 // never flush
+	db, err := lsm.Open("/m", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	wo := lsm.DefaultWriteOptions()
+	key := make([]byte, 16)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(key, fmt.Sprintf("%016d", i))
+		if err := db.Put(wo, key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineGetBloomOnOff contrasts point lookups with and without
+// bloom filters on a multi-level tree (the Table 3/4 mechanism).
+func BenchmarkEngineGetBloomOnOff(b *testing.B) {
+	for _, bits := range []int{0, 10} {
+		b.Run(fmt.Sprintf("bloom=%d", bits), func(b *testing.B) {
+			env := lsm.NewSimEnv(device.NVMe(), device.Profile4C8G(), 1)
+			opts := lsm.DefaultOptions()
+			opts.Env = env
+			opts.WriteBufferSize = 256 << 10
+			opts.BloomBitsPerKey = bits
+			db, err := lsm.Open("/g", opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			wo := lsm.DefaultWriteOptions()
+			for i := 0; i < 50000; i++ {
+				db.Put(wo, []byte(fmt.Sprintf("key%08d", i)), make([]byte, 100))
+			}
+			db.Flush()
+			db.WaitForBackgroundIdle()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Half the lookups miss: where bloom filters earn their keep.
+				db.Get(nil, []byte(fmt.Sprintf("key%08d", (i*7)%100000)))
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+// Command dbbench is the db_bench stand-in: it runs the paper's workloads
+// against the LSM engine, on the real filesystem or on a simulated device,
+// and prints a db_bench-style report.
+//
+// Examples:
+//
+//	dbbench -benchmarks fillrandom -num 100000 -db /tmp/bench-db
+//	dbbench -benchmarks mixgraph -num 500000 -sim nvme -profile 4+4 -scale 40
+//	dbbench -benchmarks readrandom -num 100000 -sim hdd -options OPTIONS.ini
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/ini"
+	"repro/internal/lsm"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "fillrandom", "workload: fillrandom, readrandom, readrandomwriterandom, mixgraph")
+		num        = flag.Int64("num", 100000, "operations (reads for readrandom)")
+		valueSize  = flag.Int("value_size", 400, "value size in bytes")
+		dbPath     = flag.String("db", "", "database directory (OS filesystem mode; empty = in-memory simulation)")
+		sim        = flag.String("sim", "nvme", "simulated device when -db is empty: nvme, satassd, hdd")
+		profile    = flag.String("profile", "4+8", "simulated hardware profile: 2+4, 2+8, 4+4, 4+8")
+		scale      = flag.Int64("scale", 1, "simulation scale divisor for memory and byte-valued options")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		optsFile   = flag.String("options", "", "load an OPTIONS ini file instead of db_bench defaults")
+		stats      = flag.Bool("statistics", false, "print engine statistics after the run")
+		traceOut   = flag.String("trace_out", "", "synthesize the workload into a trace file and exit (no benchmark)")
+		traceIn    = flag.String("trace_in", "", "replay a trace file instead of running -benchmarks")
+	)
+	flag.Parse()
+
+	opts := lsm.DBBenchDefaults()
+	if *optsFile != "" {
+		doc, err := ini.Load(*optsFile)
+		if err != nil {
+			fatal(err)
+		}
+		loaded, unknown, err := lsm.FromINI(doc)
+		if err != nil {
+			fatal(err)
+		}
+		for _, u := range unknown {
+			fmt.Fprintf(os.Stderr, "warning: unknown option %q ignored\n", u)
+		}
+		opts = loaded
+	}
+
+	dir := *dbPath
+	if dir == "" {
+		dev, err := device.ByName(*sim)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err := device.ProfileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		env := lsm.NewScaledSimEnv(dev, prof, *scale, *seed)
+		opts = opts.Scaled(*scale)
+		opts.Env = env
+		dir = "/dbbench"
+		fmt.Fprintf(os.Stderr, "simulating %s on %s (scale 1/%d)\n", prof.Name, dev.Kind, *scale)
+	}
+
+	if *traceOut != "" {
+		spec, err := bench.WorkloadByName(*benchmarks, *num, *valueSize, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := trace.Generate(spec, f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d-op %s trace to %s\n", n, spec.Name, *traceOut)
+		return
+	}
+
+	db, err := lsm.Open(dir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	var rep *bench.Report
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rep, err = trace.Replay(db, f, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec, err := bench.WorkloadByName(*benchmarks, *num, *valueSize, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err = (&bench.Runner{DB: db, Spec: spec}).Run()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(rep.Format())
+	if *stats {
+		fmt.Println("\nSTATISTICS:")
+		fmt.Print(db.Statistics().String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command elmotune runs the full tuning framework: the user states the
+// expected workload, the framework loops prompt -> LLM -> safeguards ->
+// benchmark -> flagger, and the best OPTIONS file is written at the end.
+//
+// Examples:
+//
+//	elmotune -workload fillrandom -sim hdd -profile 2+4 -scale 40 -out OPTIONS-tuned
+//	elmotune -workload mixgraph -llm http://localhost:8080/v1 -model gpt-4 -key $KEY
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/finetune"
+	"repro/internal/llm"
+	"repro/internal/lsm"
+	"repro/internal/mockllm"
+	"repro/internal/sysmon"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "fillrandom", "expected workload: fillrandom, readrandom, readrandomwriterandom, mixgraph")
+		sim      = flag.String("sim", "nvme", "simulated device: nvme, satassd, hdd")
+		profile  = flag.String("profile", "4+8", "simulated hardware profile: 2+4, 2+8, 4+4, 4+8")
+		scale    = flag.Int64("scale", 40, "simulation scale divisor")
+		seed     = flag.Int64("seed", 42, "seed")
+		iters    = flag.Int("iters", 7, "max tuning iterations")
+		out      = flag.String("out", "OPTIONS-tuned", "path for the final OPTIONS file")
+		fine     = flag.Bool("finetune", false, "after the LLM session, hill-climb numeric knobs (the paper's proposed extension)")
+		real     = flag.Bool("real", false, "benchmark on the real filesystem instead of the simulator")
+		dbDir    = flag.String("db", "", "database directory for -real (default: a temp dir)")
+		num      = flag.Int64("num", 100000, "operations per benchmark run with -real")
+		llmURL   = flag.String("llm", "", "OpenAI-compatible endpoint (default: in-process mock expert)")
+		llmKey   = flag.String("key", "", "API key for -llm")
+		model    = flag.String("model", "gpt-4", "model name for -llm")
+	)
+	flag.Parse()
+
+	dev, err := device.ByName(*sim)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := device.ProfileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := experiments.Config{
+		Scale:         *scale,
+		Seed:          *seed,
+		MaxIterations: *iters,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *llmURL != "" {
+		cfg.Client = llm.NewHTTPClient(*llmURL, *llmKey, *model)
+	} else {
+		cfg.Client = mockllm.NewExpert(*seed)
+	}
+	var res *core.Result
+	var session *experiments.Session
+	if *real {
+		base := *dbDir
+		if base == "" {
+			var err error
+			base, err = os.MkdirTemp("", "elmotune-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(base)
+		}
+		fmt.Fprintf(os.Stderr, "ELMo-Tune: %s on the REAL filesystem under %s, up to %d iterations, model %s\n",
+			*workload, base, *iters, cfg.Client.Name())
+		runner := &experiments.OSRunner{BaseDir: base, Workload: *workload, Ops: *num, Seed: *seed}
+		var err error
+		res, err = core.Run(context.Background(), core.Config{
+			Client:         cfg.Client,
+			Runner:         runner,
+			Monitor:        sysmon.NewOSMonitor(),
+			InitialOptions: lsm.DBBenchDefaults(),
+			WorkloadName:   *workload,
+			MaxIterations:  *iters,
+			StallLimit:     *iters + 1,
+			Logf:           cfg.Logf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "ELMo-Tune: %s on %s (%s), up to %d iterations, model %s\n",
+			*workload, dev.Kind, prof.Name, *iters, cfg.Client.Name())
+		var err error
+		session, err = experiments.RunSession(context.Background(), dev, prof, *workload, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = session.Result
+	}
+	_ = session
+	fmt.Printf("\nBaseline: %.0f ops/sec (p99 write %.2fus, p99 read %.2fus)\n",
+		res.BaselineMetrics.Throughput, res.BaselineMetrics.P99Write, res.BaselineMetrics.P99Read)
+	fmt.Printf("Tuned:    %.0f ops/sec (p99 write %.2fus, p99 read %.2fus)\n",
+		res.BestMetrics.Throughput, res.BestMetrics.P99Write, res.BestMetrics.P99Read)
+	fmt.Printf("Improvement: %.2fx throughput over %d iterations\n",
+		res.ImprovementFactor(), len(res.Iterations))
+	for _, it := range res.Iterations {
+		status := "kept"
+		if !it.Kept {
+			status = "reverted"
+		}
+		fmt.Printf("  iteration %d: %.0f ops/sec (%s, %d changes applied)\n",
+			it.Number, it.Metrics.Throughput, status, len(it.AppliedDiff))
+	}
+	finalOpts := res.BestOptions
+	if *fine && *real {
+		fmt.Fprintln(os.Stderr, "-finetune with -real is not wired; skipping the hill climb")
+	}
+	if *fine && !*real {
+		fmt.Fprintln(os.Stderr, "\nfine-tuning the LLM's configuration (hill climb)...")
+		runner := &experiments.SimRunner{Device: dev, Profile: prof, Workload: *workload, Cfg: cfg}
+		ft, err := finetune.Run(context.Background(), finetune.Config{
+			Runner:       runner,
+			Start:        res.BestOptions,
+			StartMetrics: res.BestMetrics,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fine-tuned: %.0f ops/sec after %d extra trials (%.2fx over baseline)\n",
+			ft.BestMetrics.Throughput, ft.Trials, ft.ImprovementOver(res.BaselineMetrics))
+		finalOpts = ft.Best
+	}
+	if err := finalOpts.ToINI().Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote tuned configuration to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elmotune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (Tables 1-5, Figures 3-4) against the simulated
+// hardware matrix and the mock GPT-4 expert. Text tables go to stdout;
+// figure CSVs are written next to -out.
+//
+// Usage:
+//
+//	experiments [-scale 40] [-seed 42] [-iters 7] [-out results] [-only table1,fig3,...]
+//	experiments -llm http://localhost:8080/v1 -model gpt-4 -key $KEY   # real endpoint
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/llm"
+)
+
+func main() {
+	var (
+		scale   = flag.Int64("scale", 40, "divide the paper's op counts, memory and byte-valued options by this factor")
+		seed    = flag.Int64("seed", 42, "seed for workloads, simulation jitter and the mock expert")
+		iters   = flag.Int("iters", 7, "tuning iterations per session (the paper runs 7)")
+		outDir  = flag.String("out", "results", "directory for figure CSVs and the summary")
+		only    = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,table5,fig3,fig4,ablation")
+		llmURL  = flag.String("llm", "", "OpenAI-compatible endpoint base URL (default: in-process mock expert)")
+		llmKey  = flag.String("key", "", "API key for -llm")
+		model   = flag.String("model", "gpt-4", "model name for -llm")
+		verbose = flag.Bool("v", false, "log per-iteration progress")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, MaxIterations: *iters}
+	if *llmURL != "" {
+		cfg.Client = llm.NewHTTPClient(*llmURL, *llmKey, *model)
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	var summary strings.Builder
+	emit := func(s string) {
+		fmt.Println(s)
+		summary.WriteString(s + "\n")
+	}
+
+	start := time.Now()
+	if sel("table1") || sel("table2") {
+		fmt.Fprintln(os.Stderr, "== hardware sweep (Tables 1-2): fillrandom x 4 profiles on NVMe ==")
+		hw, err := experiments.HardwareSweep(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.FormatTable1(hw))
+		emit(experiments.FormatTable2(hw))
+	}
+	var nvmeSweep []*experiments.Session
+	if sel("table3") || sel("table4") || sel("fig4") {
+		fmt.Fprintln(os.Stderr, "== workload sweep on NVMe (Tables 3-4, Figure 4) ==")
+		var err error
+		nvmeSweep, err = experiments.WorkloadSweep(ctx, device.NVMe(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.FormatTable3(nvmeSweep))
+		emit(experiments.FormatTable4(nvmeSweep))
+	}
+	if sel("fig4") && nvmeSweep != nil {
+		figs := figureSubset(nvmeSweep)
+		emit(experiments.FormatFigure("Figure 4. Varying Workloads on NVMe SSD (per-iteration)", figs))
+		writeFile(filepath.Join(*outDir, "figure4.csv"), experiments.CSVFigure(figs))
+	}
+	if sel("fig3") {
+		fmt.Fprintln(os.Stderr, "== workload sweep on SATA HDD (Figure 3) ==")
+		hddSweep, err := experiments.WorkloadSweep(ctx, device.SATAHDD(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		figs := figureSubset(hddSweep)
+		emit(experiments.FormatFigure("Figure 3. Varying Workloads on SATA HDD (per-iteration; readrandom omitted as in the paper)", figs))
+		writeFile(filepath.Join(*outDir, "figure3.csv"), experiments.CSVFigure(figs))
+	}
+	{
+		if sel("table5") {
+			// Table 5 in the paper comes from fillrandom on HDD with the
+			// 2 CPU + 4 GiB profile.
+			fmt.Fprintln(os.Stderr, "== option trajectory (Table 5): fillrandom on HDD 2+4 ==")
+			s, err := experiments.RunSession(ctx, device.SATAHDD(), device.Profile2C4G(), "fillrandom", cfg)
+			if err != nil {
+				fatal(err)
+			}
+			emit(experiments.FormatTable5(experiments.OptionTrajectory(s)))
+		}
+	}
+	if sel("ablation") {
+		fmt.Fprintln(os.Stderr, "== ablation: framework variants under a misbehaving expert ==")
+		rows, err := experiments.Ablation(ctx, device.NVMe(), device.Profile4C4G(), "fillrandom", cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.FormatAblation(rows))
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %s\n", time.Since(start).Round(time.Second))
+	writeFile(filepath.Join(*outDir, "summary.txt"), summary.String())
+}
+
+// figureSubset keeps the workloads the paper plots (FR, Mixgraph, RRWR).
+func figureSubset(all []*experiments.Session) []*experiments.Session {
+	keep := map[string]bool{}
+	for _, w := range experiments.FigureWorkloads() {
+		keep[w] = true
+	}
+	var out []*experiments.Session
+	for _, s := range all {
+		if keep[s.Workload] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func writeFile(path, content string) {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

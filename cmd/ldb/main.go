@@ -1,0 +1,112 @@
+// Command ldb is the RocksDB `ldb`-style administration tool for the
+// engine.
+//
+//	ldb -db /path get <key>
+//	ldb -db /path put <key> <value>
+//	ldb -db /path delete <key>
+//	ldb -db /path scan [from [to]]      (use -limit to bound output)
+//	ldb -db /path stats | levelstats | dump_options | compact
+//	ldb diff_options <OPTIONS-a> <OPTIONS-b>
+//	ldb list_options [filter]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ldbtool"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "database directory")
+		limit  = flag.Int("limit", 0, "max entries for scan (0 = unlimited)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cmd := args[0]
+
+	// Commands that need no database.
+	switch cmd {
+	case "diff_options":
+		if len(args) != 3 {
+			usage()
+		}
+		if err := ldbtool.DiffOptions(os.Stdout, args[1], args[2]); err != nil {
+			fatal(err)
+		}
+		return
+	case "list_options":
+		filter := ""
+		if len(args) > 1 {
+			filter = args[1]
+		}
+		ldbtool.ListOptions(os.Stdout, filter)
+		return
+	}
+
+	if *dbPath == "" {
+		fatal(fmt.Errorf("-db is required for %q", cmd))
+	}
+	tool, err := ldbtool.Open(*dbPath, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	defer tool.Close()
+
+	switch cmd {
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		err = tool.Get(args[1])
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		err = tool.Put(args[1], args[2])
+	case "delete":
+		if len(args) != 2 {
+			usage()
+		}
+		err = tool.Delete(args[1])
+	case "scan":
+		from, to := "", ""
+		if len(args) > 1 {
+			from = args[1]
+		}
+		if len(args) > 2 {
+			to = args[2]
+		}
+		_, err = tool.Scan(from, to, *limit)
+	case "stats":
+		err = tool.Stats()
+	case "levelstats":
+		err = tool.LevelStats()
+	case "dump_options":
+		err = tool.DumpOptions()
+	case "compact":
+		err = tool.Compact()
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ldb [-db DIR] [-limit N] <command> [args]
+commands: get put delete scan stats levelstats dump_options compact
+          diff_options <A> <B>   list_options [filter]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ldb:", err)
+	os.Exit(1)
+}

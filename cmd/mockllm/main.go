@@ -1,0 +1,42 @@
+// Command mockllm serves the simulated GPT-4 tuning expert over an
+// OpenAI-compatible chat-completions HTTP API, so the framework (or any
+// other client) can talk to it exactly as it would to the real service:
+//
+//	mockllm -addr :8080 &
+//	elmotune -llm http://localhost:8080/v1 -model mock-gpt-4 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/llm"
+	"repro/internal/mockllm"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		seed          = flag.Int64("seed", 42, "expert determinism seed")
+		hallucination = flag.Float64("hallucination", 0.15, "hallucinated-option probability per response")
+		dangerous     = flag.Float64("dangerous", 0.10, "dangerous-suggestion probability per response")
+	)
+	flag.Parse()
+
+	expert := mockllm.NewExpert(*seed)
+	expert.HallucinationRate = *hallucination
+	expert.DangerousRate = *dangerous
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/chat/completions", llm.ServeChat(expert))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	fmt.Fprintf(os.Stderr, "mock GPT-4 expert listening on %s (POST /v1/chat/completions)\n", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "mockllm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Tuning session: the paper's headline flow, end to end. A user states an
+// expected workload; ELMo-Tune loops prompt -> LLM -> option evaluation ->
+// safeguards -> benchmark -> active flagger, and emits the tuned OPTIONS
+// file. Runs against the simulated GPT-4 expert on a simulated SATA HDD
+// with 2 CPU cores and 4 GiB of RAM (the paper's Table 5 setup).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/mockllm"
+)
+
+func main() {
+	expert := mockllm.NewExpert(2024)
+	cfg := experiments.Config{
+		Scale:         100, // laptop-quick: 1/100 of the paper's 50M ops
+		Seed:          2024,
+		MaxIterations: 5,
+		Client:        expert,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  [elmo] "+format+"\n", args...)
+		},
+	}
+
+	fmt.Println("ELMo-Tune session: fillrandom on SATA HDD, 2 CPU + 4 GiB")
+	session, err := experiments.RunSession(context.Background(),
+		device.SATAHDD(), device.Profile2C4G(), "fillrandom", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := session.Result
+
+	fmt.Printf("\n%-10s %-14s %-12s %s\n", "iteration", "ops/sec", "p99(us)", "outcome")
+	fmt.Printf("%-10d %-14.0f %-12.2f %s\n", 0,
+		res.BaselineMetrics.Throughput, res.BaselineMetrics.P99Write, "baseline (db_bench defaults)")
+	for _, it := range res.Iterations {
+		outcome := "kept"
+		if !it.Kept {
+			outcome = "reverted by Active Flagger"
+		}
+		fmt.Printf("%-10d %-14.0f %-12.2f %s\n", it.Number,
+			it.Metrics.Throughput, it.Metrics.P99Write, outcome)
+	}
+	fmt.Printf("\nimprovement: %.2fx throughput\n", res.ImprovementFactor())
+
+	// What did the LLM actually change?
+	fmt.Println("\noption trajectory (Table 5 style):")
+	tr := experiments.OptionTrajectory(session)
+	for _, name := range tr.Options {
+		fmt.Printf("  %-36s default=%s", name, tr.Defaults[name])
+		for i, row := range tr.ByIteration {
+			if v, ok := row[name]; ok {
+				fmt.Printf("  iter%d=%s", i+1, v)
+			}
+		}
+		fmt.Println()
+	}
+
+	out := filepath.Join(os.TempDir(), "OPTIONS-elmotune")
+	if err := res.WriteOptionsFile(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntuned OPTIONS file written to %s\n", out)
+}

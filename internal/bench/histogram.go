@@ -1,0 +1,175 @@
+// Package bench reimplements the db_bench workloads the paper evaluates:
+// fillrandom, readrandom, readrandomwriterandom and mixgraph, with
+// db_bench-style latency histograms and reports. In simulation mode the
+// runner is a deterministic event loop over virtual threads driven by the
+// engine's virtual clock.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram collects latency observations into exponential buckets, in the
+// spirit of RocksDB's HistogramImpl. Not safe for concurrent use; each
+// virtual thread owns one and they are merged at the end.
+type Histogram struct {
+	buckets []int64 // bucket i covers [limit(i-1), limit(i))
+	limits  []float64
+	count   int64
+	sum     float64
+	sumSq   float64
+	min     float64
+	max     float64
+}
+
+// histogram bucket limits: 1..10^9 microseconds, ~7% growth per bucket.
+var bucketLimits = func() []float64 {
+	var out []float64
+	v := 1.0
+	for v < 1e9 {
+		out = append(out, v)
+		v *= 1.07
+	}
+	return append(out, math.MaxFloat64)
+}()
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		buckets: make([]int64, len(bucketLimits)),
+		limits:  bucketLimits,
+		min:     math.MaxFloat64,
+	}
+}
+
+// Add records one latency observation.
+func (h *Histogram) Add(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	idx := sort.SearchFloat64s(h.limits, us)
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += us
+	h.sumSq += us * us
+	if us < h.min {
+		h.min = us
+	}
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average latency in microseconds.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return extremes in microseconds (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the maximum observation in microseconds.
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// StdDev returns the standard deviation in microseconds.
+func (h *Histogram) StdDev() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	v := h.sumSq/float64(h.count) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the p-th percentile (p in (0,100]) in microseconds by
+// linear interpolation inside the covering bucket, like RocksDB.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	threshold := float64(h.count) * p / 100
+	var cum float64
+	for i, c := range h.buckets {
+		cum += float64(c)
+		if cum >= threshold {
+			lo := 0.0
+			if i > 0 {
+				lo = h.limits[i-1]
+			}
+			hi := h.limits[i]
+			if hi > h.max {
+				hi = h.max
+			}
+			if c == 0 {
+				return hi
+			}
+			// Interpolate within the bucket.
+			left := threshold - (cum - float64(c))
+			r := lo + (hi-lo)*left/float64(c)
+			if r < h.min {
+				r = h.min
+			}
+			return r
+		}
+	}
+	return h.max
+}
+
+// P50, P99 and P999 are convenience accessors (microseconds).
+func (h *Histogram) P50() float64  { return h.Percentile(50) }
+func (h *Histogram) P95() float64  { return h.Percentile(95) }
+func (h *Histogram) P99() float64  { return h.Percentile(99) }
+func (h *Histogram) P999() float64 { return h.Percentile(99.9) }
+
+// String renders a db_bench-style summary line plus percentiles.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Count: %d Average: %.4f StdDev: %.2f\n", h.count, h.Mean(), h.StdDev())
+	fmt.Fprintf(&b, "Min: %.4f Median: %.4f Max: %.4f\n", h.Min(), h.P50(), h.Max())
+	fmt.Fprintf(&b, "Percentiles: P50: %.2f P75: %.2f P99: %.2f P99.9: %.2f P99.99: %.2f\n",
+		h.P50(), h.Percentile(75), h.P99(), h.P999(), h.Percentile(99.99))
+	return b.String()
+}

@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/lsm"
+)
+
+// Progress is delivered to the runner's monitor callback roughly once per
+// (virtual) second.
+type Progress struct {
+	Elapsed    time.Duration
+	OpsDone    int64
+	Throughput float64 // ops/sec so far
+}
+
+// Runner executes a Spec against a DB. In simulation mode it is a
+// deterministic event loop over virtual threads: the thread with the
+// smallest local virtual time issues the next operation, the engine charges
+// the operation's cost, and the thread's clock advances by it. In OS mode
+// threads are real goroutines under the wall clock.
+type Runner struct {
+	DB   *lsm.DB
+	Spec *Spec
+	// Monitor, when set, receives periodic progress and may return false
+	// to stop the run early (the framework's Benchmark Monitor uses this
+	// for the first-30-seconds check and 'redo' on performance drops).
+	Monitor func(Progress) bool
+
+	realElapsed time.Duration // wall duration of an OS-mode run
+}
+
+// vthread is one virtual workload thread.
+type vthread struct {
+	id        int
+	now       time.Duration
+	rng       *rand.Rand
+	keys      *KeyGen
+	values    *ValueGen
+	dist      KeyDist
+	opsDone   int64
+	readHist  *Histogram
+	writeHist *Histogram
+	readMiss  int64
+	bytes     int64
+	// pendingRead records whether the op just executed was a read, so the
+	// measured cost lands in the right histogram.
+	pendingRead bool
+	// writer marks a dedicated write thread (readwhilewriting).
+	writer bool
+}
+
+// Run executes the workload and returns its report.
+func (r *Runner) Run() (*Report, error) {
+	if err := r.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	sim, _ := r.DB.Env().(*lsm.SimEnv)
+	if sim != nil {
+		sim.SetForegroundThreads(r.Spec.Threads)
+		defer sim.SetForegroundThreads(1)
+	}
+	if r.Spec.Preload > 0 {
+		if err := r.preload(sim); err != nil {
+			return nil, err
+		}
+	}
+	threads := make([]*vthread, r.Spec.Threads)
+	for i := range threads {
+		seed := r.Spec.Seed*7919 + int64(i)*104729 + 1
+		rng := rand.New(rand.NewSource(seed))
+		dist := r.Spec.dist()
+		if r.Spec.Sequential {
+			// Each thread owns a contiguous shard of the ascending key
+			// sequence.
+			dist = &SequentialDist{next: uint64(i) * uint64(r.Spec.OpsPerThread)}
+		}
+		threads[i] = &vthread{
+			id:        i,
+			rng:       rng,
+			keys:      NewKeyGen(r.Spec.KeySize),
+			values:    NewValueGen(rng, 0.5),
+			dist:      dist,
+			writer:    i < r.Spec.WriterThreads,
+			readHist:  NewHistogram(),
+			writeHist: NewHistogram(),
+		}
+	}
+	var aborted bool
+	var start time.Duration
+	if sim != nil {
+		start = sim.Now()
+		aborted = r.runSim(sim, threads)
+	} else {
+		aborted = r.runReal(threads)
+	}
+	rep := &Report{
+		Workload:  r.Spec.Name,
+		Threads:   r.Spec.Threads,
+		Read:      NewHistogram(),
+		Write:     NewHistogram(),
+		Aborted:   aborted,
+		Metrics:   r.DB.GetMetrics(),
+		ValueSize: r.Spec.ValueSize,
+	}
+	var maxNow time.Duration
+	for _, t := range threads {
+		rep.Ops += t.opsDone
+		rep.Read.Merge(t.readHist)
+		rep.Write.Merge(t.writeHist)
+		rep.ReadMisses += t.readMiss
+		rep.Bytes += t.bytes
+		if t.now > maxNow {
+			maxNow = t.now
+		}
+	}
+	if sim != nil {
+		rep.Elapsed = maxNow - start
+		rep.SimStats = sim.Stats()
+	} else {
+		rep.Elapsed = r.realElapsed
+	}
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / rep.Elapsed.Seconds()
+	}
+	rep.Stats = r.DB.Statistics().Snapshot()
+	return rep, nil
+}
+
+// preload bulk-loads Spec.Preload keys (unmeasured) and settles compaction.
+func (r *Runner) preload(sim *lsm.SimEnv) error {
+	rng := rand.New(rand.NewSource(r.Spec.Seed * 31337))
+	values := NewValueGen(rng, 0.5)
+	keys := NewKeyGen(r.Spec.KeySize)
+	wo := lsm.DefaultWriteOptions()
+	batch := lsm.NewWriteBatch()
+	const batchSize = 512
+	// Random order, like db_bench -use_existing_db preparation via
+	// fillrandom.
+	perm := rng.Perm(int(r.Spec.Preload))
+	for i, id := range perm {
+		batch.Put(keys.Key(uint64(id)), values.Value(r.Spec.ValueSize))
+		if batch.Count() >= batchSize || i == len(perm)-1 {
+			if err := r.DB.Write(wo, batch); err != nil {
+				return err
+			}
+			batch.Clear()
+			if sim != nil {
+				// Preload time passes on the virtual clock too.
+				sim.Clock().Advance(sim.TakeOpCost())
+			}
+		}
+	}
+	if err := r.DB.Flush(); err != nil {
+		return err
+	}
+	// Settle compactions: the paper's read/mixed workloads run against a
+	// database preloaded beforehand (and therefore leveled), not against a
+	// freshly-written L0 pileup. Without settling, every measured run
+	// starts inside a compaction storm and the 30-second monitor cannot
+	// compare configurations fairly.
+	return r.DB.WaitForBackgroundIdle()
+}
+
+// runSim drives virtual threads deterministically. Returns true if the
+// monitor aborted the run.
+func (r *Runner) runSim(sim *lsm.SimEnv, threads []*vthread) bool {
+	clock := sim.Clock()
+	base := sim.Now()
+	for i := range threads {
+		threads[i].now = base
+	}
+	sim.TakeOpCost()
+	total := r.Spec.TotalOps()
+	var done int64
+	nextTick := base + time.Second
+	const perOpOverhead = 150 * time.Nanosecond // harness-side cost
+	for done < total {
+		// Pick the thread with the smallest virtual time that still has
+		// work.
+		var t *vthread
+		for _, c := range threads {
+			if c.opsDone >= r.Spec.OpsPerThread {
+				continue
+			}
+			if t == nil || c.now < t.now {
+				t = c
+			}
+		}
+		if t == nil {
+			break
+		}
+		clock.AdvanceTo(t.now)
+		r.execOp(t)
+		cost := sim.TakeOpCost() + perOpOverhead
+		t.now += cost
+		r.observe(t, cost)
+		done++
+		if t.now >= nextTick {
+			nextTick = t.now + time.Second
+			if r.Monitor != nil {
+				el := t.now - base
+				if !r.Monitor(Progress{Elapsed: el, OpsDone: done, Throughput: float64(done) / el.Seconds()}) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// execOp issues one operation; its kind was decided by the thread's rng.
+func (r *Runner) execOp(t *vthread) {
+	roll := t.rng.Float64()
+	isRead := roll < r.Spec.ReadFraction
+	isScan := !isRead && roll < r.Spec.ReadFraction+r.Spec.ScanFraction
+	if t.writer {
+		isRead, isScan = false, false
+	}
+	id := t.dist.Next(t.rng)
+	key := t.keys.Key(id)
+	if isScan {
+		it := r.DB.NewIterator(nil)
+		it.Seek(key)
+		for n := 0; n < r.Spec.ScanLength && it.Valid(); n++ {
+			t.bytes += int64(len(it.Key()) + len(it.Value()))
+			it.Next()
+		}
+		it.Close()
+		t.pendingRead = true
+		return
+	}
+	if isRead {
+		_, err := r.DB.Get(nil, key)
+		if err == lsm.ErrNotFound {
+			t.readMiss++
+		}
+		t.pendingRead = true
+		t.bytes += int64(len(key))
+	} else {
+		n := r.Spec.ValueSize
+		if r.Spec.ParetoValues {
+			n = paretoValueSize(t.rng, r.Spec.ValueSize)
+		}
+		val := t.values.Value(n)
+		_ = r.DB.Put(nil, key, val)
+		t.pendingRead = false
+		t.bytes += int64(len(key) + len(val))
+	}
+}
+
+// observe books the measured cost against the right histogram.
+func (r *Runner) observe(t *vthread, cost time.Duration) {
+	if t.pendingRead {
+		t.readHist.Add(cost)
+	} else {
+		t.writeHist.Add(cost)
+	}
+	t.opsDone++
+}
+
+// runReal drives OS-mode threads with goroutines and wall-clock timing.
+func (r *Runner) runReal(threads []*vthread) bool {
+	start := time.Now()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	abort := func() { stopOnce.Do(func() { close(stop) }) }
+	var monMu sync.Mutex
+	var doneOps int64
+	aborted := false
+	for _, t := range threads {
+		wg.Add(1)
+		go func(t *vthread) {
+			defer wg.Done()
+			for t.opsDone < r.Spec.OpsPerThread {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				opStart := time.Now()
+				r.execOp(t)
+				cost := time.Since(opStart)
+				t.now = time.Since(start)
+				r.observe(t, cost)
+				monMu.Lock()
+				doneOps++
+				d := doneOps
+				monMu.Unlock()
+				if r.Monitor != nil && d%4096 == 0 {
+					el := time.Since(start)
+					if !r.Monitor(Progress{Elapsed: el, OpsDone: d, Throughput: float64(d) / el.Seconds()}) {
+						monMu.Lock()
+						aborted = true
+						monMu.Unlock()
+						abort()
+						return
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	r.realElapsed = time.Since(start)
+	return aborted
+}

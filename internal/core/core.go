@@ -1,0 +1,308 @@
+// Package core implements the ELMo-Tune feedback loop (the paper's Figure
+// 2): prompt generation, the LLM call, option evaluation, safeguard
+// enforcement, benchmarking with the 30-second monitor, and the active
+// flagger's keep/revert decision — iterated until the stopping criterion.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/flagger"
+	"repro/internal/ini"
+	"repro/internal/llm"
+	"repro/internal/lsm"
+	"repro/internal/parser"
+	"repro/internal/prompt"
+	"repro/internal/safeguard"
+	"repro/internal/sysmon"
+)
+
+// BenchRunner executes one benchmark under a configuration. Implementations
+// create a fresh database/environment per call so iterations are comparable
+// (cf. db_bench runs in the paper). monitor may be nil.
+type BenchRunner interface {
+	RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error)
+}
+
+// BenchRunnerFunc adapts a function to BenchRunner.
+type BenchRunnerFunc func(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error)
+
+// RunBenchmark implements BenchRunner.
+func (f BenchRunnerFunc) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error) {
+	return f(opts, monitor)
+}
+
+// Config wires one tuning session.
+type Config struct {
+	// Client is the LLM (GPT-4 API or the mock expert).
+	Client llm.Client
+	// Runner executes benchmarks.
+	Runner BenchRunner
+	// Monitor characterizes the host for prompts.
+	Monitor sysmon.Monitor
+	// InitialOptions is iteration 0's configuration (db_bench defaults in
+	// the paper). Cloned; never mutated.
+	InitialOptions *lsm.Options
+	// WorkloadName is the db_bench benchmark name (appears in prompts).
+	WorkloadName string
+	// WorkloadDescription is the user's expected-workload statement — the
+	// only user input the framework needs.
+	WorkloadDescription string
+	// MaxIterations bounds the loop (paper: 7). Default 7.
+	MaxIterations int
+	// MinImprovement is the relative throughput gain under which an
+	// iteration counts as stalled; StallLimit consecutive stalled
+	// iterations stop the loop early. Defaults: 0.01 and 3.
+	MinImprovement float64
+	StallLimit     int
+	// ExtraBlacklist adds options to the safeguard blacklist.
+	ExtraBlacklist []string
+	// DisableSafeguards removes the blacklist entirely (ablation only:
+	// quantifies what the Safeguard Enforcer contributes).
+	DisableSafeguards bool
+	// KeepAllIterations disables the Active Flagger's revert logic: every
+	// iteration's configuration is kept regardless of measurement
+	// (ablation only).
+	KeepAllIterations bool
+	// EarlyStop enables the 30-second benchmark monitor (default true
+	// semantics: set DisableEarlyStop to turn off).
+	DisableEarlyStop bool
+	// EarlyStopCheckAfter overrides the monitor's 30-second window (useful
+	// when benchmarks run in scaled virtual time).
+	EarlyStopCheckAfter time.Duration
+	// RetryUnparseable re-asks once with a format reminder when a response
+	// contains no usable changes (default true semantics: set
+	// DisableFormatRetry to turn off).
+	DisableFormatRetry bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Iteration records everything about one loop turn, for analysis and for
+// the per-iteration figures.
+type Iteration struct {
+	Number       int
+	Response     string
+	Parsed       parser.Result
+	Decisions    []safeguard.Decision
+	AppliedDiff  []string
+	Report       *bench.Report
+	Metrics      flagger.Metrics
+	Kept         bool
+	EarlyStopped bool
+	// Options is the configuration measured this iteration.
+	Options *lsm.Options
+	// LLMDuration is the (wall) time of the LLM call.
+	LLMDuration time.Duration
+}
+
+// Result is a whole tuning session.
+type Result struct {
+	Baseline        *bench.Report
+	BaselineMetrics flagger.Metrics
+	Iterations      []Iteration
+	// BestOptions is the best configuration found (what ELMo-Tune outputs).
+	BestOptions *lsm.Options
+	BestMetrics flagger.Metrics
+	// StoppedEarly reports the stall criterion fired before MaxIterations.
+	StoppedEarly bool
+}
+
+// ImprovementFactor returns best/baseline throughput (1.0 = no gain).
+func (r *Result) ImprovementFactor() float64 {
+	if r.BaselineMetrics.Throughput == 0 {
+		return 1
+	}
+	return r.BestMetrics.Throughput / r.BaselineMetrics.Throughput
+}
+
+// Run executes the feedback loop.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Client == nil || cfg.Runner == nil || cfg.InitialOptions == nil {
+		return nil, fmt.Errorf("core: Client, Runner and InitialOptions are required")
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 7
+	}
+	if cfg.MinImprovement <= 0 {
+		cfg.MinImprovement = 0.01
+	}
+	if cfg.StallLimit <= 0 {
+		cfg.StallLimit = 3
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var host sysmon.HostInfo
+	if cfg.Monitor != nil {
+		host = cfg.Monitor.Host()
+	}
+
+	enforcer := safeguard.New()
+	if cfg.DisableSafeguards {
+		enforcer = safeguard.NewUnsafe()
+	}
+	enforcer.Blacklist(cfg.ExtraBlacklist...)
+	flag := flagger.New()
+
+	// Iteration 0: the out-of-box baseline.
+	logf("iteration 0: measuring baseline (%s)", cfg.WorkloadName)
+	baseline, err := cfg.Runner.RunBenchmark(cfg.InitialOptions.Clone(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline benchmark: %w", err)
+	}
+	baseMetrics := flagger.FromReport(baseline)
+	flag.SetBaseline(baseMetrics)
+	logf("iteration 0: %s", baseline.Summary())
+
+	res := &Result{
+		Baseline:        baseline,
+		BaselineMetrics: baseMetrics,
+		BestOptions:     cfg.InitialOptions.Clone(),
+		BestMetrics:     baseMetrics,
+	}
+	current := cfg.InitialOptions.Clone()
+	lastReport := baseline.Format()
+	var history []string
+	history = append(history, fmt.Sprintf("iteration 0 (default config): %.0f ops/sec", baseMetrics.Throughput))
+	deteriorated := false
+	detNote := ""
+	stalled := 0
+
+	for n := 1; n <= cfg.MaxIterations; n++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		in := prompt.Inputs{
+			Iteration:           n,
+			WorkloadName:        cfg.WorkloadName,
+			WorkloadDescription: cfg.WorkloadDescription,
+			Host:                host,
+			Options:             current,
+			LastReport:          lastReport,
+			History:             history,
+			Deteriorated:        deteriorated,
+			DeteriorationNote:   detNote,
+		}
+		msgs := prompt.Build(in)
+		llmStart := time.Now()
+		response, err := cfg.Client.Complete(ctx, msgs)
+		llmDur := time.Since(llmStart)
+		if err != nil {
+			return res, fmt.Errorf("core: LLM call failed at iteration %d: %w", n, err)
+		}
+		parsed := parser.Parse(response)
+		if len(parsed.Changes) == 0 && !cfg.DisableFormatRetry {
+			// Format checker: one re-ask with an explicit format reminder.
+			logf("iteration %d: unparseable response, re-asking with format reminder", n)
+			msgs = append(msgs,
+				llm.Assistant(response),
+				llm.User("Your reply contained no parseable option changes. Reply ONLY with lines of the form option_name=value."))
+			response, err = cfg.Client.Complete(ctx, msgs)
+			if err != nil {
+				return res, fmt.Errorf("core: LLM format retry failed at iteration %d: %w", n, err)
+			}
+			parsed = parser.Parse(response)
+		}
+
+		it := Iteration{Number: n, Response: response, Parsed: parsed, LLMDuration: llmDur}
+		decisions := enforcer.Vet(current, parsed.Changes)
+		it.Decisions = decisions
+		for _, d := range decisions {
+			if d.Verdict != safeguard.Accepted {
+				logf("iteration %d: %s %s=%s (%s)", n, d.Verdict, d.Change.Name, d.Change.Value, d.Reason)
+			}
+		}
+		next, _, err := safeguard.Apply(current, decisions)
+		if err != nil {
+			// Combined changes are inconsistent: skip the iteration, tell
+			// the model next round.
+			logf("iteration %d: %v", n, err)
+			deteriorated = true
+			detNote = "The proposed combination was rejected by validation: " + err.Error()
+			it.Kept = false
+			it.Options = current.Clone()
+			res.Iterations = append(res.Iterations, it)
+			continue
+		}
+		it.AppliedDiff = ini.Diff(current.ToINI(), next.ToINI())
+		it.Options = next.Clone()
+
+		var monitor func(bench.Progress) bool
+		var earlyStopped bool
+		if !cfg.DisableEarlyStop {
+			es := flagger.NewEarlyStop(res.BestMetrics.Throughput)
+			if cfg.EarlyStopCheckAfter > 0 {
+				es.CheckAfter = cfg.EarlyStopCheckAfter
+			}
+			monitor = func(p bench.Progress) bool {
+				ok := es.Monitor(p)
+				if !ok {
+					earlyStopped = true
+				}
+				return ok
+			}
+		}
+		report, err := cfg.Runner.RunBenchmark(next.Clone(), monitor)
+		if err != nil {
+			return res, fmt.Errorf("core: benchmark at iteration %d: %w", n, err)
+		}
+		it.Report = report
+		it.EarlyStopped = earlyStopped
+		it.Metrics = flagger.FromReport(report)
+		lastReport = report.Format()
+
+		decision := flag.Judge(it.Metrics)
+		it.Kept = decision.Keep && !earlyStopped
+		if cfg.KeepAllIterations {
+			it.Kept = true
+		}
+		if it.Kept {
+			improvement := 0.0
+			if res.BestMetrics.Throughput > 0 {
+				improvement = it.Metrics.Throughput/res.BestMetrics.Throughput - 1
+			}
+			current = next
+			res.BestOptions = next.Clone()
+			res.BestMetrics = it.Metrics
+			deteriorated = false
+			detNote = ""
+			history = append(history, fmt.Sprintf("iteration %d (kept): %.0f ops/sec", n, it.Metrics.Throughput))
+			logf("iteration %d: kept (%s)", n, report.Summary())
+			if improvement < cfg.MinImprovement {
+				stalled++
+			} else {
+				stalled = 0
+			}
+		} else {
+			// Revert: keep `current` as is; craft the intermediate prompt.
+			deteriorated = true
+			detNote = flagger.DeteriorationNote(decision, strings.Join(it.AppliedDiff, "\n"))
+			if earlyStopped {
+				detNote += "\n(The run was stopped by the 30-second monitor because throughput collapsed.)"
+			}
+			history = append(history, fmt.Sprintf("iteration %d (reverted): %.0f ops/sec", n, it.Metrics.Throughput))
+			logf("iteration %d: reverted (%s)", n, decision.Reason)
+			stalled++
+		}
+		res.Iterations = append(res.Iterations, it)
+		if stalled >= cfg.StallLimit {
+			logf("stopping: %d consecutive iterations without >%.1f%% improvement",
+				stalled, cfg.MinImprovement*100)
+			res.StoppedEarly = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// WriteOptionsFile persists the session's best configuration as a RocksDB
+// OPTIONS file — the framework's final output.
+func (r *Result) WriteOptionsFile(path string) error {
+	return r.BestOptions.ToINI().Save(path)
+}

@@ -1,0 +1,311 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/ini"
+	"repro/internal/llm"
+	"repro/internal/lsm"
+	"repro/internal/mockllm"
+	"repro/internal/safeguard"
+)
+
+// quickCfg is a small/fast experiment configuration for tests.
+func quickCfg(seed int64) experiments.Config {
+	return experiments.Config{Scale: 400, Seed: seed, MaxIterations: 4}
+}
+
+// quickRunner builds a test BenchRunner at the quick scale.
+func quickRunner(workload string, seed int64) *experiments.SimRunner {
+	return &experiments.SimRunner{
+		Device:   device.NVMe(),
+		Profile:  device.Profile4C4G(),
+		Workload: workload,
+		Cfg:      quickCfg(seed),
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	expert := mockllm.NewExpert(7)
+	expert.FormatNoiseRate = 0.3
+	res, err := core.Run(context.Background(), core.Config{
+		Client:              expert,
+		Runner:              quickRunner("fillrandom", 7),
+		Monitor:             &experiments.HostMonitor{Device: device.NVMe(), Profile: device.Profile4C4G()},
+		InitialOptions:      lsm.DBBenchDefaults(),
+		WorkloadName:        "fillrandom",
+		WorkloadDescription: "write intensive",
+		MaxIterations:       4,
+		StallLimit:          10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline == nil || len(res.Iterations) == 0 {
+		t.Fatal("missing baseline or iterations")
+	}
+	if res.BestMetrics.Throughput < res.BaselineMetrics.Throughput {
+		t.Fatalf("best (%f) below baseline (%f): the flagger must never regress",
+			res.BestMetrics.Throughput, res.BaselineMetrics.Throughput)
+	}
+	// The tuned config must differ from default in at least one honored
+	// option after 4 iterations against the expert.
+	if res.BestOptions.MaxBackgroundJobs == lsm.DBBenchDefaults().MaxBackgroundJobs &&
+		res.BestOptions.WALBytesPerSync == 0 {
+		t.Logf("best options unchanged — unusual but not fatal")
+	}
+	// Iterations carry full provenance.
+	for _, it := range res.Iterations {
+		if it.Response == "" || it.Report == nil || it.Options == nil {
+			t.Fatalf("iteration %d incomplete", it.Number)
+		}
+	}
+}
+
+func TestRunImprovesWriteWorkload(t *testing.T) {
+	res, err := core.Run(context.Background(), core.Config{
+		Client:         mockllm.NewExpert(3),
+		Runner:         quickRunner("fillrandom", 3),
+		Monitor:        &experiments.HostMonitor{Device: device.NVMe(), Profile: device.Profile4C4G()},
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  5,
+		StallLimit:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.ImprovementFactor(); f < 1.0 {
+		t.Fatalf("improvement factor %v < 1", f)
+	}
+}
+
+func TestRunSafeguardsBlockDangerousSuggestions(t *testing.T) {
+	// An adversarial expert that always suggests disabling the WAL plus
+	// one hallucinated option and one good option.
+	client := &llm.FuncClient{Fn: func(_ context.Context, msgs []llm.Message) (string, error) {
+		return "disable_wal=true\nflush_job_count=8\nmax_background_jobs=4\n", nil
+	}}
+	res, err := core.Run(context.Background(), core.Config{
+		Client:         client,
+		Runner:         quickRunner("fillrandom", 5),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  2,
+		StallLimit:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestOptions.DisableWAL {
+		t.Fatal("blacklisted disable_wal reached the configuration")
+	}
+	it := res.Iterations[0]
+	sum := safeguard.Summary(it.Decisions)
+	if sum[safeguard.Blacklisted] != 1 || sum[safeguard.Hallucinated] != 1 {
+		t.Fatalf("safeguard summary = %v", sum)
+	}
+	if res.BestOptions.MaxBackgroundJobs != 4 {
+		t.Fatalf("good option not applied: %d", res.BestOptions.MaxBackgroundJobs)
+	}
+}
+
+func TestRunRevertsRegressions(t *testing.T) {
+	// First suggestion is terrible (single background job and tiny
+	// buffers); later suggestions are no-ops. The flagger must revert and
+	// the deterioration prompt must reach the client.
+	calls := 0
+	var sawDeterioration bool
+	client := &llm.FuncClient{Fn: func(_ context.Context, msgs []llm.Message) (string, error) {
+		calls++
+		text := msgs[len(msgs)-1].Content
+		if strings.Contains(text, "deteriorated") {
+			sawDeterioration = true
+		}
+		if calls == 1 {
+			// Harmful: starve background work and shrink buffers.
+			return "max_background_jobs=1\nwrite_buffer_size=1048576\nlevel0_slowdown_writes_trigger=4\nlevel0_stop_writes_trigger=6\nlevel0_file_num_compaction_trigger=2\n", nil
+		}
+		return "max_background_jobs=4\n", nil
+	}}
+	res, err := core.Run(context.Background(), core.Config{
+		Client:           client,
+		Runner:           quickRunner("fillrandom", 11),
+		InitialOptions:   lsm.DBBenchDefaults(),
+		WorkloadName:     "fillrandom",
+		MaxIterations:    3,
+		StallLimit:       10,
+		DisableEarlyStop: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Iterations[0]
+	if first.Kept {
+		t.Fatalf("harmful iteration kept: %+v", first.Metrics)
+	}
+	if !sawDeterioration {
+		t.Fatal("deterioration prompt never sent")
+	}
+	// The final best config must not contain the harmful values.
+	if res.BestOptions.WriteBufferSize == 1048576 {
+		t.Fatal("reverted change leaked into best options")
+	}
+}
+
+func TestRunFormatRetry(t *testing.T) {
+	calls := 0
+	client := &llm.FuncClient{Fn: func(_ context.Context, msgs []llm.Message) (string, error) {
+		calls++
+		if calls%2 == 1 {
+			return "I think the configuration could be improved in several ways, but let me describe them qualitatively first.", nil
+		}
+		return "max_background_jobs=4", nil
+	}}
+	res, err := core.Run(context.Background(), core.Config{
+		Client:         client,
+		Runner:         quickRunner("fillrandom", 13),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  1,
+		StallLimit:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (format retry)", calls)
+	}
+	if len(res.Iterations[0].Parsed.Changes) == 0 {
+		t.Fatal("retry response not parsed")
+	}
+}
+
+func TestRunLLMFailure(t *testing.T) {
+	client := &llm.FuncClient{Fn: func(context.Context, []llm.Message) (string, error) {
+		return "", fmt.Errorf("api down")
+	}}
+	_, err := core.Run(context.Background(), core.Config{
+		Client:         client,
+		Runner:         quickRunner("fillrandom", 17),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "api down") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	client := &llm.FuncClient{Fn: func(context.Context, []llm.Message) (string, error) {
+		cancel() // cancel as soon as the loop consults the LLM
+		return "max_background_jobs=4", nil
+	}}
+	res, err := core.Run(ctx, core.Config{
+		Client:         client,
+		Runner:         quickRunner("fillrandom", 19),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  5,
+	})
+	if err == nil {
+		t.Fatal("cancellation ignored")
+	}
+	if res == nil {
+		t.Fatal("partial result lost on cancellation")
+	}
+}
+
+func TestRunMissingConfig(t *testing.T) {
+	if _, err := core.Run(context.Background(), core.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestRunInvalidCombinationSkipsIteration(t *testing.T) {
+	calls := 0
+	client := &llm.FuncClient{Fn: func(context.Context, []llm.Message) (string, error) {
+		calls++
+		if calls == 1 {
+			// Individually valid, jointly invalid.
+			return "min_write_buffer_number_to_merge=4\nmax_write_buffer_number=2\n", nil
+		}
+		return "max_background_jobs=4", nil
+	}}
+	res, err := core.Run(context.Background(), core.Config{
+		Client:         client,
+		Runner:         quickRunner("fillrandom", 23),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  2,
+		StallLimit:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations[0].Kept {
+		t.Fatal("invalid combination iteration was kept")
+	}
+	if res.Iterations[0].Report != nil {
+		t.Fatal("invalid combination should not be benchmarked")
+	}
+}
+
+func TestWriteOptionsFile(t *testing.T) {
+	res, err := core.Run(context.Background(), core.Config{
+		Client:         mockllm.NewExpert(29),
+		Runner:         quickRunner("fillrandom", 29),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  1,
+		StallLimit:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/OPTIONS-tuned"
+	if err := res.WriteOptionsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ini.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, unknown, err := lsm.FromINI(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unknown) != 0 {
+		t.Fatalf("unknown keys in written OPTIONS: %v", unknown)
+	}
+	if loaded == nil {
+		t.Fatal("nil options from written file")
+	}
+}
+
+func TestSimRunnerFreshPerIteration(t *testing.T) {
+	r := quickRunner("fillrandom", 31)
+	rep1, err := r.RunBenchmark(lsm.DBBenchDefaults(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := r.RunBenchmark(lsm.DBBenchDefaults(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds per run produce near-but-not-identical results, and
+	// both start from an empty database (same op counts).
+	if rep1.Ops != rep2.Ops {
+		t.Fatalf("runs differ in op count: %d vs %d", rep1.Ops, rep2.Ops)
+	}
+	_ = bench.Progress{}
+}

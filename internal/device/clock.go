@@ -1,0 +1,43 @@
+package device
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a monotonic virtual clock measured in nanoseconds since the start
+// of a simulation. It never sleeps: callers advance it by the durations the
+// device and host models charge. It is safe for concurrent use.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Advance moves the clock forward by d (negative d is ignored) and returns
+// the new time.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d <= 0 {
+		return c.Now()
+	}
+	return time.Duration(c.now.Add(int64(d)))
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now, and returns
+// the current time afterwards. It is used when one timeline (e.g. a benchmark
+// worker) has run ahead of the shared clock.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return time.Duration(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
+	}
+}

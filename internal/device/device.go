@@ -1,0 +1,239 @@
+// Package device models storage devices (NVMe SSD, SATA HDD, ...) and host
+// hardware profiles (CPU cores, memory) for the simulation environment. The
+// paper evaluates ELMo-Tune inside Docker containers pinned to 2/4 cores,
+// 4/8 GiB RAM, on NVMe SSD and SATA HDD; these models are the offline
+// substitute for that hardware matrix.
+//
+// Latency model: an I/O of n bytes on a device with base access latency s and
+// bandwidth b costs s + n/b, inflated by a contention factor derived from the
+// fraction of device bandwidth concurrently consumed by background traffic
+// (flush/compaction). All durations are virtual time — see Clock.
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies a device model.
+type Kind int
+
+const (
+	// KindNVMe is a modern NVMe solid-state drive.
+	KindNVMe Kind = iota
+	// KindSATASSD is a SATA-attached solid-state drive.
+	KindSATASSD
+	// KindHDD is a SATA spinning hard disk.
+	KindHDD
+)
+
+// String returns a human-readable device kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNVMe:
+		return "NVMe SSD"
+	case KindSATASSD:
+		return "SATA SSD"
+	case KindHDD:
+		return "SATA HDD"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Model holds the immutable performance characteristics of a storage device.
+type Model struct {
+	Name string
+	Kind Kind
+
+	// Base per-operation access latencies (random access).
+	ReadAccess  time.Duration // random read positioning cost
+	WriteAccess time.Duration // random write positioning cost
+	SeqAccess   time.Duration // per-op cost when access is sequential
+
+	// Bandwidths in bytes/second.
+	SeqReadBW   float64
+	SeqWriteBW  float64
+	RandReadBW  float64 // sustained small random reads
+	RandWriteBW float64
+
+	// SyncLatency is the cost of a durability barrier (fsync / FUA write).
+	SyncLatency time.Duration
+
+	// QueueDepth bounds useful concurrency; contention grows faster once
+	// outstanding background streams exceed it.
+	QueueDepth int
+}
+
+// NVMe returns a model of a mainstream datacenter NVMe SSD.
+func NVMe() *Model {
+	return &Model{
+		Name:        "nvme0n1",
+		Kind:        KindNVMe,
+		ReadAccess:  70 * time.Microsecond,
+		WriteAccess: 25 * time.Microsecond,
+		SeqAccess:   8 * time.Microsecond,
+		SeqReadBW:   2.8e9,
+		SeqWriteBW:  1.9e9,
+		RandReadBW:  1.1e9,
+		RandWriteBW: 0.8e9,
+		SyncLatency: 120 * time.Microsecond,
+		QueueDepth:  32,
+	}
+}
+
+// SATASSD returns a model of a SATA solid-state drive.
+func SATASSD() *Model {
+	return &Model{
+		Name:        "sda-ssd",
+		Kind:        KindSATASSD,
+		ReadAccess:  120 * time.Microsecond,
+		WriteAccess: 60 * time.Microsecond,
+		SeqAccess:   20 * time.Microsecond,
+		SeqReadBW:   530e6,
+		SeqWriteBW:  480e6,
+		RandReadBW:  300e6,
+		RandWriteBW: 250e6,
+		SyncLatency: 400 * time.Microsecond,
+		QueueDepth:  16,
+	}
+}
+
+// SATAHDD returns a model of a 7200 RPM SATA hard disk.
+func SATAHDD() *Model {
+	return &Model{
+		Name:        "sdb-hdd",
+		Kind:        KindHDD,
+		ReadAccess:  6500 * time.Microsecond,
+		WriteAccess: 5500 * time.Microsecond,
+		SeqAccess:   80 * time.Microsecond,
+		SeqReadBW:   180e6,
+		SeqWriteBW:  160e6,
+		RandReadBW:  1.6e6,
+		RandWriteBW: 1.4e6,
+		SyncLatency: 6 * time.Millisecond,
+		QueueDepth:  4,
+	}
+}
+
+// ByName returns the preset model with the given name ("nvme", "satassd",
+// "hdd"), or an error for unknown names.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "nvme", "nvme-ssd", "ssd":
+		return NVMe(), nil
+	case "satassd", "sata-ssd":
+		return SATASSD(), nil
+	case "hdd", "sata-hdd":
+		return SATAHDD(), nil
+	default:
+		return nil, fmt.Errorf("device: unknown model %q (want nvme, satassd or hdd)", name)
+	}
+}
+
+// clampUtil bounds a utilization value so the contention multiplier stays
+// finite; 0.93 caps the inflation at roughly 14x.
+func clampUtil(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 0.93 {
+		return 0.93
+	}
+	return u
+}
+
+// ReadLatency returns the virtual duration of reading n bytes.
+// sequential selects the streaming cost model; util in [0,1] is the fraction
+// of device bandwidth concurrently consumed by other traffic.
+func (m *Model) ReadLatency(n int64, sequential bool, util float64) time.Duration {
+	var base float64
+	if sequential {
+		base = float64(m.SeqAccess) + float64(n)/m.SeqReadBW*1e9
+	} else {
+		base = float64(m.ReadAccess) + float64(n)/m.RandReadBW*1e9
+	}
+	return time.Duration(base / (1 - clampUtil(util)))
+}
+
+// WriteLatency returns the virtual duration of writing n bytes.
+func (m *Model) WriteLatency(n int64, sequential bool, util float64) time.Duration {
+	var base float64
+	if sequential {
+		base = float64(m.SeqAccess) + float64(n)/m.SeqWriteBW*1e9
+	} else {
+		base = float64(m.WriteAccess) + float64(n)/m.RandWriteBW*1e9
+	}
+	return time.Duration(base / (1 - clampUtil(util)))
+}
+
+// Sync returns the cost of a durability barrier under the given utilization.
+func (m *Model) Sync(util float64) time.Duration {
+	return time.Duration(float64(m.SyncLatency) / (1 - clampUtil(util)))
+}
+
+// BGInterferencePerJob returns the device utilization one background
+// flush/compaction stream imposes on foreground I/O. Spinning disks suffer
+// far more from competing sequential streams (head movement) than SSDs.
+func (m *Model) BGInterferencePerJob() float64 {
+	switch m.Kind {
+	case KindHDD:
+		return 0.50
+	case KindSATASSD:
+		return 0.32
+	default:
+		return 0.22
+	}
+}
+
+// Profile describes the host hardware a workload is confined to, mirroring
+// the paper's Docker cpu/memory limits.
+type Profile struct {
+	Name        string
+	Cores       int
+	MemoryBytes int64
+}
+
+// GiB is one gibibyte in bytes.
+const GiB = int64(1) << 30
+
+// Profiles used in the paper's hardware sweep (Tables 1 and 2).
+func Profile2C4G() Profile { return Profile{Name: "2CPU+4GiB", Cores: 2, MemoryBytes: 4 * GiB} }
+func Profile2C8G() Profile { return Profile{Name: "2CPU+8GiB", Cores: 2, MemoryBytes: 8 * GiB} }
+func Profile4C4G() Profile { return Profile{Name: "4CPU+4GiB", Cores: 4, MemoryBytes: 4 * GiB} }
+func Profile4C8G() Profile { return Profile{Name: "4CPU+8GiB", Cores: 4, MemoryBytes: 8 * GiB} }
+
+// AllProfiles returns the paper's four hardware profiles in table order.
+func AllProfiles() []Profile {
+	return []Profile{Profile2C4G(), Profile2C8G(), Profile4C4G(), Profile4C8G()}
+}
+
+// ProfileByName resolves names like "2+4" or "4CPU+8GiB".
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range AllProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	switch name {
+	case "2+4":
+		return Profile2C4G(), nil
+	case "2+8":
+		return Profile2C8G(), nil
+	case "4+4":
+		return Profile4C4G(), nil
+	case "4+8":
+		return Profile4C8G(), nil
+	}
+	return Profile{}, fmt.Errorf("device: unknown hardware profile %q", name)
+}
+
+// CPUFactor converts a nominal CPU cost into this profile's cost given the
+// number of runnable compute streams (foreground threads + background jobs).
+// When demand exceeds the core count, costs scale up proportionally.
+func (p Profile) CPUFactor(runnable int) float64 {
+	if runnable <= p.Cores || p.Cores == 0 {
+		return 1
+	}
+	return float64(runnable) / float64(p.Cores)
+}

@@ -1,0 +1,195 @@
+package device
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPresets(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind Kind
+	}{
+		{"nvme", KindNVMe},
+		{"satassd", KindSATASSD},
+		{"hdd", KindHDD},
+	} {
+		m, err := ByName(tc.name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tc.name, err)
+		}
+		if m.Kind != tc.kind {
+			t.Errorf("ByName(%q).Kind = %v, want %v", tc.name, m.Kind, tc.kind)
+		}
+		if m.SeqReadBW <= 0 || m.RandReadBW <= 0 || m.SeqWriteBW <= 0 || m.RandWriteBW <= 0 {
+			t.Errorf("%s: non-positive bandwidth: %+v", tc.name, m)
+		}
+	}
+	if _, err := ByName("floppy"); err == nil {
+		t.Error("ByName(floppy): expected error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindNVMe.String() != "NVMe SSD" || KindHDD.String() != "SATA HDD" {
+		t.Errorf("Kind strings: %q %q", KindNVMe, KindHDD)
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestHDDSlowerThanNVMe(t *testing.T) {
+	hdd, nvme := SATAHDD(), NVMe()
+	const n = 4096
+	if hdd.ReadLatency(n, false, 0) <= nvme.ReadLatency(n, false, 0) {
+		t.Error("HDD random read should be slower than NVMe")
+	}
+	if hdd.WriteLatency(n, false, 0) <= nvme.WriteLatency(n, false, 0) {
+		t.Error("HDD random write should be slower than NVMe")
+	}
+	if hdd.Sync(0) <= nvme.Sync(0) {
+		t.Error("HDD sync should be slower than NVMe")
+	}
+	// HDD random reads are dominated by seek: a 4K random read should cost
+	// milliseconds, an NVMe one well under a millisecond.
+	if hdd.ReadLatency(n, false, 0) < 3*time.Millisecond {
+		t.Errorf("HDD 4K random read = %v, want >= 3ms", hdd.ReadLatency(n, false, 0))
+	}
+	if nvme.ReadLatency(n, false, 0) > time.Millisecond {
+		t.Errorf("NVMe 4K random read = %v, want <= 1ms", nvme.ReadLatency(n, false, 0))
+	}
+}
+
+func TestSequentialFasterThanRandom(t *testing.T) {
+	for _, m := range []*Model{NVMe(), SATASSD(), SATAHDD()} {
+		const n = 1 << 20
+		if m.ReadLatency(n, true, 0) >= m.ReadLatency(n, false, 0) {
+			t.Errorf("%s: sequential read should be faster", m.Name)
+		}
+		if m.WriteLatency(n, true, 0) >= m.WriteLatency(n, false, 0) {
+			t.Errorf("%s: sequential write should be faster", m.Name)
+		}
+	}
+}
+
+func TestContentionInflatesLatency(t *testing.T) {
+	m := NVMe()
+	base := m.ReadLatency(4096, false, 0)
+	busy := m.ReadLatency(4096, false, 0.5)
+	if busy < time.Duration(float64(base)*1.9) {
+		t.Errorf("util=0.5 should roughly double latency: base=%v busy=%v", base, busy)
+	}
+	// Utilization is clamped: even absurd values stay finite and monotone.
+	extreme := m.ReadLatency(4096, false, 5.0)
+	if extreme <= busy || extreme > 100*base {
+		t.Errorf("clamped utilization out of range: base=%v extreme=%v", base, extreme)
+	}
+	if got := m.ReadLatency(4096, false, -1); got != base {
+		t.Errorf("negative utilization should clamp to 0: %v != %v", got, base)
+	}
+}
+
+// TestQuickLatencyMonotone checks that latency grows with size and with
+// utilization for arbitrary inputs.
+func TestQuickLatencyMonotone(t *testing.T) {
+	m := SATASSD()
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n1 := int64(r.Intn(1 << 20))
+		n2 := n1 + int64(r.Intn(1<<20)) + 1
+		u1 := r.Float64() * 0.9
+		u2 := u1 + r.Float64()*(0.9-u1)
+		seq := r.Intn(2) == 0
+		if m.ReadLatency(n2, seq, u1) < m.ReadLatency(n1, seq, u1) {
+			return false
+		}
+		if m.WriteLatency(n1, seq, u2) < m.WriteLatency(n1, seq, u1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	ps := AllProfiles()
+	if len(ps) != 4 {
+		t.Fatalf("AllProfiles len = %d", len(ps))
+	}
+	p, err := ProfileByName("2+4")
+	if err != nil || p.Cores != 2 || p.MemoryBytes != 4*GiB {
+		t.Fatalf("ProfileByName(2+4) = %+v, %v", p, err)
+	}
+	p, err = ProfileByName("4CPU+8GiB")
+	if err != nil || p.Cores != 4 || p.MemoryBytes != 8*GiB {
+		t.Fatalf("ProfileByName(4CPU+8GiB) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("16+256"); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+}
+
+func TestCPUFactor(t *testing.T) {
+	p := Profile2C4G()
+	if f := p.CPUFactor(1); f != 1 {
+		t.Errorf("CPUFactor(1) = %v", f)
+	}
+	if f := p.CPUFactor(2); f != 1 {
+		t.Errorf("CPUFactor(2) = %v", f)
+	}
+	if f := p.CPUFactor(4); f != 2 {
+		t.Errorf("CPUFactor(4) = %v", f)
+	}
+	zero := Profile{Cores: 0}
+	if f := zero.CPUFactor(8); f != 1 {
+		t.Errorf("zero-core profile CPUFactor = %v, want 1", f)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock Now = %v", c.Now())
+	}
+	c.Advance(5 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(-time.Second)
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("negative advance moved clock: %v", c.Now())
+	}
+	c.AdvanceTo(3 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond {
+		t.Fatalf("AdvanceTo backwards moved clock: %v", c.Now())
+	}
+	c.AdvanceTo(9 * time.Millisecond)
+	if c.Now() != 9*time.Millisecond {
+		t.Fatalf("AdvanceTo = %v", c.Now())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	const workers, steps = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < steps; j++ {
+				c.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*steps*time.Nanosecond {
+		t.Fatalf("concurrent advance lost updates: %v", got)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestAblation(t *testing.T) {
+	cfg := Config{Scale: 800, Seed: 13, MaxIterations: 3}
+	rows, err := Ablation(context.Background(), device.NVMe(), device.Profile4C4G(), "fillrandom", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	full := byName["full framework"]
+	unsafe := byName["no safeguards"]
+	noflag := byName["no active flagger"]
+
+	// The full framework must block things the unsafe variant lets through.
+	if full.Blocked == 0 {
+		t.Error("full framework blocked nothing despite a 50% dangerous-suggestion rate")
+	}
+	if unsafe.Blocked > full.Blocked {
+		t.Errorf("unsafe variant blocked more than the full framework: %d > %d",
+			unsafe.Blocked, full.Blocked)
+	}
+	// The full framework never ships below baseline; keep-all can.
+	if full.Final < full.Baseline {
+		t.Errorf("full framework shipped below baseline: %.0f < %.0f", full.Final, full.Baseline)
+	}
+	_ = noflag
+
+	out := FormatAblation(rows)
+	for _, want := range []string{"full framework", "no safeguards", "no active flagger", "blocked"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

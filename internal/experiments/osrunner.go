@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/lsm"
+)
+
+// OSRunner executes benchmarks against the real filesystem — the
+// production path: tuning an actual store on the machine ELMo-Tune runs on
+// rather than a simulated device. Each call uses a fresh subdirectory so
+// iterations are independent.
+type OSRunner struct {
+	// BaseDir holds the per-run database directories.
+	BaseDir string
+	// Workload is the db_bench benchmark name.
+	Workload string
+	// Ops and ValueSize size the workload.
+	Ops       int64
+	ValueSize int
+	// Seed drives workload randomness.
+	Seed int64
+
+	runs int
+}
+
+// RunBenchmark implements core.BenchRunner on real files.
+func (r *OSRunner) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error) {
+	r.runs++
+	dir := filepath.Join(r.BaseDir, fmt.Sprintf("run-%03d", r.runs))
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	o := opts.Clone()
+	o.Env = lsm.NewOSEnv()
+	o.Stats = lsm.NewStatistics()
+	db, err := lsm.Open(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		db.Close()
+		os.RemoveAll(dir) // keep disk use bounded across iterations
+	}()
+	valueSize := r.ValueSize
+	if valueSize <= 0 {
+		valueSize = 400
+	}
+	ops := r.Ops
+	if ops <= 0 {
+		ops = 100_000
+	}
+	spec, err := bench.WorkloadByName(r.Workload, ops, valueSize, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return (&bench.Runner{DB: db, Spec: spec, Monitor: monitor}).Run()
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+)
+
+// HardwareSweep reproduces Tables 1 and 2: fillrandom on NVMe SSD across
+// the four hardware profiles, default vs tuned.
+func HardwareSweep(ctx context.Context, cfg Config) ([]*Session, error) {
+	cfg = cfg.withDefaults()
+	var out []*Session
+	for _, prof := range device.AllProfiles() {
+		s, err := RunSession(ctx, device.NVMe(), prof, "fillrandom", cfg)
+		if err != nil {
+			return out, fmt.Errorf("hardware sweep %s: %w", prof.Name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Workloads lists the paper's four benchmarks in table order.
+func Workloads() []string {
+	return []string{"fillrandom", "readrandom", "readrandomwriterandom", "mixgraph"}
+}
+
+// WorkloadSweep reproduces Tables 3/4 (on NVMe) and the per-iteration
+// Figures 3/4 series (on either device): every workload on 4 CPU + 4 GiB.
+// On HDD, readrandom is skipped, matching the paper ("results discarded;
+// throughput <10 ops/sec with tests timing out").
+func WorkloadSweep(ctx context.Context, dev *device.Model, cfg Config) ([]*Session, error) {
+	cfg = cfg.withDefaults()
+	var out []*Session
+	for _, wl := range Workloads() {
+		if dev.Kind == device.KindHDD && wl == "readrandom" {
+			continue
+		}
+		s, err := RunSession(ctx, dev, device.Profile4C4G(), wl, cfg)
+		if err != nil {
+			return out, fmt.Errorf("workload sweep %s: %w", wl, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FigureWorkloads lists the workloads plotted in Figures 3 and 4.
+func FigureWorkloads() []string {
+	return []string{"fillrandom", "mixgraph", "readrandomwriterandom"}
+}
+
+// FormatTable1 renders the hardware sweep as the paper's Table 1
+// (throughput, ops/sec).
+func FormatTable1(sessions []*Session) string {
+	return formatHardwareTable(sessions,
+		"Table 1. Varying Hardware Configurations for Fillrandom on NVMe SSD - Throughput (ops/sec)",
+		func(s *Session) (float64, float64) {
+			return s.DefaultMetrics().Throughput, s.TunedMetrics().Throughput
+		}, "%8.0f")
+}
+
+// FormatTable2 renders the hardware sweep as the paper's Table 2 (p99
+// latency, microseconds; fillrandom is write-only so the write p99).
+func FormatTable2(sessions []*Session) string {
+	return formatHardwareTable(sessions,
+		"Table 2. Varying Hardware Configurations for Fillrandom on NVMe SSD - p99 Latency (us)",
+		func(s *Session) (float64, float64) {
+			tuned := bestKeptP99Write(s)
+			return s.DefaultMetrics().P99Write, tuned
+		}, "%8.2f")
+}
+
+// bestKeptP99Write returns the write p99 of the best kept iteration (the
+// tuned configuration's latency).
+func bestKeptP99Write(s *Session) float64 {
+	return s.TunedMetrics().P99Write
+}
+
+func formatHardwareTable(sessions []*Session, title string, cell func(*Session) (float64, float64), numFmt string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString(strings.Repeat("-", len(title)) + "\n")
+	b.WriteString("Config   |")
+	for _, s := range sessions {
+		fmt.Fprintf(&b, " %8s |", shortProfile(s.Profile))
+	}
+	b.WriteString("\nDefault  |")
+	for _, s := range sessions {
+		d, _ := cell(s)
+		fmt.Fprintf(&b, " "+numFmt+" |", d)
+	}
+	b.WriteString("\nTuned    |")
+	for _, s := range sessions {
+		_, t := cell(s)
+		fmt.Fprintf(&b, " "+numFmt+" |", t)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func shortProfile(p string) string {
+	p = strings.ReplaceAll(p, "CPU", "")
+	p = strings.ReplaceAll(p, "GiB", "")
+	return p
+}
+
+func shortWorkload(w string) string {
+	switch w {
+	case "fillrandom":
+		return "FR"
+	case "readrandom":
+		return "RR"
+	case "readrandomwriterandom":
+		return "RRWR"
+	case "mixgraph":
+		return "Mixgraph"
+	default:
+		return w
+	}
+}
+
+// FormatTable3 renders the workload sweep (NVMe, 4+4) as the paper's Table
+// 3 (throughput).
+func FormatTable3(sessions []*Session) string {
+	var b strings.Builder
+	title := "Table 3. Varying Workloads with 4CPUs & 4GiB RAM on NVMe SSD - Throughput (ops/sec)"
+	b.WriteString(title + "\n")
+	b.WriteString(strings.Repeat("-", len(title)) + "\n")
+	b.WriteString("Config   |")
+	for _, s := range sessions {
+		fmt.Fprintf(&b, " %10s |", shortWorkload(s.Workload))
+	}
+	b.WriteString("\nDefault  |")
+	for _, s := range sessions {
+		fmt.Fprintf(&b, " %10.0f |", s.DefaultMetrics().Throughput)
+	}
+	b.WriteString("\nTuned    |")
+	for _, s := range sessions {
+		fmt.Fprintf(&b, " %10.0f |", s.TunedMetrics().Throughput)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatTable4 renders the workload sweep as the paper's Table 4 (p99
+// latency, split into write/read sides for the mixed workloads).
+func FormatTable4(sessions []*Session) string {
+	var b strings.Builder
+	title := "Table 4. Varying Workloads with 4CPUs & 4GiB RAM on NVMe SSD - p99 Latency (us)"
+	b.WriteString(title + "\n")
+	b.WriteString(strings.Repeat("-", len(title)) + "\n")
+	render := func(label string, get func(*Session) (float64, float64)) {
+		fmt.Fprintf(&b, "%-8s |", label)
+		for _, s := range sessions {
+			w, r := get(s)
+			switch {
+			case w > 0 && r > 0:
+				fmt.Fprintf(&b, " (W) %9.2f (R) %9.2f |", w, r)
+			case r > 0:
+				fmt.Fprintf(&b, " %23.2f |", r)
+			default:
+				fmt.Fprintf(&b, " %23.2f |", w)
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-8s |", "Workload")
+	for _, s := range sessions {
+		fmt.Fprintf(&b, " %23s |", shortWorkload(s.Workload))
+	}
+	b.WriteString("\n")
+	render("Default", func(s *Session) (float64, float64) {
+		return s.DefaultMetrics().P99Write, s.DefaultMetrics().P99Read
+	})
+	render("Tuned", func(s *Session) (float64, float64) {
+		return s.TunedMetrics().P99Write, s.TunedMetrics().P99Read
+	})
+	return b.String()
+}
+
+// Trajectory reproduces Table 5: the per-iteration values of every option
+// the LLM changed during a session (fillrandom, SATA HDD, 2 CPU + 4 GiB in
+// the paper). Cells are filled only at iterations where the option changed,
+// like the paper's table.
+type Trajectory struct {
+	Options     []string            // row order: first-changed first
+	Defaults    map[string]string   // value before the first change
+	ByIteration []map[string]string // index 0 = iteration 1
+}
+
+// OptionTrajectory extracts Table 5 from a session's applied diffs. Each
+// ini.Diff line has the form "Section.name: old -> new".
+func OptionTrajectory(s *Session) *Trajectory {
+	tr := &Trajectory{Defaults: map[string]string{}}
+	seen := map[string]bool{}
+	for _, it := range s.Result.Iterations {
+		row := map[string]string{}
+		for _, d := range it.AppliedDiff {
+			name, oldV, newV, ok := parseDiffLine(d)
+			if !ok {
+				continue
+			}
+			if !seen[name] {
+				seen[name] = true
+				tr.Options = append(tr.Options, name)
+				tr.Defaults[name] = oldV
+			}
+			row[name] = newV
+		}
+		tr.ByIteration = append(tr.ByIteration, row)
+	}
+	return tr
+}
+
+// parseDiffLine splits "Section.name: old -> new".
+func parseDiffLine(d string) (name, oldV, newV string, ok bool) {
+	colon := strings.Index(d, ": ")
+	arrow := strings.Index(d, " -> ")
+	if colon < 0 || arrow < colon {
+		return "", "", "", false
+	}
+	key := d[:colon]
+	if dot := strings.LastIndexByte(key, '.'); dot >= 0 {
+		key = key[dot+1:]
+	}
+	return key, d[colon+2 : arrow], d[arrow+4:], true
+}
+
+// FormatTable5 renders the trajectory like the paper's Table 5.
+func FormatTable5(tr *Trajectory) string {
+	var b strings.Builder
+	title := "Table 5. Changes in options over iterations by LLM"
+	b.WriteString(title + "\n")
+	b.WriteString(strings.Repeat("-", len(title)) + "\n")
+	fmt.Fprintf(&b, "%-36s | %-12s |", "Parameter", "Default")
+	for i := range tr.ByIteration {
+		fmt.Fprintf(&b, " Iter %-7d |", i+1)
+	}
+	b.WriteString("\n")
+	for _, name := range tr.Options {
+		fmt.Fprintf(&b, "%-36s | %-12s |", name, clip(tr.Defaults[name], 12))
+		for _, row := range tr.ByIteration {
+			fmt.Fprintf(&b, " %-12s |", clip(row[name], 12))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n-1] + "…"
+	}
+	return s
+}
+
+// FormatFigure renders a figure's three panels (throughput, p99 write, p99
+// read) as aligned text series, one row per workload, one column per
+// iteration — the data behind the paper's bar charts.
+func FormatFigure(title string, sessions []*Session) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString(strings.Repeat("=", len(title)) + "\n")
+	panel := func(name string, get func(IterPoint) float64, format string) {
+		fmt.Fprintf(&b, "%s\n", name)
+		fmt.Fprintf(&b, "  %-10s |", "workload")
+		n := 0
+		for _, s := range sessions {
+			if len(s.Points) > n {
+				n = len(s.Points)
+			}
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, " iter%-6d|", i)
+		}
+		b.WriteString("\n")
+		for _, s := range sessions {
+			fmt.Fprintf(&b, "  %-10s |", shortWorkload(s.Workload))
+			for _, p := range s.Points {
+				v := get(p)
+				mark := " "
+				if !p.Kept {
+					mark = "*" // reverted iteration
+				}
+				fmt.Fprintf(&b, format+"%s|", v, mark)
+			}
+			b.WriteString("\n")
+		}
+	}
+	panel("(a) Throughput (ops/sec)", func(p IterPoint) float64 { return p.Throughput }, " %9.0f")
+	panel("(b) P99 Latency Write (us)", func(p IterPoint) float64 { return p.P99Write }, " %9.2f")
+	panel("(c) P99 Latency Read (us)", func(p IterPoint) float64 { return p.P99Read }, " %9.2f")
+	b.WriteString("  (*) = iteration reverted by the Active Flagger\n")
+	return b.String()
+}
+
+// CSVFigure renders the figure data as CSV for external plotting.
+func CSVFigure(sessions []*Session) string {
+	var b strings.Builder
+	b.WriteString("workload,iteration,throughput_ops_sec,p99_write_us,p99_read_us,kept\n")
+	for _, s := range sessions {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%d,%.1f,%.2f,%.2f,%v\n",
+				s.Workload, p.Iteration, p.Throughput, p.P99Write, p.P99Read, p.Kept)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package ini
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+# RocksDB option file
+[Version]
+  rocksdb_version=8.8.1
+
+[DBOptions]
+  max_background_jobs=2
+  create_if_missing=true
+
+[CFOptions "default"]
+  write_buffer_size=67108864
+`
+	f, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SectionNames(); !reflect.DeepEqual(got, []string{"Version", "DBOptions", `CFOptions "default"`}) {
+		t.Fatalf("section names = %v", got)
+	}
+	if v, ok := f.Section("DBOptions").Get("max_background_jobs"); !ok || v != "2" {
+		t.Fatalf("max_background_jobs = %q, %v", v, ok)
+	}
+	if v, _ := f.Section(`CFOptions "default"`).Get("write_buffer_size"); v != "67108864" {
+		t.Fatalf("write_buffer_size = %q", v)
+	}
+}
+
+func TestParseGlobalSection(t *testing.T) {
+	f, err := ParseString("a=1\nb = two words \n[S]\nc=3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Section("").Get("b"); v != "two words" {
+		t.Fatalf("b = %q", v)
+	}
+	if v, _ := f.Section("S").Get("c"); v != "3" {
+		t.Fatalf("c = %q", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"[unterminated\n", "novalue\n", "=3\n"} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	f, err := ParseString("# c1\n; c2\n\n[S]\n  k=v\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Section("S").Len() != 1 {
+		t.Fatalf("len = %d", f.Section("S").Len())
+	}
+}
+
+func TestDuplicateKeyLastWins(t *testing.T) {
+	f, err := ParseString("[S]\nk=1\nk=2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Section("S").Get("k"); v != "2" {
+		t.Fatalf("k = %q", v)
+	}
+	if got := f.Section("S").Keys(); len(got) != 1 {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestSectionDelete(t *testing.T) {
+	s := NewSection("x")
+	s.Set("a", "1")
+	s.Set("b", "2")
+	if !s.Delete("a") {
+		t.Fatal("Delete(a) = false")
+	}
+	if s.Delete("a") {
+		t.Fatal("second Delete(a) = true")
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := NewFile()
+	db := f.Section("DBOptions")
+	db.Set("max_background_jobs", "4")
+	db.Set("bytes_per_sync", "1048576")
+	cf := f.Section(`CFOptions "default"`)
+	cf.Set("write_buffer_size", "33554432")
+
+	g, err := ParseString(f.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Flatten(), g.Flatten()) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", f.Flatten(), g.Flatten())
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "OPTIONS")
+	f := NewFile()
+	f.Section("DBOptions").Set("k", "v")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.Section("DBOptions").Get("k"); v != "v" {
+		t.Fatalf("k = %q", v)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, _ := ParseString("[S]\nk=1\nonly_a=x\n")
+	b, _ := ParseString("[S]\nk=2\nonly_b=y\n")
+	got := Diff(a, b)
+	want := []string{
+		"S.k: 1 -> 2",
+		"S.only_a: x -> <unset>",
+		"S.only_b: <unset> -> y",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Diff = %v, want %v", got, want)
+	}
+	if d := Diff(a, a); len(d) != 0 {
+		t.Fatalf("self diff = %v", d)
+	}
+}
+
+// identChars is the alphabet for generated keys/values in the property test.
+const identChars = "abcdefghijklmnopqrstuvwxyz_0123456789"
+
+func randIdent(r *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(identChars[r.Intn(len(identChars))])
+	}
+	return b.String()
+}
+
+// TestQuickRoundTrip verifies Parse(String(f)) preserves all content for
+// arbitrary documents built from identifier-safe keys and values.
+func TestQuickRoundTrip(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := NewFile()
+		nSec := 1 + r.Intn(4)
+		for i := 0; i < nSec; i++ {
+			sec := f.Section("sec_" + randIdent(r, 1+r.Intn(8)))
+			nKeys := r.Intn(10)
+			for j := 0; j < nKeys; j++ {
+				sec.Set(randIdent(r, 1+r.Intn(12)), randIdent(r, r.Intn(16)))
+			}
+		}
+		g, err := ParseString(f.String())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(f.Flatten(), g.Flatten())
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package ldbtool implements the guts of cmd/ldb, a RocksDB `ldb`-style
+// administration tool for the engine: point reads/writes, range scans,
+// database stats, OPTIONS inspection and manifest-level file listings.
+// Logic lives here (testable); cmd/ldb is the thin CLI.
+package ldbtool
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ini"
+	"repro/internal/lsm"
+)
+
+// Tool wraps an open database.
+type Tool struct {
+	DB  *lsm.DB
+	Out io.Writer
+}
+
+// Open opens the database at dir (must exist) for administration.
+func Open(dir string, out io.Writer) (*Tool, error) {
+	opts := lsm.DefaultOptions()
+	opts.CreateIfMissing = false
+	db, err := lsm.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Tool{DB: db, Out: out}, nil
+}
+
+// Close releases the database.
+func (t *Tool) Close() error { return t.DB.Close() }
+
+// Get prints the value for key, or reports absence.
+func (t *Tool) Get(key string) error {
+	v, err := t.DB.Get(nil, []byte(key))
+	if errors.Is(err, lsm.ErrNotFound) {
+		return fmt.Errorf("ldb: key %q not found", key)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(t.Out, "%s\n", v)
+	return nil
+}
+
+// Put writes key=value.
+func (t *Tool) Put(key, value string) error {
+	if err := t.DB.Put(nil, []byte(key), []byte(value)); err != nil {
+		return err
+	}
+	fmt.Fprintln(t.Out, "OK")
+	return nil
+}
+
+// Delete removes key.
+func (t *Tool) Delete(key string) error {
+	if err := t.DB.Delete(nil, []byte(key)); err != nil {
+		return err
+	}
+	fmt.Fprintln(t.Out, "OK")
+	return nil
+}
+
+// Scan prints up to limit entries in [from, to) ("" bounds are open).
+// Returns the number printed.
+func (t *Tool) Scan(from, to string, limit int) (int, error) {
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	it := t.DB.NewIterator(nil)
+	defer it.Close()
+	if from == "" {
+		it.SeekToFirst()
+	} else {
+		it.Seek([]byte(from))
+	}
+	n := 0
+	for ; it.Valid() && n < limit; it.Next() {
+		if to != "" && string(it.Key()) >= to {
+			break
+		}
+		fmt.Fprintf(t.Out, "%s ==> %s\n", it.Key(), it.Value())
+		n++
+	}
+	return n, it.Err()
+}
+
+// Stats prints the engine's rocksdb.stats property.
+func (t *Tool) Stats() error {
+	s, ok := t.DB.GetProperty("rocksdb.stats")
+	if !ok {
+		return fmt.Errorf("ldb: stats property unavailable")
+	}
+	fmt.Fprint(t.Out, s)
+	return nil
+}
+
+// LevelStats prints the per-level file table.
+func (t *Tool) LevelStats() error {
+	s, ok := t.DB.GetProperty("rocksdb.levelstats")
+	if !ok {
+		return fmt.Errorf("ldb: levelstats property unavailable")
+	}
+	fmt.Fprint(t.Out, s)
+	return nil
+}
+
+// DumpOptions prints the database's effective OPTIONS file.
+func (t *Tool) DumpOptions() error {
+	fmt.Fprint(t.Out, t.DB.Options().ToINI().String())
+	return nil
+}
+
+// Compact runs a full manual compaction.
+func (t *Tool) Compact() error {
+	if err := t.DB.CompactRange(nil, nil); err != nil {
+		return err
+	}
+	fmt.Fprintln(t.Out, "OK")
+	return nil
+}
+
+// DiffOptions loads two OPTIONS files and prints their differing keys.
+func DiffOptions(out io.Writer, pathA, pathB string) error {
+	a, err := ini.Load(pathA)
+	if err != nil {
+		return fmt.Errorf("ldb: %s: %w", pathA, err)
+	}
+	b, err := ini.Load(pathB)
+	if err != nil {
+		return fmt.Errorf("ldb: %s: %w", pathB, err)
+	}
+	diffs := ini.Diff(a, b)
+	if len(diffs) == 0 {
+		fmt.Fprintln(out, "no differences")
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Fprintln(out, d)
+	}
+	return nil
+}
+
+// ListOptions prints the engine's option registry (name, section, default,
+// honored/recorded, deprecated) — the tuning surface the LLM sees.
+func ListOptions(out io.Writer, filter string) {
+	specs := lsm.AllOptionSpecs()
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].Section != specs[j].Section {
+			return specs[i].Section < specs[j].Section
+		}
+		return specs[i].Name < specs[j].Name
+	})
+	for _, s := range specs {
+		if filter != "" && !strings.Contains(s.Name, filter) {
+			continue
+		}
+		kind := "recorded"
+		if s.Honored {
+			kind = "honored"
+		}
+		if s.Deprecated {
+			kind += ",deprecated"
+		}
+		fmt.Fprintf(out, "%-45s %-32s default=%-12s [%s] %s\n",
+			s.Name, s.Section, s.Default, kind, s.Help)
+	}
+}

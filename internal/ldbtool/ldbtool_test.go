@@ -1,0 +1,164 @@
+package ldbtool
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lsm"
+)
+
+// newToolDB creates a real-FS database with some data and opens a Tool.
+func newToolDB(t *testing.T) (*Tool, *strings.Builder) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := lsm.Open(dir, lsm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo := lsm.DefaultWriteOptions()
+	db.Put(wo, []byte("apple"), []byte("red"))
+	db.Put(wo, []byte("banana"), []byte("yellow"))
+	db.Put(wo, []byte("cherry"), []byte("dark"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	tool, err := Open(dir, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tool.Close() })
+	return tool, &out
+}
+
+func TestToolGetPutDelete(t *testing.T) {
+	tool, out := newToolDB(t)
+	if err := tool.Get("apple"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "red") {
+		t.Fatalf("output: %q", out.String())
+	}
+	if err := tool.Get("missing"); err == nil {
+		t.Fatal("missing key reported as found")
+	}
+	if err := tool.Put("date", "brown"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := tool.Get("date"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "brown") {
+		t.Fatal("put value not readable")
+	}
+	if err := tool.Delete("date"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Get("date"); err == nil {
+		t.Fatal("deleted key still found")
+	}
+}
+
+func TestToolScan(t *testing.T) {
+	tool, out := newToolDB(t)
+	n, err := tool.Scan("", "", 0)
+	if err != nil || n != 3 {
+		t.Fatalf("full scan = %d, %v", n, err)
+	}
+	if !strings.Contains(out.String(), "banana ==> yellow") {
+		t.Fatalf("scan output: %q", out.String())
+	}
+	out.Reset()
+	n, err = tool.Scan("b", "c", 0)
+	if err != nil || n != 1 {
+		t.Fatalf("bounded scan = %d, %v", n, err)
+	}
+	n, err = tool.Scan("", "", 2)
+	if err != nil || n != 2 {
+		t.Fatalf("limited scan = %d, %v", n, err)
+	}
+}
+
+func TestToolStatsAndOptions(t *testing.T) {
+	tool, out := newToolDB(t)
+	if err := tool.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DB Stats") {
+		t.Fatal("stats output missing")
+	}
+	out.Reset()
+	if err := tool.LevelStats(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Level Files") {
+		t.Fatal("levelstats output missing")
+	}
+	out.Reset()
+	if err := tool.DumpOptions(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[DBOptions]") {
+		t.Fatal("options dump missing")
+	}
+	out.Reset()
+	if err := tool.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope"), os.Stderr); err == nil {
+		t.Fatal("opened a missing database")
+	}
+}
+
+func TestDiffOptions(t *testing.T) {
+	dir := t.TempDir()
+	a := lsm.DefaultOptions()
+	b := a.Clone()
+	b.MaxBackgroundJobs = 6
+	pa, pb := filepath.Join(dir, "A"), filepath.Join(dir, "B")
+	if err := a.ToINI().Save(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ToINI().Save(pb); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := DiffOptions(&out, pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "max_background_jobs: 2 -> 6") {
+		t.Fatalf("diff output: %q", out.String())
+	}
+	out.Reset()
+	if err := DiffOptions(&out, pa, pa); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no differences") {
+		t.Fatalf("self diff: %q", out.String())
+	}
+	if err := DiffOptions(&out, pa, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestListOptions(t *testing.T) {
+	var out strings.Builder
+	ListOptions(&out, "")
+	if strings.Count(out.String(), "\n") < 100 {
+		t.Fatalf("registry listing too short:\n%d lines", strings.Count(out.String(), "\n"))
+	}
+	out.Reset()
+	ListOptions(&out, "write_buffer")
+	if !strings.Contains(out.String(), "write_buffer_size") {
+		t.Fatal("filter broken")
+	}
+	if strings.Count(out.String(), "\n") > 10 {
+		t.Fatal("filter too loose")
+	}
+}

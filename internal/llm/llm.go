@@ -1,0 +1,241 @@
+// Package llm provides the language-model interface of the tuning
+// framework: chat message types, an OpenAI-compatible HTTP client (the
+// paper uses the GPT-4 API), and the Client abstraction the framework is
+// written against so an in-process simulated expert (package mockllm) can
+// stand in when no real endpoint is reachable.
+package llm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Role names follow the chat-completions convention.
+const (
+	RoleSystem    = "system"
+	RoleUser      = "user"
+	RoleAssistant = "assistant"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// System and User are small constructors for readable call sites.
+func System(content string) Message { return Message{Role: RoleSystem, Content: content} }
+
+// User builds a user-role message.
+func User(content string) Message { return Message{Role: RoleUser, Content: content} }
+
+// Assistant builds an assistant-role message.
+func Assistant(content string) Message { return Message{Role: RoleAssistant, Content: content} }
+
+// Client produces a completion for a conversation.
+type Client interface {
+	// Complete returns the assistant's reply to the conversation.
+	Complete(ctx context.Context, msgs []Message) (string, error)
+	// Name identifies the backing model for logs.
+	Name() string
+}
+
+// chatRequest/chatResponse mirror the OpenAI chat-completions wire format.
+type chatRequest struct {
+	Model       string    `json:"model"`
+	Messages    []Message `json:"messages"`
+	Temperature float64   `json:"temperature"`
+	MaxTokens   int       `json:"max_tokens,omitempty"`
+}
+
+type chatResponse struct {
+	Choices []struct {
+		Message      Message `json:"message"`
+		FinishReason string  `json:"finish_reason"`
+	} `json:"choices"`
+	Error *struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// HTTPClient talks to an OpenAI-compatible chat-completions endpoint.
+type HTTPClient struct {
+	// BaseURL is the API root, e.g. "https://api.openai.com/v1" or a local
+	// mock server (cmd/mockllm).
+	BaseURL string
+	// APIKey is sent as a Bearer token when non-empty.
+	APIKey string
+	// Model names the model, e.g. "gpt-4".
+	Model string
+	// Temperature defaults to 0.2 (the framework wants stable configs).
+	Temperature float64
+	// MaxRetries bounds retry attempts on transport or 5xx/429 errors.
+	MaxRetries int
+	// HTTP is the transport; defaults to a client with a 120s timeout.
+	HTTP *http.Client
+}
+
+// NewHTTPClient builds a client for baseURL/model.
+func NewHTTPClient(baseURL, apiKey, model string) *HTTPClient {
+	return &HTTPClient{
+		BaseURL:     baseURL,
+		APIKey:      apiKey,
+		Model:       model,
+		Temperature: 0.2,
+		MaxRetries:  3,
+		HTTP:        &http.Client{Timeout: 120 * time.Second},
+	}
+}
+
+// Name implements Client.
+func (c *HTTPClient) Name() string { return c.Model }
+
+// Complete implements Client with bounded exponential-backoff retries.
+func (c *HTTPClient) Complete(ctx context.Context, msgs []Message) (string, error) {
+	body, err := json.Marshal(chatRequest{
+		Model:       c.Model,
+		Messages:    msgs,
+		Temperature: c.Temperature,
+	})
+	if err != nil {
+		return "", fmt.Errorf("llm: marshal request: %w", err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 120 * time.Second}
+	}
+	retries := c.MaxRetries
+	if retries < 1 {
+		retries = 1
+	}
+	backoff := 500 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		reply, retryable, err := c.once(ctx, body, httpc)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if !retryable {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("llm: %d attempts failed, last error: %w", retries, lastErr)
+}
+
+// once performs one HTTP round trip. retryable marks transient failures.
+func (c *HTTPClient) once(ctx context.Context, body []byte, httpc *http.Client) (reply string, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/chat/completions", bytes.NewReader(body))
+	if err != nil {
+		return "", false, fmt.Errorf("llm: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return "", true, fmt.Errorf("llm: transport: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", true, fmt.Errorf("llm: read response: %w", err)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		return "", true, fmt.Errorf("llm: server status %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("llm: status %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	var cr chatResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		return "", false, fmt.Errorf("llm: decode response: %w", err)
+	}
+	if cr.Error != nil {
+		return "", false, fmt.Errorf("llm: api error: %s", cr.Error.Message)
+	}
+	if len(cr.Choices) == 0 {
+		return "", false, fmt.Errorf("llm: empty choices")
+	}
+	return cr.Choices[0].Message.Content, false, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}
+
+// FuncClient adapts a function to Client (handy for tests and for wiring
+// the in-process mock without an HTTP hop).
+type FuncClient struct {
+	ModelName string
+	Fn        func(ctx context.Context, msgs []Message) (string, error)
+}
+
+// Complete implements Client.
+func (f *FuncClient) Complete(ctx context.Context, msgs []Message) (string, error) {
+	return f.Fn(ctx, msgs)
+}
+
+// Name implements Client.
+func (f *FuncClient) Name() string {
+	if f.ModelName == "" {
+		return "func"
+	}
+	return f.ModelName
+}
+
+// ServeChat wraps a Client as an OpenAI-compatible HTTP handler, so the
+// simulated expert can also be consumed over the wire (cmd/mockllm).
+func ServeChat(c Client) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, `{"error":{"message":"POST only"}}`, http.StatusMethodNotAllowed)
+			return
+		}
+		var req chatRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+			http.Error(w, `{"error":{"message":"bad request body"}}`, http.StatusBadRequest)
+			return
+		}
+		reply, err := c.Complete(r.Context(), req.Messages)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]string{"message": err.Error()},
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		resp := map[string]any{
+			"id":     "chatcmpl-mock",
+			"object": "chat.completion",
+			"model":  c.Name(),
+			"choices": []map[string]any{{
+				"index":         0,
+				"message":       Message{Role: RoleAssistant, Content: reply},
+				"finish_reason": "stop",
+			}},
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+}

@@ -1,0 +1,188 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeServer returns a chat-completions server echoing a canned reply.
+func fakeServer(t *testing.T, reply string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/chat/completions" {
+			http.NotFound(w, r)
+			return
+		}
+		var req chatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad request: %v", err)
+		}
+		fmt.Fprintf(w, `{"choices":[{"message":{"role":"assistant","content":%q},"finish_reason":"stop"}]}`, reply)
+	}))
+}
+
+func TestHTTPClientComplete(t *testing.T) {
+	srv := fakeServer(t, "set max_background_jobs=4")
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "test-key", "gpt-4")
+	got, err := c.Complete(context.Background(), []Message{System("s"), User("u")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "set max_background_jobs=4" {
+		t.Fatalf("reply = %q", got)
+	}
+	if c.Name() != "gpt-4" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestHTTPClientAuthHeader(t *testing.T) {
+	var gotAuth atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotAuth.Store(r.Header.Get("Authorization"))
+		fmt.Fprint(w, `{"choices":[{"message":{"role":"assistant","content":"ok"}}]}`)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "sk-secret", "gpt-4")
+	if _, err := c.Complete(context.Background(), []Message{User("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if gotAuth.Load() != "Bearer sk-secret" {
+		t.Fatalf("auth header = %v", gotAuth.Load())
+	}
+}
+
+func TestHTTPClientRetriesOn500(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, `{"error":{"message":"overloaded"}}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"choices":[{"message":{"role":"assistant","content":"recovered"}}]}`)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "", "gpt-4")
+	c.MaxRetries = 5
+	got, err := c.Complete(context.Background(), []Message{User("hi")})
+	if err != nil || got != "recovered" {
+		t.Fatalf("got %q, %v after %d calls", got, err, calls.Load())
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestHTTPClientNoRetryOn400(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":{"message":"bad model"}}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "", "gpt-4")
+	if _, err := c.Complete(context.Background(), []Message{User("hi")}); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (400 is not retryable)", calls.Load())
+	}
+}
+
+func TestHTTPClientAPIError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"error":{"message":"quota exceeded","type":"insufficient_quota"}}`)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "", "gpt-4")
+	_, err := c.Complete(context.Background(), []Message{User("hi")})
+	if err == nil || !strings.Contains(err.Error(), "quota exceeded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHTTPClientEmptyChoices(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"choices":[]}`)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "", "gpt-4")
+	if _, err := c.Complete(context.Background(), []Message{User("hi")}); err == nil {
+		t.Fatal("expected error for empty choices")
+	}
+}
+
+func TestFuncClient(t *testing.T) {
+	f := &FuncClient{Fn: func(_ context.Context, msgs []Message) (string, error) {
+		return "echo:" + msgs[len(msgs)-1].Content, nil
+	}}
+	got, err := f.Complete(context.Background(), []Message{User("ping")})
+	if err != nil || got != "echo:ping" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if f.Name() != "func" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	f.ModelName = "custom"
+	if f.Name() != "custom" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestServeChatRoundTrip(t *testing.T) {
+	// A FuncClient served over HTTP, consumed by HTTPClient: the full wire
+	// path the mock LLM server uses.
+	backend := &FuncClient{ModelName: "mock", Fn: func(_ context.Context, msgs []Message) (string, error) {
+		return "served:" + msgs[0].Content, nil
+	}}
+	mux := http.NewServeMux()
+	mux.Handle("/chat/completions", ServeChat(backend))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := NewHTTPClient(srv.URL, "", "mock")
+	got, err := c.Complete(context.Background(), []Message{User("over-the-wire")})
+	if err != nil || got != "served:over-the-wire" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestServeChatErrors(t *testing.T) {
+	backend := &FuncClient{Fn: func(context.Context, []Message) (string, error) {
+		return "", fmt.Errorf("backend exploded")
+	}}
+	srv := httptest.NewServer(ServeChat(backend))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	r2, err := http.Post(srv.URL, "application/json", strings.NewReader(`{"messages":[{"role":"user","content":"x"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("backend error status = %d", r2.StatusCode)
+	}
+	r3, err := http.Post(srv.URL, "application/json", strings.NewReader(`{bad json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json status = %d", r3.StatusCode)
+	}
+}

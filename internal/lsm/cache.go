@@ -1,0 +1,175 @@
+package lsm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies a block in the block cache: the owning table's cache id
+// plus the block's file offset.
+type cacheKey struct {
+	id     uint64
+	offset uint64
+}
+
+type cacheEntry struct {
+	key        cacheKey
+	value      []byte
+	charge     int64
+	prev, next *cacheEntry
+}
+
+// cacheShard is one LRU shard of the block cache.
+type cacheShard struct {
+	mu         sync.Mutex
+	m          map[cacheKey]*cacheEntry
+	head, tail *cacheEntry
+	used       int64
+	capacity   int64
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) lookup(k cacheKey) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[k]
+	if !ok {
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	return e.value, true
+}
+
+func (s *cacheShard) insert(k cacheKey, v []byte) {
+	charge := int64(len(v)) + 64
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[k]; ok {
+		s.used += charge - e.charge
+		e.value, e.charge = v, charge
+		s.unlink(e)
+		s.pushFront(e)
+	} else {
+		e := &cacheEntry{key: k, value: v, charge: charge}
+		s.m[k] = e
+		s.pushFront(e)
+		s.used += charge
+	}
+	// Evict to capacity, but always keep the just-inserted entry (head):
+	// an entry larger than a shard would otherwise thrash forever.
+	for s.used > s.capacity && s.tail != nil && s.tail != s.head {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		s.used -= victim.charge
+	}
+}
+
+func (s *cacheShard) eraseID(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.m {
+		if k.id == id {
+			s.unlink(e)
+			delete(s.m, k)
+			s.used -= e.charge
+		}
+	}
+}
+
+const cacheShards = 16
+
+// blockCache is a sharded, byte-budgeted LRU cache of decoded blocks — the
+// engine's block_cache_size option. It is safe for concurrent use.
+type blockCache struct {
+	shards [cacheShards]cacheShard
+	nextID atomic.Uint64
+
+	hits, misses atomic.Int64
+}
+
+// newBlockCache builds a cache with the given total capacity in bytes.
+func newBlockCache(capacity int64) *blockCache {
+	c := &blockCache{}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]*cacheEntry)
+		c.shards[i].capacity = per
+	}
+	return c
+}
+
+// NewID allocates a table-unique namespace within the cache.
+func (c *blockCache) NewID() uint64 { return c.nextID.Add(1) }
+
+func (c *blockCache) shard(k cacheKey) *cacheShard {
+	h := k.id*0x9e3779b97f4a7c15 ^ k.offset*0xbf58476d1ce4e5b9
+	return &c.shards[h%cacheShards]
+}
+
+// Lookup fetches a cached block.
+func (c *blockCache) Lookup(id, offset uint64) ([]byte, bool) {
+	v, ok := c.shard(cacheKey{id, offset}).lookup(cacheKey{id, offset})
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Insert caches a block, evicting LRU entries over capacity.
+func (c *blockCache) Insert(id, offset uint64, value []byte) {
+	c.shard(cacheKey{id, offset}).insert(cacheKey{id, offset}, value)
+}
+
+// EraseID drops every block belonging to a table (called on table deletion).
+func (c *blockCache) EraseID(id uint64) {
+	for i := range c.shards {
+		c.shards[i].eraseID(id)
+	}
+}
+
+// Used returns the cached byte total across shards.
+func (c *blockCache) Used() int64 {
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].used
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// HitRate returns hits, misses since construction.
+func (c *blockCache) HitRate() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

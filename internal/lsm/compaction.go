@@ -1,0 +1,394 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// compaction describes one unit of background merging work.
+type compaction struct {
+	level       int // input level
+	outputLevel int
+	inputs      [2][]*FileMeta // [0]=level inputs, [1]=outputLevel inputs
+	// fifoDrop marks FIFO-style deletions (no merge, no outputs).
+	fifoDrop bool
+}
+
+// allInputs returns every input file.
+func (c *compaction) allInputs() []*FileMeta {
+	out := append([]*FileMeta(nil), c.inputs[0]...)
+	return append(out, c.inputs[1]...)
+}
+
+// inputBytes sums input file sizes.
+func (c *compaction) inputBytes() int64 {
+	var n int64
+	for _, f := range c.allInputs() {
+		n += f.Size
+	}
+	return n
+}
+
+// String renders the compaction for logs.
+func (c *compaction) String() string {
+	return fmt.Sprintf("L%d(%d files) + L%d(%d files), %d bytes",
+		c.level, len(c.inputs[0]), c.outputLevel, len(c.inputs[1]), c.inputBytes())
+}
+
+// capacities returns per-level byte targets honoring
+// level_compaction_dynamic_level_bytes.
+func levelCapacities(v *Version, opts *Options) []int64 {
+	n := v.NumLevels()
+	caps := make([]int64, n)
+	if !opts.LevelCompactionDynamicLevelBytes {
+		for l := 1; l < n; l++ {
+			caps[l] = levelCapacity(opts, l)
+		}
+		return caps
+	}
+	// Dynamic sizing: the last level holds its actual bytes (at least the
+	// base), each level above is 1/multiplier of the one below.
+	last := n - 1
+	bottom := v.LevelBytes(last)
+	if bottom < opts.MaxBytesForLevelBase {
+		bottom = opts.MaxBytesForLevelBase
+	}
+	caps[last] = bottom
+	for l := last - 1; l >= 1; l-- {
+		c := int64(float64(caps[l+1]) / opts.MaxBytesForLevelMultiplier)
+		if c < opts.TargetFileSizeBase {
+			c = opts.TargetFileSizeBase
+		}
+		caps[l] = c
+	}
+	return caps
+}
+
+// pickCompaction selects the next compaction under opts, skipping files in
+// busy (already being compacted). Returns nil when nothing is needed.
+func pickCompaction(v *Version, opts *Options, busy map[uint64]bool) *compaction {
+	switch opts.CompactionStyle {
+	case CompactionStyleUniversal:
+		return pickUniversal(v, opts, busy)
+	case CompactionStyleFIFO:
+		return pickFIFO(v, opts, busy)
+	default:
+		return pickLeveled(v, opts, busy)
+	}
+}
+
+func anyBusy(files []*FileMeta, busy map[uint64]bool) bool {
+	for _, f := range files {
+		if busy[f.Number] {
+			return true
+		}
+	}
+	return false
+}
+
+// pickLeveled implements RocksDB-style leveled compaction selection.
+func pickLeveled(v *Version, opts *Options, busy map[uint64]bool) *compaction {
+	caps := levelCapacities(v, opts)
+	type cand struct {
+		level int
+		score float64
+	}
+	var cands []cand
+	if n := v.NumLevelFiles(0); n >= opts.Level0FileNumCompactionTrigger {
+		cands = append(cands, cand{0, float64(n) / float64(opts.Level0FileNumCompactionTrigger)})
+	}
+	for l := 1; l < v.NumLevels()-1; l++ {
+		if caps[l] <= 0 {
+			continue
+		}
+		if s := float64(v.LevelBytes(l)) / float64(caps[l]); s >= 1 {
+			cands = append(cands, cand{l, s})
+		}
+	}
+	// Highest score first.
+	for len(cands) > 0 {
+		best := 0
+		for i := range cands {
+			if cands[i].score > cands[best].score {
+				best = i
+			}
+		}
+		c := buildLeveledCompaction(v, opts, cands[best].level, busy)
+		if c != nil {
+			return c
+		}
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return nil
+}
+
+// buildLeveledCompaction assembles inputs for compacting `level` into
+// level+1, or nil if the needed files are busy.
+func buildLeveledCompaction(v *Version, opts *Options, level int, busy map[uint64]bool) *compaction {
+	c := &compaction{level: level, outputLevel: level + 1}
+	if level == 0 {
+		// All L0 files overlap in general: take every non-busy one (busy
+		// any -> skip: L0->L1 compactions cannot run concurrently).
+		if anyBusy(v.LevelFiles(0), busy) {
+			return nil
+		}
+		c.inputs[0] = append([]*FileMeta(nil), v.LevelFiles(0)...)
+		if len(c.inputs[0]) == 0 {
+			return nil
+		}
+	} else {
+		// Pick the largest non-busy file (a good write-amp heuristic).
+		var pick *FileMeta
+		for _, f := range v.LevelFiles(level) {
+			if busy[f.Number] {
+				continue
+			}
+			if pick == nil || f.Size > pick.Size {
+				pick = f
+			}
+		}
+		if pick == nil {
+			return nil
+		}
+		c.inputs[0] = []*FileMeta{pick}
+	}
+	smallest, largest := keyRange(c.inputs[0])
+	c.inputs[1] = v.overlappingFiles(c.outputLevel, smallest.userKey(), largest.userKey())
+	if anyBusy(c.inputs[1], busy) {
+		return nil
+	}
+	// Respect max_compaction_bytes by trimming L0 input growth (level>0
+	// picks a single file already).
+	if c.inputBytes() > opts.MaxCompactionBytes && level == 0 && len(c.inputs[0]) > 1 {
+		// Still proceed: L0 must drain; RocksDB similarly lets L0
+		// compactions exceed the cap rather than stall forever.
+		_ = level
+	}
+	return c
+}
+
+// keyRange returns the smallest and largest internal keys across files.
+func keyRange(files []*FileMeta) (smallest, largest internalKey) {
+	for _, f := range files {
+		if smallest == nil || compareInternal(f.Smallest, smallest) < 0 {
+			smallest = f.Smallest
+		}
+		if largest == nil || compareInternal(f.Largest, largest) > 0 {
+			largest = f.Largest
+		}
+	}
+	return smallest, largest
+}
+
+// pickUniversal merges sorted runs in L0 when the run count reaches the
+// trigger (simplified universal compaction: full merge of eligible runs).
+func pickUniversal(v *Version, opts *Options, busy map[uint64]bool) *compaction {
+	files := v.LevelFiles(0)
+	if len(files) < opts.Level0FileNumCompactionTrigger {
+		return nil
+	}
+	if anyBusy(files, busy) {
+		return nil
+	}
+	c := &compaction{level: 0, outputLevel: 0}
+	c.inputs[0] = append([]*FileMeta(nil), files...)
+	return c
+}
+
+// pickFIFO drops the oldest files once total size exceeds the budget
+// (max_bytes_for_level_base stands in for fifo max_table_files_size).
+func pickFIFO(v *Version, opts *Options, busy map[uint64]bool) *compaction {
+	files := v.LevelFiles(0)
+	var total int64
+	for _, f := range files {
+		total += f.Size
+	}
+	if total <= opts.MaxBytesForLevelBase {
+		return nil
+	}
+	// L0 is newest-first; victims come from the tail.
+	var drop []*FileMeta
+	for i := len(files) - 1; i >= 0 && total > opts.MaxBytesForLevelBase; i-- {
+		if busy[files[i].Number] {
+			break
+		}
+		drop = append(drop, files[i])
+		total -= files[i].Size
+	}
+	if len(drop) == 0 {
+		return nil
+	}
+	return &compaction{level: 0, outputLevel: 0, inputs: [2][]*FileMeta{drop, nil}, fifoDrop: true}
+}
+
+// compactionResult carries the outcome of executing a compaction.
+type compactionResult struct {
+	edit       *versionEdit
+	readBytes  int64
+	writeBytes int64
+	cpu        time.Duration
+	outputs    int
+}
+
+// isBaseLevelForKey reports whether no level below outputLevel may contain
+// userKey — the condition for dropping tombstones.
+func isBaseLevelForKey(v *Version, outputLevel int, userKey []byte) bool {
+	for l := outputLevel + 1; l < v.NumLevels(); l++ {
+		for _, f := range v.LevelFiles(l) {
+			if overlapsRange(f, userKey, userKey) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runCompaction executes a compaction against the current version: merges
+// inputs, drops shadowed versions and droppable tombstones, and writes
+// output tables. The caller installs the returned edit. Runs without the DB
+// mutex; inputs are immutable files.
+func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error) {
+	res := &compactionResult{edit: &versionEdit{}}
+	for _, f := range c.inputs[0] {
+		res.edit.deletedFiles = append(res.edit.deletedFiles, deletedFile{c.level, f.Number})
+		res.readBytes += f.Size
+	}
+	for _, f := range c.inputs[1] {
+		res.edit.deletedFiles = append(res.edit.deletedFiles, deletedFile{c.outputLevel, f.Number})
+		res.readBytes += f.Size
+	}
+	if c.fifoDrop {
+		res.readBytes = 0
+		return res, nil
+	}
+
+	// Build the merged input stream. Inputs are opened directly with
+	// background IO class so foreground ops are not charged.
+	var iters []internalIterator
+	var readers []*tableReader
+	defer func() {
+		for _, r := range readers {
+			r.close()
+		}
+	}()
+	openBG := func(num uint64) (*tableReader, error) {
+		r, err := openTable(db.env, tableFileName(db.dir, num), num, nil, db.opts.Stats, db.bgIOClass())
+		if err == nil {
+			readers = append(readers, r)
+		}
+		return r, err
+	}
+	if c.level == 0 {
+		for _, f := range c.inputs[0] {
+			r, err := openBG(f.Number)
+			if err != nil {
+				return nil, err
+			}
+			iters = append(iters, r.iterator(HintSequential))
+		}
+	} else {
+		iters = append(iters, newLevelIter(c.inputs[0], HintSequential, openBG))
+	}
+	if len(c.inputs[1]) > 0 {
+		iters = append(iters, newLevelIter(c.inputs[1], HintSequential, openBG))
+	}
+	merged := newMergeIter(iters)
+	merged.SeekToFirst()
+
+	smallestSnapshot := db.smallestSnapshot()
+	outSize := targetFileSize(db.opts, c.outputLevel)
+	var builder *tableBuilder
+	var outFile WritableFile
+	var outNum uint64
+	var entries int64
+	var lastUserKey []byte
+	haveLast := false
+	lastSeqForKey := maxSequence
+
+	finishOutput := func() error {
+		if builder == nil {
+			return nil
+		}
+		props, err := builder.finish()
+		if err != nil {
+			return err
+		}
+		if err := outFile.Sync(); err != nil {
+			return err
+		}
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+		res.edit.newFiles = append(res.edit.newFiles, newFile{c.outputLevel, &FileMeta{
+			Number:   outNum,
+			Size:     props.FileSize,
+			Entries:  props.NumEntries,
+			Smallest: append(internalKey(nil), builder.smallest()...),
+			Largest:  append(internalKey(nil), builder.largest()...),
+		}})
+		res.writeBytes += props.FileSize
+		res.outputs++
+		builder, outFile = nil, nil
+		return nil
+	}
+
+	for ; merged.Valid(); merged.Next() {
+		ik := merged.Key()
+		uk := ik.userKey()
+		entries++
+		// Version retention (LevelDB's smallest-snapshot rule): an older
+		// version is droppable only when the next-newer version of the
+		// same key is already at or below the smallest live snapshot.
+		if haveLast && bytes.Equal(uk, lastUserKey) {
+			if lastSeqForKey <= smallestSnapshot {
+				continue // shadowed and invisible to every snapshot
+			}
+			// Visible to some snapshot: keep this older version too.
+		} else {
+			lastUserKey = append(lastUserKey[:0], uk...)
+			haveLast = true
+			lastSeqForKey = maxSequence
+		}
+		drop := false
+		if ik.kind() == KindDelete && ik.seq() <= smallestSnapshot &&
+			lastSeqForKey == maxSequence && isBaseLevelForKey(v, c.outputLevel, uk) {
+			// A tombstone nobody can see, with nothing underneath.
+			drop = true
+		}
+		lastSeqForKey = ik.seq()
+		if drop {
+			continue
+		}
+		if builder == nil {
+			outNum = db.vs.newFileNumber() // atomic: safe with or without db.mu
+			f, err := db.env.NewWritableFile(tableFileName(db.dir, outNum), db.bgIOClass())
+			if err != nil {
+				return nil, err
+			}
+			outFile = f
+			builder = newTableBuilder(f, db.opts)
+		}
+		if err := builder.add(ik, merged.Value()); err != nil {
+			return nil, err
+		}
+		if builder.estimatedSize() >= outSize {
+			if err := finishOutput(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := merged.Err(); err != nil {
+		return nil, err
+	}
+	if err := finishOutput(); err != nil {
+		return nil, err
+	}
+	// CPU cost model: comparisons + copies per entry, plus compression.
+	perEntry := 350 * time.Nanosecond
+	if db.opts.Compression != NoCompression {
+		perEntry += 500 * time.Nanosecond
+	}
+	res.cpu = time.Duration(entries) * perEntry
+	return res, nil
+}

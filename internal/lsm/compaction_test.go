@@ -1,0 +1,249 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestCompactionDropsTombstones(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 1000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), make([]byte, 64))
+	}
+	for i := 0; i < 1000; i++ {
+		db.Delete(wo, []byte(fmt.Sprintf("k%05d", i)))
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := db.GetMetrics()
+	// Everything was deleted and fully compacted: the tree should be
+	// (nearly) empty — tombstones dropped at the bottom level.
+	var entries int64
+	db.mu.Lock()
+	for l := 0; l < db.vs.current.NumLevels(); l++ {
+		for _, f := range db.vs.current.LevelFiles(l) {
+			entries += f.Entries
+		}
+	}
+	db.mu.Unlock()
+	if entries != 0 {
+		t.Fatalf("%d entries survived full compaction of deleted data (levels %v)", entries, m.LevelFiles)
+	}
+}
+
+func TestCompactionKeepsNewestVersion(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 500; i++ {
+			db.Put(wo, []byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d-%d", round, i)))
+		}
+		db.Flush()
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i += 17 {
+		v, err := db.Get(nil, []byte(fmt.Sprintf("k%04d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v4-%d", i) {
+			t.Fatalf("k%04d = %q, %v (want newest round)", i, v, err)
+		}
+	}
+	// Space reclaimed: 5 rounds compacted to ~1 version per key.
+	var entries int64
+	db.mu.Lock()
+	for l := 0; l < db.vs.current.NumLevels(); l++ {
+		for _, f := range db.vs.current.LevelFiles(l) {
+			entries += f.Entries
+		}
+	}
+	db.mu.Unlock()
+	if entries != 500 {
+		t.Fatalf("entries after compaction = %d, want 500", entries)
+	}
+}
+
+func TestDirectIOAvoidsPageCachePollution(t *testing.T) {
+	// A hot, cached chunk must survive a direct-I/O background job but be
+	// displaced by a buffered one of page-cache size.
+	run := func(direct bool) bool {
+		env := NewSimEnv(device.NVMe(), device.Profile2C4G(), 3)
+		w, _ := env.NewWritableFile("/hot", IOForeground)
+		w.Append(make([]byte, simPageChunk))
+		w.Close()
+		r, _ := env.NewRandomAccessFile("/hot", IOForeground)
+		buf := make([]byte, 64)
+		r.ReadAt(buf, 0, HintRandom) // ensure cached
+		// A compaction streaming far more than the page budget.
+		budget := device.Profile2C4G().MemoryBytes
+		env.ScheduleBackgroundIO(budget, budget, 2<<20, true, direct, 0, 0)
+		env.TakeOpCost()
+		r.ReadAt(buf, 0, HintRandom)
+		cost := env.TakeOpCost()
+		r.Close()
+		return cost < 10*1000 // < 10us means page-cache hit (NVMe miss ~70us)
+	}
+	if !run(true) {
+		t.Fatal("direct background IO evicted the hot page")
+	}
+	if run(false) {
+		t.Fatal("buffered background IO failed to pollute the page cache")
+	}
+}
+
+func TestRateLimiterSlowsBackgroundWork(t *testing.T) {
+	run := func(rate int64) (stall int64) {
+		env := NewSimEnv(device.NVMe(), device.Profile4C8G(), 3)
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = 64 << 10
+		opts.MaxWriteBufferNumber = 2
+		opts.RateLimiterBytesPerSec = rate
+		db, err := Open("/db", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		wo := DefaultWriteOptions()
+		for i := 0; i < 2000; i++ {
+			db.Put(wo, []byte(fmt.Sprintf("k%06d", i)), make([]byte, 256))
+		}
+		return db.stats.Get(TickerStallMicros)
+	}
+	unlimited := run(0)
+	throttled := run(100 << 10) // 100 KiB/s: flushes crawl
+	if throttled <= unlimited {
+		t.Fatalf("rate limiter did not add stalls: unlimited=%dus throttled=%dus", unlimited, throttled)
+	}
+}
+
+func TestOptionsFilePersistedAtOpen(t *testing.T) {
+	env := testSimEnv()
+	opts := DefaultOptions()
+	opts.Env = env
+	opts.WALBytesPerSync = 1 << 20
+	db, err := Open("/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	names, err := env.List("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var optionsFile string
+	for _, n := range names {
+		if strings.HasPrefix(n, "OPTIONS-") {
+			optionsFile = n
+		}
+	}
+	if optionsFile == "" {
+		t.Fatalf("no OPTIONS file written: %v", names)
+	}
+	f, err := env.NewRandomAccessFile("/db/"+optionsFile, IOForeground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	f.ReadAt(buf, 0, HintSequential)
+	f.Close()
+	content := string(buf)
+	for _, want := range []string{"[DBOptions]", "wal_bytes_per_sync=1048576", `[CFOptions "default"]`} {
+		if !strings.Contains(content, want) {
+			t.Fatalf("OPTIONS file missing %q", want)
+		}
+	}
+}
+
+func TestWALSizeTriggersMemtableSwitch(t *testing.T) {
+	db, _ := openTestDB(t, func(o *Options) {
+		o.WriteBufferSize = 32 << 20 // huge: byte trigger won't fire
+		o.MaxTotalWALSize = 64 << 10 // tiny: WAL trigger fires instead
+	})
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 2000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%06d", i)), make([]byte, 128))
+	}
+	if db.stats.Get(TickerFlushCount) == 0 {
+		t.Fatal("max_total_wal_size never forced a flush")
+	}
+}
+
+func TestMinWriteBufferNumberToMergeBatchesFlushes(t *testing.T) {
+	countFlushes := func(minMerge int) int64 {
+		env := NewSimEnv(device.NVMe(), device.Profile4C8G(), 3)
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = 64 << 10
+		opts.MaxWriteBufferNumber = 6
+		opts.MinWriteBufferNumberToMerge = minMerge
+		db, err := Open("/db", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		wo := DefaultWriteOptions()
+		for i := 0; i < 4000; i++ {
+			db.Put(wo, []byte(fmt.Sprintf("k%06d", i)), make([]byte, 128))
+		}
+		db.Flush()
+		db.WaitForBackgroundIdle()
+		return db.stats.Get(TickerFlushCount)
+	}
+	single := countFlushes(1)
+	merged := countFlushes(3)
+	if merged >= single {
+		t.Fatalf("min_write_buffer_number_to_merge=3 should reduce flush count: %d vs %d", merged, single)
+	}
+}
+
+func TestGetAfterBackgroundError(t *testing.T) {
+	// Closing underneath outstanding state must not wedge; ErrClosed
+	// surfaces cleanly.
+	db, _ := openTestDB(t, nil)
+	wo := DefaultWriteOptions()
+	for i := 0; i < 100; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	db.Close()
+	if err := db.Put(wo, []byte("x"), []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close: %v", err)
+	}
+}
+
+func TestCompactRangeBounded(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 2000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), make([]byte, 128))
+	}
+	db.Flush()
+	// Compact only the first half of the key space.
+	if err := db.CompactRange([]byte("k00000"), []byte("k01000")); err != nil {
+		t.Fatal(err)
+	}
+	// All keys still readable.
+	for i := 0; i < 2000; i += 111 {
+		if _, err := db.Get(nil, []byte(fmt.Sprintf("k%05d", i))); err != nil {
+			t.Fatalf("k%05d: %v", i, err)
+		}
+	}
+	// And a full-range compaction still drains L0 entirely.
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.GetMetrics().LevelFiles[0] != 0 {
+		t.Fatalf("L0 not drained: %v", db.GetMetrics().LevelFiles)
+	}
+}

@@ -1,0 +1,82 @@
+package lsm
+
+import (
+	"time"
+)
+
+// runFlush merges immutable memtables (oldest first) into one L0 table.
+// Newest versions win; tombstones are kept (deeper levels may hold the key).
+// The caller installs the returned edit.
+func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
+	res := &compactionResult{edit: &versionEdit{}}
+	iters := make([]internalIterator, 0, len(mems))
+	var inputBytes int64
+	for _, m := range mems {
+		iters = append(iters, m.iterator())
+		inputBytes += m.approximateBytes()
+	}
+	merged := newMergeIter(iters)
+	merged.SeekToFirst()
+	smallestSnapshot := db.smallestSnapshot()
+
+	num := db.vs.newFileNumber()
+	f, err := db.env.NewWritableFile(tableFileName(db.dir, num), db.bgIOClass())
+	if err != nil {
+		return nil, err
+	}
+	builder := newTableBuilder(f, db.opts)
+	var entries int64
+	var lastUserKey []byte
+	haveLast := false
+	lastSeqForKey := maxSequence
+	for ; merged.Valid(); merged.Next() {
+		ik := merged.Key()
+		uk := ik.userKey()
+		if haveLast && string(uk) == string(lastUserKey) {
+			if lastSeqForKey <= smallestSnapshot {
+				lastSeqForKey = ik.seq()
+				continue // shadowed and invisible to every snapshot
+			}
+		} else {
+			lastUserKey = append(lastUserKey[:0], uk...)
+			haveLast = true
+		}
+		lastSeqForKey = ik.seq()
+		entries++
+		if err := builder.add(ik, merged.Value()); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if entries == 0 {
+		f.Close()
+		db.env.Remove(tableFileName(db.dir, num))
+		return res, nil
+	}
+	props, err := builder.finish()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	res.edit.newFiles = append(res.edit.newFiles, newFile{0, &FileMeta{
+		Number:   num,
+		Size:     props.FileSize,
+		Entries:  props.NumEntries,
+		Smallest: append(internalKey(nil), builder.smallest()...),
+		Largest:  append(internalKey(nil), builder.largest()...),
+	}})
+	res.writeBytes = props.FileSize
+	perEntry := 300 * time.Nanosecond
+	if db.opts.Compression != NoCompression {
+		perEntry += 500 * time.Nanosecond
+	}
+	res.cpu = time.Duration(entries) * perEntry
+	return res, nil
+}

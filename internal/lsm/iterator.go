@@ -1,0 +1,172 @@
+package lsm
+
+import (
+	"bytes"
+	"time"
+)
+
+// Iterator walks user keys in ascending order, exposing the newest visible
+// version of each and hiding tombstones. Forward-only (Prev is not
+// implemented; the paper's workloads never reverse-scan).
+type Iterator struct {
+	db    *DB
+	merge *mergeIter
+	seq   uint64
+
+	key   []byte
+	value []byte
+	valid bool
+}
+
+// NewIterator returns a point-in-time iterator over the DB.
+func (db *DB) NewIterator(ro *ReadOptions) *Iterator {
+	if ro == nil {
+		ro = DefaultReadOptions()
+	}
+	db.mu.Lock()
+	db.drainSimLocked()
+	seq := db.vs.lastSeq
+	if ro.Snapshot != nil {
+		seq = ro.Snapshot.seq
+	}
+	var children []internalIterator
+	children = append(children, db.mem.iterator())
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		children = append(children, db.imm[i].iterator())
+	}
+	v := db.vs.current
+	open := func(num uint64) (*tableReader, error) { return db.tcache.get(num) }
+	for _, f := range v.LevelFiles(0) {
+		fm := f
+		children = append(children, &lazyTableIter{open: func() (*tableIter, error) {
+			r, err := db.tcache.get(fm.Number)
+			if err != nil {
+				return nil, err
+			}
+			return r.iterator(HintRandom), nil
+		}})
+	}
+	for level := 1; level < v.NumLevels(); level++ {
+		if len(v.LevelFiles(level)) == 0 {
+			continue
+		}
+		children = append(children, newLevelIter(v.LevelFiles(level), HintRandom, open))
+	}
+	db.mu.Unlock()
+	return &Iterator{db: db, merge: newMergeIter(children), seq: seq}
+}
+
+// lazyTableIter defers opening a table until first use.
+type lazyTableIter struct {
+	open func() (*tableIter, error)
+	it   *tableIter
+	err  error
+}
+
+func (l *lazyTableIter) ensure() bool {
+	if l.it == nil && l.err == nil {
+		l.it, l.err = l.open()
+	}
+	return l.err == nil
+}
+
+func (l *lazyTableIter) Valid() bool { return l.err == nil && l.it != nil && l.it.Valid() }
+func (l *lazyTableIter) SeekToFirst() {
+	if l.ensure() {
+		l.it.SeekToFirst()
+	}
+}
+func (l *lazyTableIter) Seek(k internalKey) {
+	if l.ensure() {
+		l.it.Seek(k)
+	}
+}
+func (l *lazyTableIter) Next() {
+	if l.it != nil {
+		l.it.Next()
+	}
+}
+func (l *lazyTableIter) Key() internalKey { return l.it.Key() }
+func (l *lazyTableIter) Value() []byte    { return l.it.Value() }
+func (l *lazyTableIter) Err() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.it != nil {
+		return l.it.Err()
+	}
+	return nil
+}
+
+// findNextVisible advances the underlying merge iterator to the next user
+// key whose newest visible version is a live value.
+func (it *Iterator) findNextVisible(skipCurrent []byte) {
+	it.valid = false
+	var skip []byte
+	if skipCurrent != nil {
+		skip = append(skip, skipCurrent...)
+	}
+	for it.merge.Valid() {
+		ik := it.merge.Key()
+		uk := ik.userKey()
+		switch {
+		case ik.seq() > it.seq:
+			// Written after our snapshot: invisible.
+		case skip != nil && bytes.Equal(uk, skip):
+			// Older version (or any version) of a key already emitted or
+			// deleted.
+		case ik.kind() == KindDelete:
+			skip = append(skip[:0], uk...)
+		default:
+			it.key = append(it.key[:0], uk...)
+			it.value = append(it.value[:0], it.merge.Value()...)
+			it.valid = true
+			// Remember the key so Next skips its older versions.
+			return
+		}
+		it.merge.Next()
+	}
+}
+
+// SeekToFirst positions at the first visible key.
+func (it *Iterator) SeekToFirst() {
+	it.db.env.ChargeCPU(2 * time.Microsecond)
+	it.db.stats.Add(TickerSeekCount, 1)
+	it.merge.SeekToFirst()
+	it.findNextVisible(nil)
+}
+
+// Seek positions at the first visible key >= target.
+func (it *Iterator) Seek(target []byte) {
+	it.db.env.ChargeCPU(2 * time.Microsecond)
+	it.db.stats.Add(TickerSeekCount, 1)
+	it.merge.Seek(makeInternalKey(nil, target, it.seq, KindValue))
+	it.findNextVisible(nil)
+}
+
+// Next advances to the next visible key.
+func (it *Iterator) Next() {
+	if !it.valid {
+		return
+	}
+	it.db.env.ChargeCPU(300 * time.Nanosecond)
+	it.db.stats.Add(TickerNextCount, 1)
+	cur := append([]byte(nil), it.key...)
+	it.merge.Next()
+	it.findNextVisible(cur)
+}
+
+// Valid reports whether the iterator is positioned on a key.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current user key (valid until the next move).
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value (valid until the next move).
+func (it *Iterator) Value() []byte { return it.value }
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.merge.Err() }
+
+// Close releases the iterator.
+func (it *Iterator) Close() error { return it.merge.Err() }

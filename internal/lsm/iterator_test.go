@@ -1,0 +1,175 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func TestIteratorBasic(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 100; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete(wo, []byte("k050"))
+
+	it := db.NewIterator(nil)
+	defer it.Close()
+	it.SeekToFirst()
+	count := 0
+	prev := ""
+	for it.Valid() {
+		k := string(it.Key())
+		if prev != "" && k <= prev {
+			t.Fatalf("out of order: %q after %q", k, prev)
+		}
+		if k == "k050" {
+			t.Fatal("deleted key visible")
+		}
+		prev = k
+		count++
+		it.Next()
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 99 {
+		t.Fatalf("count = %d, want 99", count)
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 100; i += 2 {
+		db.Put(wo, []byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	it := db.NewIterator(nil)
+	defer it.Close()
+	it.Seek([]byte("k051"))
+	if !it.Valid() || string(it.Key()) != "k052" {
+		t.Fatalf("Seek(k051) = %q", it.Key())
+	}
+	it.Seek([]byte("k098"))
+	if !it.Valid() || string(it.Key()) != "k098" {
+		t.Fatalf("Seek(k098) = %q", it.Key())
+	}
+	it.Seek([]byte("z"))
+	if it.Valid() {
+		t.Fatal("Seek past end should invalidate")
+	}
+}
+
+func TestIteratorSnapshotIsolation(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	db.Put(wo, []byte("a"), []byte("old"))
+	it := db.NewIterator(nil)
+	defer it.Close()
+	// Writes after iterator creation are invisible to it.
+	db.Put(wo, []byte("a"), []byte("new"))
+	db.Put(wo, []byte("b"), []byte("x"))
+	it.SeekToFirst()
+	if !it.Valid() || string(it.Value()) != "old" {
+		t.Fatalf("snapshot leak: %q", it.Value())
+	}
+	it.Next()
+	if it.Valid() {
+		t.Fatalf("key written after snapshot visible: %q", it.Key())
+	}
+}
+
+func TestIteratorAcrossFlushedData(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	// Data spread across SSTs and memtable.
+	for i := 0; i < 1000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), []byte("sst"))
+	}
+	db.Flush()
+	for i := 1000; i < 1100; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), []byte("mem"))
+	}
+	// Overwrite some flushed keys in the memtable.
+	for i := 0; i < 10; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i*100)), []byte("newer"))
+	}
+	it := db.NewIterator(nil)
+	defer it.Close()
+	it.SeekToFirst()
+	count := 0
+	for it.Valid() {
+		if string(it.Key()) == "k00100" && string(it.Value()) != "newer" {
+			t.Fatalf("k00100 = %q, want newest version", it.Value())
+		}
+		count++
+		it.Next()
+	}
+	if count != 1100 {
+		t.Fatalf("count = %d, want 1100", count)
+	}
+}
+
+// TestQuickIteratorMatchesModel scans random databases and compares with a
+// sorted model.
+func TestQuickIteratorMatchesModel(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := NewSimEnv(device.NVMe(), device.Profile4C8G(), seed)
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = 64 << 10
+		db, err := Open("/db", opts)
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		model := map[string]string{}
+		wo := DefaultWriteOptions()
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("key%03d", r.Intn(80))
+			if r.Intn(5) == 0 {
+				db.Delete(wo, []byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", i)
+				db.Put(wo, []byte(k), []byte(v))
+				model[k] = v
+			}
+			if i == 150 {
+				if err := db.Flush(); err != nil {
+					return false
+				}
+			}
+		}
+		var wantKeys []string
+		for k := range model {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		it := db.NewIterator(nil)
+		defer it.Close()
+		it.SeekToFirst()
+		i := 0
+		for it.Valid() {
+			if i >= len(wantKeys) || string(it.Key()) != wantKeys[i] || string(it.Value()) != model[wantKeys[i]] {
+				return false
+			}
+			i++
+			it.Next()
+		}
+		return i == len(wantKeys) && it.Err() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,448 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// File naming, RocksDB style.
+func logFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.log", num))
+}
+
+func tableFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.sst", num))
+}
+
+func manifestFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("MANIFEST-%06d", num))
+}
+
+func currentFileName(dir string) string { return filepath.Join(dir, "CURRENT") }
+
+func optionsFileName(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("OPTIONS-%06d", num))
+}
+
+// parseFileName decodes a file name into its kind and number.
+type fileKind int
+
+const (
+	fileKindLog fileKind = iota
+	fileKindTable
+	fileKindManifest
+	fileKindCurrent
+	fileKindOptions
+	fileKindUnknown
+)
+
+func parseFileName(name string) (fileKind, uint64) {
+	switch {
+	case name == "CURRENT":
+		return fileKindCurrent, 0
+	case strings.HasPrefix(name, "MANIFEST-"):
+		n, err := strconv.ParseUint(strings.TrimPrefix(name, "MANIFEST-"), 10, 64)
+		if err != nil {
+			return fileKindUnknown, 0
+		}
+		return fileKindManifest, n
+	case strings.HasPrefix(name, "OPTIONS-"):
+		n, err := strconv.ParseUint(strings.TrimPrefix(name, "OPTIONS-"), 10, 64)
+		if err != nil {
+			return fileKindUnknown, 0
+		}
+		return fileKindOptions, n
+	case strings.HasSuffix(name, ".log"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+		if err != nil {
+			return fileKindUnknown, 0
+		}
+		return fileKindLog, n
+	case strings.HasSuffix(name, ".sst"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64)
+		if err != nil {
+			return fileKindUnknown, 0
+		}
+		return fileKindTable, n
+	default:
+		return fileKindUnknown, 0
+	}
+}
+
+// versionEdit is a delta applied to a Version, persisted in the MANIFEST.
+// Tag-encoded like LevelDB: each field is varint(tag) followed by payload.
+type versionEdit struct {
+	hasLogNumber bool
+	logNumber    uint64
+	hasNextFile  bool
+	nextFileNum  uint64
+	hasLastSeq   bool
+	lastSeq      uint64
+	deletedFiles []deletedFile
+	newFiles     []newFile
+}
+
+type deletedFile struct {
+	level int
+	num   uint64
+}
+
+type newFile struct {
+	level int
+	meta  *FileMeta
+}
+
+const (
+	tagLogNumber = 1
+	tagNextFile  = 2
+	tagLastSeq   = 3
+	tagDeleted   = 4
+	tagNewFile   = 5
+)
+
+func putLenPrefixed(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// encode serializes the edit.
+func (e *versionEdit) encode() []byte {
+	var b []byte
+	if e.hasLogNumber {
+		b = binary.AppendUvarint(b, tagLogNumber)
+		b = binary.AppendUvarint(b, e.logNumber)
+	}
+	if e.hasNextFile {
+		b = binary.AppendUvarint(b, tagNextFile)
+		b = binary.AppendUvarint(b, e.nextFileNum)
+	}
+	if e.hasLastSeq {
+		b = binary.AppendUvarint(b, tagLastSeq)
+		b = binary.AppendUvarint(b, e.lastSeq)
+	}
+	for _, d := range e.deletedFiles {
+		b = binary.AppendUvarint(b, tagDeleted)
+		b = binary.AppendUvarint(b, uint64(d.level))
+		b = binary.AppendUvarint(b, d.num)
+	}
+	for _, nf := range e.newFiles {
+		b = binary.AppendUvarint(b, tagNewFile)
+		b = binary.AppendUvarint(b, uint64(nf.level))
+		b = binary.AppendUvarint(b, nf.meta.Number)
+		b = binary.AppendUvarint(b, uint64(nf.meta.Size))
+		b = binary.AppendUvarint(b, uint64(nf.meta.Entries))
+		b = putLenPrefixed(b, nf.meta.Smallest)
+		b = putLenPrefixed(b, nf.meta.Largest)
+	}
+	return b
+}
+
+func getUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	return v, b[n:], nil
+}
+
+func getLenPrefixed(b []byte) ([]byte, []byte, error) {
+	n, rest, err := getUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// decodeVersionEdit parses an encoded edit.
+func decodeVersionEdit(b []byte) (*versionEdit, error) {
+	e := &versionEdit{}
+	var err error
+	for len(b) > 0 {
+		var tag uint64
+		tag, b, err = getUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagLogNumber:
+			e.logNumber, b, err = getUvarint(b)
+			e.hasLogNumber = true
+		case tagNextFile:
+			e.nextFileNum, b, err = getUvarint(b)
+			e.hasNextFile = true
+		case tagLastSeq:
+			e.lastSeq, b, err = getUvarint(b)
+			e.hasLastSeq = true
+		case tagDeleted:
+			var level, num uint64
+			level, b, err = getUvarint(b)
+			if err == nil {
+				num, b, err = getUvarint(b)
+			}
+			e.deletedFiles = append(e.deletedFiles, deletedFile{int(level), num})
+		case tagNewFile:
+			var level, num, size, entries uint64
+			var smallest, largest []byte
+			level, b, err = getUvarint(b)
+			if err == nil {
+				num, b, err = getUvarint(b)
+			}
+			if err == nil {
+				size, b, err = getUvarint(b)
+			}
+			if err == nil {
+				entries, b, err = getUvarint(b)
+			}
+			if err == nil {
+				smallest, b, err = getLenPrefixed(b)
+			}
+			if err == nil {
+				largest, b, err = getLenPrefixed(b)
+			}
+			if err == nil {
+				e.newFiles = append(e.newFiles, newFile{int(level), &FileMeta{
+					Number:   num,
+					Size:     int64(size),
+					Entries:  int64(entries),
+					Smallest: append(internalKey(nil), smallest...),
+					Largest:  append(internalKey(nil), largest...),
+				}})
+			}
+		default:
+			return nil, fmt.Errorf("lsm: unknown version edit tag %d", tag)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// versionSet tracks the current Version and persists edits to the MANIFEST.
+// Callers must hold the DB mutex around logAndApply.
+type versionSet struct {
+	env         Env
+	dir         string
+	opts        *Options
+	current     *Version
+	manifest    *walWriter
+	manifestNum uint64
+
+	// nextFileNum is atomic: background jobs allocate file numbers while
+	// the DB mutex is held elsewhere (or not at all).
+	nextFileNum atomic.Uint64
+	lastSeq     uint64
+	logNumber   uint64 // WALs below this number are obsolete
+}
+
+// newFileNumber allocates the next file number.
+func (vs *versionSet) newFileNumber() uint64 {
+	return vs.nextFileNum.Add(1) - 1
+}
+
+// apply builds the successor version from an edit.
+func (vs *versionSet) apply(e *versionEdit) (*Version, error) {
+	v := vs.current.clone()
+	for _, d := range e.deletedFiles {
+		if d.level >= len(v.levels) {
+			return nil, fmt.Errorf("lsm: edit deletes file at level %d beyond num_levels", d.level)
+		}
+		files := v.levels[d.level]
+		idx := -1
+		for i, f := range files {
+			if f.Number == d.num {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("lsm: edit deletes missing file %d at level %d", d.num, d.level)
+		}
+		v.levels[d.level] = append(append([]*FileMeta(nil), files[:idx]...), files[idx+1:]...)
+	}
+	for _, nf := range e.newFiles {
+		if nf.level >= len(v.levels) {
+			return nil, fmt.Errorf("lsm: edit adds file at level %d beyond num_levels", nf.level)
+		}
+		v.levels[nf.level] = append(append([]*FileMeta(nil), v.levels[nf.level]...), nf.meta)
+		sortLevel(nf.level, v.levels[nf.level])
+	}
+	if e.hasLogNumber {
+		vs.logNumber = e.logNumber
+	}
+	if e.hasNextFile {
+		for {
+			cur := vs.nextFileNum.Load()
+			if e.nextFileNum <= cur || vs.nextFileNum.CompareAndSwap(cur, e.nextFileNum) {
+				break
+			}
+		}
+	}
+	if e.hasLastSeq && e.lastSeq > vs.lastSeq {
+		vs.lastSeq = e.lastSeq
+	}
+	return v, nil
+}
+
+// logAndApply persists the edit and installs the new version.
+func (vs *versionSet) logAndApply(e *versionEdit) error {
+	e.hasNextFile = true
+	e.nextFileNum = vs.nextFileNum.Load()
+	e.hasLastSeq = true
+	e.lastSeq = vs.lastSeq
+	v, err := vs.apply(e)
+	if err != nil {
+		return err
+	}
+	if vs.opts.ParanoidChecks {
+		if err := v.checkInvariants(); err != nil {
+			return err
+		}
+	}
+	if err := vs.manifest.addRecord(e.encode()); err != nil {
+		return err
+	}
+	vs.current = v
+	return nil
+}
+
+// createNew initializes a fresh version set (new database).
+func (vs *versionSet) createNew() error {
+	vs.current = newVersion(vs.opts.NumLevels)
+	vs.nextFileNum.Store(2)
+	vs.manifestNum = vs.newFileNumber()
+	f, err := vs.env.NewWritableFile(manifestFileName(vs.dir, vs.manifestNum), IOBackground)
+	if err != nil {
+		return err
+	}
+	vs.manifest = newWALWriter(f, vs.opts)
+	vs.manifest.stats = nil // manifest appends are not WAL traffic
+	// Snapshot edit describing the (empty) state.
+	e := &versionEdit{hasLogNumber: true, logNumber: vs.logNumber}
+	if err := vs.logAndApply(e); err != nil {
+		return err
+	}
+	if err := vs.manifest.sync(); err != nil {
+		return err
+	}
+	return vs.setCurrent()
+}
+
+// setCurrent atomically points CURRENT at the live manifest.
+func (vs *versionSet) setCurrent() error {
+	tmp := filepath.Join(vs.dir, "CURRENT.tmp")
+	f, err := vs.env.NewWritableFile(tmp, IOBackground)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("MANIFEST-%06d\n", vs.manifestNum)
+	if err := f.Append([]byte(name)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return vs.env.Rename(tmp, currentFileName(vs.dir))
+}
+
+// recover loads the version state named by CURRENT.
+func (vs *versionSet) recover() error {
+	f, err := vs.env.NewRandomAccessFile(currentFileName(vs.dir), IOBackground)
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	buf := make([]byte, size)
+	if err := f.ReadAt(buf, 0, HintSequential); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	name := strings.TrimSpace(string(buf))
+	kind, num := parseFileName(name)
+	if kind != fileKindManifest {
+		return fmt.Errorf("lsm: CURRENT names %q, not a manifest", name)
+	}
+	vs.current = newVersion(vs.opts.NumLevels)
+	vs.nextFileNum.Store(num + 1)
+	err = walReplay(vs.env, filepath.Join(vs.dir, name), func(payload []byte) error {
+		e, err := decodeVersionEdit(payload)
+		if err != nil {
+			return err
+		}
+		v, err := vs.apply(e)
+		if err != nil {
+			return err
+		}
+		vs.current = v
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Continue appending to a fresh manifest (simpler than re-opening the
+	// old one for append, and it compacts manifest history).
+	vs.manifestNum = vs.newFileNumber()
+	mf, err := vs.env.NewWritableFile(manifestFileName(vs.dir, vs.manifestNum), IOBackground)
+	if err != nil {
+		return err
+	}
+	vs.manifest = newWALWriter(mf, vs.opts)
+	vs.manifest.stats = nil
+	snapshot := vs.snapshotEdit()
+	if err := vs.logAndApply(snapshot); err != nil {
+		return err
+	}
+	if err := vs.manifest.sync(); err != nil {
+		return err
+	}
+	return vs.setCurrent()
+}
+
+// snapshotEdit encodes the full current state as one edit.
+func (vs *versionSet) snapshotEdit() *versionEdit {
+	e := &versionEdit{hasLogNumber: true, logNumber: vs.logNumber}
+	for level, files := range vs.current.levels {
+		for _, f := range files {
+			e.newFiles = append(e.newFiles, newFile{level, f})
+		}
+	}
+	return e
+}
+
+// liveFileNumbers returns the set of table files referenced by the current
+// version.
+func (vs *versionSet) liveFileNumbers() map[uint64]bool {
+	live := make(map[uint64]bool)
+	for _, files := range vs.current.levels {
+		for _, f := range files {
+			live[f.Number] = true
+		}
+	}
+	return live
+}
+
+// close releases the manifest writer.
+func (vs *versionSet) close() error {
+	if vs.manifest != nil {
+		return vs.manifest.close()
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package lsm
+
+import "bytes"
+
+// memtable is the in-memory write buffer: a skiplist of internal keys plus
+// accounting used by the flush triggers (write_buffer_size et al).
+type memtable struct {
+	list     *skiplist
+	firstSeq uint64 // smallest sequence number added (0 if empty)
+	lastSeq  uint64 // largest sequence number added
+	logNum   uint64 // WAL file backing this memtable
+}
+
+func newMemtable(seed int64, logNum uint64) *memtable {
+	return &memtable{list: newSkiplist(seed), logNum: logNum}
+}
+
+// add inserts an entry, copying key and value into one allocation.
+func (m *memtable) add(seq uint64, kind ValueKind, key, value []byte) {
+	buf := make([]byte, 0, len(key)+8+len(value))
+	ik := makeInternalKey(buf, key, seq, kind)
+	var val []byte
+	if len(value) > 0 {
+		full := append(ik, value...)
+		ik = full[:len(ik):len(ik)]
+		val = full[len(ik):]
+	}
+	m.list.insert(ik, val)
+	if m.firstSeq == 0 || seq < m.firstSeq {
+		m.firstSeq = seq
+	}
+	if seq > m.lastSeq {
+		m.lastSeq = seq
+	}
+}
+
+// get looks up key at snapshot seq. It returns:
+//   - value, true, false: found a live value
+//   - nil, true, true: found a tombstone (key deleted)
+//   - nil, false, false: key not in this memtable
+func (m *memtable) get(key []byte, seq uint64) (value []byte, found, deleted bool) {
+	lookup := makeInternalKey(nil, key, seq, KindValue)
+	n := m.list.seek(lookup)
+	if n == nil {
+		return nil, false, false
+	}
+	ik := n.key
+	if !bytes.Equal(ik.userKey(), key) {
+		return nil, false, false
+	}
+	if ik.kind() == KindDelete {
+		return nil, true, true
+	}
+	return n.val, true, false
+}
+
+// approximateBytes reports memory usage for flush triggering.
+func (m *memtable) approximateBytes() int64 { return m.list.approximateBytes() }
+
+// empty reports whether nothing has been inserted.
+func (m *memtable) empty() bool { return m.list.count() == 0 }
+
+// count returns the number of entries.
+func (m *memtable) count() int { return m.list.count() }
+
+// iterator returns an iterator over internal keys in sorted order.
+func (m *memtable) iterator() *skipIter { return m.list.iterator() }

@@ -1,0 +1,160 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+)
+
+// runFill loads n keys and returns the environment, stats and the sum of
+// per-op costs (what a workload thread would experience).
+func runFill(t *testing.T, tweak func(*Options), n int) (*SimEnv, *Statistics, time.Duration, time.Duration) {
+	t.Helper()
+	env := NewSimEnv(device.SATAHDD(), device.Profile4C8G(), 5)
+	env.DirtyBurst = 1 << 20 // small watermark so bursts appear at test scale
+	opts := DefaultOptions()
+	opts.Env = env
+	opts.WriteBufferSize = 128 << 10
+	if tweak != nil {
+		tweak(opts)
+	}
+	db, err := Open("/fx", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	var total, worst time.Duration
+	env.TakeOpCost()
+	for i := 0; i < n; i++ {
+		if err := db.Put(wo, []byte(fmt.Sprintf("k%07d", i)), make([]byte, 256)); err != nil {
+			t.Fatal(err)
+		}
+		c := env.TakeOpCost()
+		total += c
+		if c > worst {
+			worst = c
+		}
+		env.Clock().Advance(c)
+	}
+	return env, db.stats, total, worst
+}
+
+func TestWALBytesPerSyncSmoothsWriteback(t *testing.T) {
+	envNone, _, _, _ := runFill(t, nil, 20000)
+	envSync, _, _, _ := runFill(t, func(o *Options) { o.WALBytesPerSync = 32 << 10 }, 20000)
+	// Without periodic sync the kernel watermark forces writeback bursts;
+	// the async range-sync keeps dirty bytes below it.
+	if envNone.Stats().WritebackBursts == 0 {
+		t.Fatal("no writeback bursts without periodic sync")
+	}
+	if envSync.Stats().WritebackBursts >= envNone.Stats().WritebackBursts {
+		t.Fatalf("wal_bytes_per_sync did not reduce bursts: %d vs %d",
+			envSync.Stats().WritebackBursts, envNone.Stats().WritebackBursts)
+	}
+}
+
+func TestStrictBytesPerSyncCostsMore(t *testing.T) {
+	_, _, totalAsync, _ := runFill(t, func(o *Options) {
+		o.WALBytesPerSync = 32 << 10 // several syncs per 128KiB memtable's WAL
+	}, 20000)
+	_, _, totalStrict, _ := runFill(t, func(o *Options) {
+		o.WALBytesPerSync = 32 << 10
+		o.StrictBytesPerSync = true
+	}, 20000)
+	// Strict mode blocks the writer on each range sync: more total op time.
+	if totalStrict <= totalAsync {
+		t.Fatalf("strict sync should cost op time: strict=%v async=%v",
+			totalStrict, totalAsync)
+	}
+}
+
+func TestMoreWriteBuffersReduceStallTime(t *testing.T) {
+	run := func(buffers int) int64 {
+		env := NewSimEnv(device.SATAHDD(), device.Profile4C8G(), 5)
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = 64 << 10
+		opts.MaxWriteBufferNumber = buffers
+		db, err := Open("/fx", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		wo := DefaultWriteOptions()
+		for i := 0; i < 20000; i++ {
+			db.Put(wo, []byte(fmt.Sprintf("k%07d", i)), make([]byte, 256))
+		}
+		return db.stats.Get(TickerStallMicros)
+	}
+	two := run(2)
+	six := run(6)
+	if two == 0 {
+		t.Fatal("no stalls with tiny buffers on an HDD: model too forgiving")
+	}
+	if six >= two {
+		t.Fatalf("more write buffers should absorb flush latency: 2 buffers %dus, 6 buffers %dus", two, six)
+	}
+}
+
+func TestBiggerWriteBufferReducesFlushes(t *testing.T) {
+	count := func(bufBytes int64) int64 {
+		env := NewSimEnv(device.NVMe(), device.Profile4C8G(), 5)
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = bufBytes
+		db, err := Open("/fx", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		wo := DefaultWriteOptions()
+		for i := 0; i < 10000; i++ {
+			db.Put(wo, []byte(fmt.Sprintf("k%07d", i)), make([]byte, 256))
+		}
+		return db.stats.Get(TickerFlushCount)
+	}
+	small := count(64 << 10)
+	big := count(1 << 20)
+	if big >= small {
+		t.Fatalf("bigger write buffer should flush less: %d vs %d", big, small)
+	}
+}
+
+func TestBloomReducesDeviceReadsOnMisses(t *testing.T) {
+	run := func(bits int) int64 {
+		env := NewSimEnv(device.NVMe(), device.Profile2C4G(), 5)
+		// Shrink the page cache so probes actually hit the device.
+		env.PageEfficiency = 0.0005 // ~2 MiB effective: far below the dataset
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = 64 << 10
+		opts.BloomBitsPerKey = bits
+		opts.BlockCacheSize = 4 << 10
+		db, err := Open("/fx", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		wo := DefaultWriteOptions()
+		// Sparse key space: only even keys exist.
+		for i := 0; i < 20000; i++ {
+			db.Put(wo, []byte(fmt.Sprintf("k%07d", i*2)), make([]byte, 256))
+		}
+		db.Flush()
+		db.WaitForBackgroundIdle()
+		before := env.Stats().DeviceReads
+		for i := 0; i < 2000; i++ {
+			db.Get(nil, []byte(fmt.Sprintf("k%07d", i*20+1))) // misses across the whole range
+		}
+		return env.Stats().DeviceReads - before
+	}
+	without := run(0)
+	with := run(10)
+	if with >= without/2 {
+		t.Fatalf("bloom filters should cut miss-path device reads: %d (bloom) vs %d (none)",
+			with, without)
+	}
+}

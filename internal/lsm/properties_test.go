@@ -1,0 +1,84 @@
+package lsm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestGetProperty(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 2000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), make([]byte, 128))
+	}
+	db.Flush()
+	db.WaitForBackgroundIdle()
+
+	for _, name := range []string{
+		"rocksdb.stats",
+		"rocksdb.levelstats",
+		"rocksdb.num-files-at-level0",
+		"rocksdb.estimate-pending-compaction-bytes",
+		"rocksdb.cur-size-all-mem-tables",
+		"rocksdb.num-immutable-mem-table",
+		"rocksdb.block-cache-usage",
+		"rocksdb.estimate-num-keys",
+	} {
+		v, ok := db.GetProperty(name)
+		if !ok {
+			t.Errorf("property %q unknown", name)
+			continue
+		}
+		if v == "" {
+			t.Errorf("property %q empty", name)
+		}
+	}
+	if _, ok := db.GetProperty("rocksdb.made-up"); ok {
+		t.Error("unknown property resolved")
+	}
+	if _, ok := db.GetProperty("rocksdb.num-files-at-level99"); ok {
+		t.Error("out-of-range level resolved")
+	}
+
+	// estimate-num-keys is the number of live entries (all distinct here).
+	keys, _ := db.GetProperty("rocksdb.estimate-num-keys")
+	n, _ := strconv.Atoi(keys)
+	if n < 2000 {
+		t.Errorf("estimate-num-keys = %d, want >= 2000", n)
+	}
+	stats, _ := db.GetProperty("rocksdb.stats")
+	for _, want := range []string{"DB Stats", "Flushes:", "Level Files", "Pending compaction bytes"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("rocksdb.stats missing %q:\n%s", want, stats)
+		}
+	}
+}
+
+func TestGetApproximateSizes(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 4000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), make([]byte, 128))
+	}
+	db.Flush()
+	db.WaitForBackgroundIdle()
+	sizes := db.GetApproximateSizes([]Range{
+		{Start: []byte("k00000"), Limit: []byte("k02000")},
+		{Start: []byte("k02000"), Limit: []byte("k04000")},
+		{Start: []byte("z"), Limit: nil}, // empty range
+	})
+	if sizes[0] <= 0 || sizes[1] <= 0 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if sizes[2] != 0 {
+		t.Fatalf("out-of-range size = %d", sizes[2])
+	}
+	total := db.GetApproximateSizes([]Range{{Start: nil, Limit: nil}})[0]
+	if total < sizes[0] || total < sizes[1] {
+		t.Fatalf("total %d below parts %v", total, sizes)
+	}
+}

@@ -1,0 +1,274 @@
+package lsm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	s, ok := LookupOption("write_buffer_size")
+	if !ok || s.Section != SectionCF || !s.Honored {
+		t.Fatalf("write_buffer_size spec = %+v, %v", s, ok)
+	}
+	if _, ok := LookupOption("made_up_option"); ok {
+		t.Fatal("unknown option resolved")
+	}
+	// Aliases resolve.
+	s, ok = LookupOption("bloom_bits_per_key")
+	if !ok || s.Name != "filter_policy" {
+		t.Fatalf("alias = %+v, %v", s, ok)
+	}
+	if s, _ := LookupOption("block_cache_size"); s.Name != "block_cache" {
+		t.Fatalf("block_cache_size alias = %+v", s)
+	}
+}
+
+func TestRegistrySize(t *testing.T) {
+	specs := AllOptionSpecs()
+	if len(specs) < 100 {
+		t.Fatalf("registry has %d options; the paper's premise needs 100+", len(specs))
+	}
+	honored := HonoredOptionNames()
+	if len(honored) < 40 {
+		t.Fatalf("only %d honored options", len(honored))
+	}
+	// Names are unique.
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate option %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestRegistryDefaultsRoundTrip(t *testing.T) {
+	// Every spec's declared default must pass its own validation, and
+	// honored defaults must match the Options zero-config values.
+	o := DefaultOptions()
+	for _, s := range AllOptionSpecs() {
+		if _, err := checkValue(s, s.Default); err != nil && s.Type != TypeString {
+			t.Errorf("default of %s rejected: %v", s.Name, err)
+		}
+		got, err := o.GetByName(s.Name)
+		if err != nil {
+			t.Errorf("GetByName(%s): %v", s.Name, err)
+			continue
+		}
+		if s.Honored && s.Name != "filter_policy" && got != s.Default {
+			// compaction_readahead_size etc must agree between the
+			// registry and DefaultOptions.
+			t.Errorf("%s: DefaultOptions=%q, registry default=%q", s.Name, got, s.Default)
+		}
+	}
+}
+
+func TestSetByName(t *testing.T) {
+	o := DefaultOptions()
+	cases := []struct {
+		name, value string
+		check       func() bool
+	}{
+		{"write_buffer_size", "33554432", func() bool { return o.WriteBufferSize == 33554432 }},
+		{"max_write_buffer_number", "6", func() bool { return o.MaxWriteBufferNumber == 6 }},
+		{"max_background_jobs", "4", func() bool { return o.MaxBackgroundJobs == 4 }},
+		{"strict_bytes_per_sync", "true", func() bool { return o.StrictBytesPerSync }},
+		{"wal_bytes_per_sync", "1048576", func() bool { return o.WALBytesPerSync == 1048576 }},
+		{"max_bytes_for_level_multiplier", "8", func() bool { return o.MaxBytesForLevelMultiplier == 8 }},
+		{"compaction_style", "universal", func() bool { return o.CompactionStyle == CompactionStyleUniversal }},
+		{"compression", "snappy", func() bool { return o.Compression == SnappyCompression }},
+		{"filter_policy", "bloomfilter:10:false", func() bool { return o.BloomBitsPerKey == 10 }},
+		{"bloom_bits_per_key", "14", func() bool { return o.BloomBitsPerKey == 14 }},
+		{"block_cache_size", "134217728", func() bool { return o.BlockCacheSize == 134217728 }},
+		{"enable_pipelined_write", "false", func() bool { return !o.EnablePipelinedWrite }},
+		{"dump_malloc_stats", "false", func() bool { return !o.DumpMallocStats }},
+	}
+	for _, c := range cases {
+		if err := o.SetByName(c.name, c.value); err != nil {
+			t.Fatalf("SetByName(%s, %s): %v", c.name, c.value, err)
+		}
+		if !c.check() {
+			t.Fatalf("SetByName(%s, %s) did not apply", c.name, c.value)
+		}
+	}
+}
+
+func TestSetByNameErrors(t *testing.T) {
+	o := DefaultOptions()
+	if err := o.SetByName("flux_capacitor_size", "88"); !errors.Is(err, ErrUnknownOption) {
+		t.Fatalf("unknown option error = %v", err)
+	}
+	if err := o.SetByName("max_background_jobs", "not_a_number"); err == nil {
+		t.Fatal("bad integer accepted")
+	}
+	if err := o.SetByName("max_background_jobs", "9999"); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+	if err := o.SetByName("compression", "brotli"); err == nil {
+		t.Fatal("bad enum accepted")
+	}
+	if err := o.SetByName("strict_bytes_per_sync", "maybe"); err == nil {
+		t.Fatal("bad bool accepted")
+	}
+}
+
+func TestSetByNameRecordedOption(t *testing.T) {
+	o := DefaultOptions()
+	if err := o.SetByName("allow_mmap_reads", "true"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Extra["allow_mmap_reads"] != "true" {
+		t.Fatalf("Extra = %v", o.Extra)
+	}
+	if v, err := o.GetByName("allow_mmap_reads"); err != nil || v != "true" {
+		t.Fatalf("GetByName = %q, %v", v, err)
+	}
+	// Deprecated options are still settable (the paper notes LLMs suggest
+	// them); callers can detect via the spec.
+	if err := o.SetByName("max_mem_compaction_level", "2"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := LookupOption("max_mem_compaction_level")
+	if !s.Deprecated {
+		t.Fatal("spec should be deprecated")
+	}
+}
+
+func TestOptionsINIRoundTrip(t *testing.T) {
+	o := DefaultOptions()
+	o.WriteBufferSize = 33554432
+	o.MaxBackgroundJobs = 5
+	o.BloomBitsPerKey = 10
+	o.Compression = SnappyCompression
+	o.Extra["allow_mmap_reads"] = "true"
+
+	doc := o.ToINI()
+	back, unknown, err := FromINI(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unknown) != 0 {
+		t.Fatalf("unknown keys: %v", unknown)
+	}
+	if back.WriteBufferSize != 33554432 || back.MaxBackgroundJobs != 5 ||
+		back.BloomBitsPerKey != 10 || back.Compression != SnappyCompression {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	if back.Extra["allow_mmap_reads"] != "true" {
+		t.Fatal("Extra lost")
+	}
+	// The document carries all three RocksDB sections.
+	for _, sec := range []string{SectionDB, SectionCF, SectionTable} {
+		if !doc.HasSection(sec) {
+			t.Fatalf("missing section %q", sec)
+		}
+	}
+}
+
+func TestFromINIUnknownKeys(t *testing.T) {
+	o := DefaultOptions()
+	doc := o.ToINI()
+	doc.Section(SectionDB).Set("hallucinated_option", "42")
+	back, unknown, err := FromINI(doc)
+	if err != nil || back == nil {
+		t.Fatal(err)
+	}
+	if len(unknown) != 1 || unknown[0] != "hallucinated_option" {
+		t.Fatalf("unknown = %v", unknown)
+	}
+}
+
+func TestParseFilterPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		err  bool
+	}{
+		{"nullptr", 0, false},
+		{"bloomfilter:10:false", 10, false},
+		{"bloomfilter:14:true", 14, false},
+		{"12", 12, false},
+		{"bloomfilter:999:false", 0, true},
+		{"garbage!", 0, true},
+	} {
+		got, err := parseFilterPolicy(tc.in)
+		if (err != nil) != tc.err || (!tc.err && got != tc.want) {
+			t.Errorf("parseFilterPolicy(%q) = %d, %v", tc.in, got, err)
+		}
+	}
+}
+
+// TestQuickHonoredGetSet: for every honored option, setting the value
+// returned by GetByName must round-trip.
+func TestQuickHonoredGetSet(t *testing.T) {
+	names := HonoredOptionNames()
+	fn := func(idx uint) bool {
+		name := names[idx%uint(len(names))]
+		o := DefaultOptions()
+		v, err := o.GetByName(name)
+		if err != nil {
+			return false
+		}
+		if err := o.SetByName(name, v); err != nil {
+			// wal_dir default "" is not settable as empty string for
+			// TypeString? It is; any failure is a bug.
+			return false
+		}
+		v2, err := o.GetByName(name)
+		return err == nil && v2 == v
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBBenchDefaults(t *testing.T) {
+	o := DBBenchDefaults()
+	if o.BloomBitsPerKey != 0 {
+		t.Fatalf("db_bench default bloom bits = %d; db_bench ships without a filter", o.BloomBitsPerKey)
+	}
+	if o.BlockCacheSize != 8<<20 {
+		t.Fatalf("db_bench default cache = %d", o.BlockCacheSize)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsClone(t *testing.T) {
+	o := DefaultOptions()
+	o.Extra["k"] = "v"
+	c := o.Clone()
+	c.Extra["k"] = "changed"
+	c.WriteBufferSize = 1 << 20
+	if o.Extra["k"] != "v" || o.WriteBufferSize == c.WriteBufferSize {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestValidateMessages(t *testing.T) {
+	cases := []func(*Options){
+		func(o *Options) { o.WriteBufferSize = 1 },
+		func(o *Options) { o.MinWriteBufferNumberToMerge = 99 },
+		func(o *Options) { o.NumLevels = 1 },
+		func(o *Options) { o.Level0SlowdownWritesTrigger = 1 },
+		func(o *Options) { o.Level0StopWritesTrigger = 1 },
+		func(o *Options) { o.MaxBytesForLevelMultiplier = 0.5 },
+		func(o *Options) { o.BlockSize = 1 },
+		func(o *Options) { o.MaxBackgroundJobs = 0 },
+	}
+	for i, tweak := range cases {
+		o := DefaultOptions()
+		tweak(o)
+		err := o.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), "lsm:") {
+			t.Errorf("case %d: unhelpful error %q", i, err)
+		}
+	}
+}

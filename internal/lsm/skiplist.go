@@ -1,0 +1,154 @@
+package lsm
+
+import (
+	"math/rand"
+	"sync"
+)
+
+const (
+	skiplistMaxHeight = 12
+	skiplistBranching = 4
+)
+
+// skipNode is one tower of the skiplist. key is an internal key; val is the
+// stored value (nil for tombstones, distinguished by key kind).
+type skipNode struct {
+	key  internalKey
+	val  []byte
+	next []*skipNode
+}
+
+// skiplist is an ordered map from internal keys to values. Inserts take the
+// mutex; reads are guarded by the same mutex held briefly (the engine's write
+// path is already serialized, so a fine-grained lock-free list would buy
+// nothing here and cost determinism).
+type skiplist struct {
+	mu     sync.RWMutex
+	head   *skipNode
+	height int
+	rnd    *rand.Rand
+	n      int
+	bytes  int64
+}
+
+// newSkiplist returns an empty list seeded deterministically.
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:   &skipNode{next: make([]*skipNode, skiplistMaxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < skiplistMaxHeight && s.rnd.Intn(skiplistBranching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= k and fills prev with
+// the predecessor at each level when prev is non-nil.
+func (s *skiplist) findGreaterOrEqual(k internalKey, prev []*skipNode) *skipNode {
+	x := s.head
+	level := s.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && compareInternal(next.key, k) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// insert adds key→val. Keys are unique by construction (each write gets a
+// fresh sequence number), so duplicates are a programming error.
+func (s *skiplist) insert(key internalKey, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prev [skiplistMaxHeight]*skipNode
+	if next := s.findGreaterOrEqual(key, prev[:]); next != nil && compareInternal(next.key, key) == 0 {
+		panic("lsm: duplicate internal key inserted into skiplist")
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		for i := s.height; i < h; i++ {
+			prev[i] = s.head
+		}
+		s.height = h
+	}
+	n := &skipNode{key: key, val: val, next: make([]*skipNode, h)}
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	s.n++
+	s.bytes += int64(len(key)) + int64(len(val)) + 48 // node overhead estimate
+}
+
+// seek returns the first node with key >= k.
+func (s *skiplist) seek(k internalKey) *skipNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.findGreaterOrEqual(k, nil)
+}
+
+// first returns the smallest node, or nil when empty.
+func (s *skiplist) first() *skipNode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head.next[0]
+}
+
+// count returns the number of entries.
+func (s *skiplist) count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// approximateBytes returns the approximate memory footprint.
+func (s *skiplist) approximateBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// skipIter iterates the list in internal-key order. The list is append-only,
+// so holding node pointers across lock releases is safe.
+type skipIter struct {
+	list *skiplist
+	node *skipNode
+}
+
+func (s *skiplist) iterator() *skipIter { return &skipIter{list: s} }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *skipIter) Valid() bool { return it.node != nil }
+
+// SeekToFirst positions at the smallest entry.
+func (it *skipIter) SeekToFirst() { it.node = it.list.first() }
+
+// Seek positions at the first entry with key >= k.
+func (it *skipIter) Seek(k internalKey) { it.node = it.list.seek(k) }
+
+// Next advances the iterator.
+func (it *skipIter) Next() {
+	it.list.mu.RLock()
+	it.node = it.node.next[0]
+	it.list.mu.RUnlock()
+}
+
+// Key returns the current internal key.
+func (it *skipIter) Key() internalKey { return it.node.key }
+
+// Value returns the current value.
+func (it *skipIter) Value() []byte { return it.node.val }

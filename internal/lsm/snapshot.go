@@ -1,0 +1,54 @@
+package lsm
+
+import "container/list"
+
+// Snapshot is a point-in-time read view. Reads through a snapshot see
+// exactly the versions visible at GetSnapshot time; compactions retain the
+// versions live snapshots need (the LevelDB smallest-snapshot rule).
+type Snapshot struct {
+	seq  uint64
+	elem *list.Element
+}
+
+// Sequence returns the snapshot's sequence number (diagnostics).
+func (s *Snapshot) Sequence() uint64 { return s.seq }
+
+// GetSnapshot captures the current state. Release it with ReleaseSnapshot;
+// live snapshots pin old versions and grow space usage.
+func (db *DB) GetSnapshot() *Snapshot {
+	db.mu.Lock()
+	seq := db.vs.lastSeq
+	db.mu.Unlock()
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	s := &Snapshot{seq: seq}
+	if db.snapshots == nil {
+		db.snapshots = list.New()
+	}
+	s.elem = db.snapshots.PushBack(s)
+	return s
+}
+
+// ReleaseSnapshot unpins a snapshot. Releasing twice is a no-op.
+func (db *DB) ReleaseSnapshot(s *Snapshot) {
+	if s == nil || s.elem == nil {
+		return
+	}
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	db.snapshots.Remove(s.elem)
+	s.elem = nil
+}
+
+// smallestSnapshot returns the sequence below which only the newest version
+// of each key must be kept. With no live snapshots every older version is
+// droppable (maxSequence). Guarded by snapMu, so flush/compaction may call
+// it whether or not they hold db.mu.
+func (db *DB) smallestSnapshot() uint64 {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	if db.snapshots == nil || db.snapshots.Len() == 0 {
+		return maxSequence
+	}
+	return db.snapshots.Front().Value.(*Snapshot).seq
+}

@@ -1,0 +1,194 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func TestSnapshotBasicVisibility(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	db.Put(wo, []byte("k"), []byte("v1"))
+	snap := db.GetSnapshot()
+	defer db.ReleaseSnapshot(snap)
+	db.Put(wo, []byte("k"), []byte("v2"))
+	db.Put(wo, []byte("new"), []byte("x"))
+
+	ro := &ReadOptions{Snapshot: snap}
+	if v, err := db.Get(ro, []byte("k")); err != nil || string(v) != "v1" {
+		t.Fatalf("snapshot Get = %q, %v", v, err)
+	}
+	if _, err := db.Get(ro, []byte("new")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("snapshot sees future key: %v", err)
+	}
+	if v, _ := db.Get(nil, []byte("k")); string(v) != "v2" {
+		t.Fatal("latest read affected by snapshot")
+	}
+}
+
+func TestSnapshotSurvivesFlushAndCompaction(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 500; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%04d", i)), []byte("old"))
+	}
+	snap := db.GetSnapshot()
+	defer db.ReleaseSnapshot(snap)
+	for i := 0; i < 500; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%04d", i)), []byte("new"))
+	}
+	// Deletions after the snapshot must not hide data from it either.
+	for i := 0; i < 100; i++ {
+		db.Delete(wo, []byte(fmt.Sprintf("k%04d", i)))
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	ro := &ReadOptions{Snapshot: snap}
+	for i := 0; i < 500; i += 13 {
+		v, err := db.Get(ro, []byte(fmt.Sprintf("k%04d", i)))
+		if err != nil || string(v) != "old" {
+			t.Fatalf("k%04d through snapshot = %q, %v (compaction dropped pinned version)", i, v, err)
+		}
+	}
+	// Latest view sees the new state.
+	if _, err := db.Get(nil, []byte("k0050")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete lost: %v", err)
+	}
+	if v, _ := db.Get(nil, []byte("k0400")); string(v) != "new" {
+		t.Fatal("latest version lost")
+	}
+}
+
+func TestSnapshotReleaseAllowsGC(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 500; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%04d", i)), make([]byte, 200))
+	}
+	snap := db.GetSnapshot()
+	for i := 0; i < 500; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%04d", i)), make([]byte, 200))
+	}
+	db.ReleaseSnapshot(snap)
+	db.ReleaseSnapshot(snap) // double release is a no-op
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var entries int64
+	db.mu.Lock()
+	for l := 0; l < db.vs.current.NumLevels(); l++ {
+		for _, f := range db.vs.current.LevelFiles(l) {
+			entries += f.Entries
+		}
+	}
+	db.mu.Unlock()
+	if entries != 500 {
+		t.Fatalf("entries = %d, want 500 (old versions GCed after release)", entries)
+	}
+}
+
+func TestSnapshotIterator(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 50; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%03d", i)), []byte("snap"))
+	}
+	snap := db.GetSnapshot()
+	defer db.ReleaseSnapshot(snap)
+	for i := 50; i < 100; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%03d", i)), []byte("after"))
+	}
+	it := db.NewIterator(&ReadOptions{Snapshot: snap})
+	defer it.Close()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if string(it.Value()) != "snap" {
+			t.Fatalf("%s = %q through snapshot", it.Key(), it.Value())
+		}
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("snapshot iterator saw %d keys, want 50", count)
+	}
+}
+
+// TestQuickSnapshotConsistency: under random writes, a snapshot's view of
+// every key equals the model state captured at snapshot time, even across
+// flushes and compactions.
+func TestQuickSnapshotConsistency(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := NewSimEnv(device.NVMe(), device.Profile4C8G(), seed)
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = 64 << 10
+		db, err := Open("/db", opts)
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		wo := DefaultWriteOptions()
+		keys := make([]string, 30)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key%02d", i)
+		}
+		model := map[string]string{}
+		write := func(n int) {
+			for i := 0; i < n; i++ {
+				k := keys[r.Intn(len(keys))]
+				if r.Intn(6) == 0 {
+					db.Delete(wo, []byte(k))
+					delete(model, k)
+				} else {
+					v := fmt.Sprintf("v%d", r.Int63())
+					db.Put(wo, []byte(k), []byte(v))
+					model[k] = v
+				}
+			}
+		}
+		write(150)
+		snapModel := make(map[string]string, len(model))
+		for k, v := range model {
+			snapModel[k] = v
+		}
+		snap := db.GetSnapshot()
+		defer db.ReleaseSnapshot(snap)
+		write(150)
+		if r.Intn(2) == 0 {
+			if err := db.Flush(); err != nil {
+				return false
+			}
+		}
+		if r.Intn(2) == 0 {
+			if err := db.CompactRange(nil, nil); err != nil {
+				return false
+			}
+		}
+		ro := &ReadOptions{Snapshot: snap}
+		for _, k := range keys {
+			v, err := db.Get(ro, []byte(k))
+			want, ok := snapModel[k]
+			if ok {
+				if err != nil || string(v) != want {
+					return false
+				}
+			} else if !errors.Is(err, ErrNotFound) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,609 @@
+package lsm
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+// SSTable layout:
+//
+//	[data block]*            each block: payload ctype(1) crc32(4)
+//	[filter block]           bloom over user keys (uncompressed)
+//	[index block]            lastInternalKey -> blockHandle
+//	[footer]                 handles + entry count + magic, fixed size
+//
+// blockHandle = varint(offset) varint(payloadLen). ctype: 0 none, 1 flate.
+const (
+	tableMagic       = 0x6d696e69726f636b // "minirock"
+	blockTrailerSize = 5
+	footerSize       = 4*binary.MaxVarintLen64 + 8
+)
+
+// Compression identifies a block compression codec. Snappy/LZ4/Zstd names
+// from RocksDB map onto flate levels (stdlib-only substitution).
+type Compression int
+
+const (
+	// NoCompression stores blocks raw.
+	NoCompression Compression = iota
+	// SnappyCompression approximates snappy with flate level 1.
+	SnappyCompression
+	// LZ4Compression approximates lz4 with flate level 1.
+	LZ4Compression
+	// ZstdCompression approximates zstd with flate level 6.
+	ZstdCompression
+)
+
+// ParseCompression maps RocksDB compression_type strings.
+func ParseCompression(s string) (Compression, error) {
+	switch s {
+	case "none", "no", "kNoCompression", "disable", "false":
+		return NoCompression, nil
+	case "snappy", "kSnappyCompression":
+		return SnappyCompression, nil
+	case "lz4", "kLZ4Compression":
+		return LZ4Compression, nil
+	case "zstd", "kZSTD", "zlib", "kZlibCompression":
+		return ZstdCompression, nil
+	default:
+		return NoCompression, fmt.Errorf("lsm: unknown compression_type %q", s)
+	}
+}
+
+// String renders the RocksDB-style name.
+func (c Compression) String() string {
+	switch c {
+	case NoCompression:
+		return "none"
+	case SnappyCompression:
+		return "snappy"
+	case LZ4Compression:
+		return "lz4"
+	case ZstdCompression:
+		return "zstd"
+	default:
+		return fmt.Sprintf("Compression(%d)", int(c))
+	}
+}
+
+func (c Compression) flateLevel() int {
+	switch c {
+	case SnappyCompression, LZ4Compression:
+		return 1
+	case ZstdCompression:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// blockHandle locates a block payload within the file.
+type blockHandle struct {
+	offset, length uint64
+}
+
+func (h blockHandle) encode(dst []byte) []byte {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], h.offset)
+	n += binary.PutUvarint(tmp[n:], h.length)
+	return append(dst, tmp[:n]...)
+}
+
+func decodeBlockHandle(src []byte) (blockHandle, int, error) {
+	off, n1 := binary.Uvarint(src)
+	if n1 <= 0 {
+		return blockHandle{}, 0, fmt.Errorf("lsm: bad block handle offset")
+	}
+	length, n2 := binary.Uvarint(src[n1:])
+	if n2 <= 0 {
+		return blockHandle{}, 0, fmt.Errorf("lsm: bad block handle length")
+	}
+	return blockHandle{off, length}, n1 + n2, nil
+}
+
+// TableProps summarizes a built table.
+type TableProps struct {
+	NumEntries    int64
+	NumDeletions  int64
+	RawKeyBytes   int64
+	RawValueBytes int64
+	DataSize      int64
+	FileSize      int64
+	SmallestSeq   uint64
+	LargestSeq    uint64
+}
+
+// tableBuilder writes an SSTable through a WritableFile.
+type tableBuilder struct {
+	w           WritableFile
+	opts        *Options
+	dataBlock   *blockBuilder
+	indexBlock  *blockBuilder
+	filter      *bloomFilter
+	offset      uint64
+	firstKey    internalKey
+	lastKey     internalKey
+	props       TableProps
+	pendingIdx  bool   // an index entry awaits the next key (or finish)
+	pendingKey  []byte // last key of the completed data block
+	pendingHndl blockHandle
+	err         error
+}
+
+// newTableBuilder starts building a table with the given options.
+func newTableBuilder(w WritableFile, opts *Options) *tableBuilder {
+	b := &tableBuilder{
+		w:          w,
+		opts:       opts,
+		dataBlock:  newBlockBuilder(opts.BlockRestartInterval),
+		indexBlock: newBlockBuilder(1),
+	}
+	if opts.BloomBitsPerKey > 0 {
+		b.filter = newBloomFilter(opts.BloomBitsPerKey)
+	}
+	return b
+}
+
+// add appends an entry; internal keys must arrive in strictly increasing
+// internal-key order.
+func (b *tableBuilder) add(ikey internalKey, value []byte) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.pendingIdx {
+		// Index key: the completed block's last key (no shortening —
+		// correctness over the last byte of space).
+		b.indexBlock.add(b.pendingKey, b.pendingHndl.encode(nil))
+		b.pendingIdx = false
+	}
+	if b.firstKey == nil {
+		b.firstKey = append(internalKey(nil), ikey...)
+	}
+	b.lastKey = append(b.lastKey[:0], ikey...)
+	if b.filter != nil {
+		b.filter.add(ikey.userKey())
+	}
+	b.dataBlock.add(ikey, value)
+	b.props.NumEntries++
+	if ikey.kind() == KindDelete {
+		b.props.NumDeletions++
+	}
+	b.props.RawKeyBytes += int64(len(ikey))
+	b.props.RawValueBytes += int64(len(value))
+	seq := ikey.seq()
+	if b.props.SmallestSeq == 0 || seq < b.props.SmallestSeq {
+		b.props.SmallestSeq = seq
+	}
+	if seq > b.props.LargestSeq {
+		b.props.LargestSeq = seq
+	}
+	if b.dataBlock.estimatedSize() >= b.opts.BlockSize {
+		b.flushDataBlock()
+	}
+	return b.err
+}
+
+func (b *tableBuilder) flushDataBlock() {
+	if b.dataBlock.empty() || b.err != nil {
+		return
+	}
+	raw := b.dataBlock.finish()
+	h, err := b.writeBlock(raw, b.opts.Compression)
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.props.DataSize += int64(h.length)
+	b.pendingKey = append(b.pendingKey[:0], b.lastKey...)
+	b.pendingHndl = h
+	b.pendingIdx = true
+	b.dataBlock.reset()
+}
+
+// writeBlock compresses (maybe), appends payload+trailer, returns its handle.
+func (b *tableBuilder) writeBlock(raw []byte, comp Compression) (blockHandle, error) {
+	payload := raw
+	ctype := byte(0)
+	if comp != NoCompression {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, comp.flateLevel())
+		if err != nil {
+			return blockHandle{}, err
+		}
+		if _, err := fw.Write(raw); err != nil {
+			return blockHandle{}, err
+		}
+		if err := fw.Close(); err != nil {
+			return blockHandle{}, err
+		}
+		if buf.Len() < len(raw)-len(raw)/8 { // keep only if ≥12.5% saved
+			payload = buf.Bytes()
+			ctype = 1
+		}
+	}
+	h := blockHandle{offset: b.offset, length: uint64(len(payload))}
+	var trailer [blockTrailerSize]byte
+	trailer[0] = ctype
+	crc := crc32.ChecksumIEEE(payload)
+	crc = crc32.Update(crc, crc32.IEEETable, trailer[:1])
+	binary.LittleEndian.PutUint32(trailer[1:], crc)
+	if err := b.w.Append(payload); err != nil {
+		return blockHandle{}, err
+	}
+	if err := b.w.Append(trailer[:]); err != nil {
+		return blockHandle{}, err
+	}
+	b.offset += uint64(len(payload)) + blockTrailerSize
+	return h, nil
+}
+
+// finish flushes remaining blocks, writes filter+index+footer, and returns
+// the table properties. The file is not synced or closed.
+func (b *tableBuilder) finish() (TableProps, error) {
+	if b.err != nil {
+		return b.props, b.err
+	}
+	b.flushDataBlock()
+	if b.pendingIdx {
+		b.indexBlock.add(b.pendingKey, b.pendingHndl.encode(nil))
+		b.pendingIdx = false
+	}
+	var filterHandle blockHandle
+	if b.filter != nil {
+		if data := b.filter.build(); data != nil {
+			h, err := b.writeBlock(data, NoCompression)
+			if err != nil {
+				return b.props, err
+			}
+			filterHandle = h
+		}
+	}
+	indexHandle, err := b.writeBlock(b.indexBlock.finish(), NoCompression)
+	if err != nil {
+		return b.props, err
+	}
+	footer := make([]byte, 0, footerSize)
+	footer = filterHandle.encode(footer)
+	footer = indexHandle.encode(footer)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(b.props.NumEntries))
+	footer = append(footer, tmp[:]...)
+	for len(footer) < footerSize-8 {
+		footer = append(footer, 0)
+	}
+	binary.LittleEndian.PutUint64(tmp[:], tableMagic)
+	footer = append(footer, tmp[:]...)
+	if err := b.w.Append(footer); err != nil {
+		return b.props, err
+	}
+	b.offset += uint64(len(footer))
+	b.props.FileSize = int64(b.offset)
+	return b.props, nil
+}
+
+// smallest and largest internal keys seen (valid after at least one add).
+func (b *tableBuilder) smallest() internalKey { return b.firstKey }
+func (b *tableBuilder) largest() internalKey  { return b.lastKey }
+
+// estimatedSize reports bytes written so far plus the unflushed block.
+func (b *tableBuilder) estimatedSize() int64 {
+	return int64(b.offset) + int64(b.dataBlock.estimatedSize())
+}
+
+// tableReader serves point lookups and scans from one SSTable.
+type tableReader struct {
+	f        RandomAccessFile
+	env      Env
+	cache    *blockCache
+	cacheID  uint64
+	fileNum  uint64
+	indexIt  *blockIter // template; cloned per lookup via reparse
+	indexRaw []byte
+	filter   []byte
+	entries  uint64
+	size     int64
+	stats    *Statistics
+}
+
+// openTable reads the footer, index and filter blocks of an SSTable.
+func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *Statistics, class IOClass) (*tableReader, error) {
+	f, err := env.NewRandomAccessFile(name, class)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size < footerSize {
+		f.Close()
+		return nil, fmt.Errorf("lsm: table %s too small (%d bytes)", name, size)
+	}
+	footer := make([]byte, footerSize)
+	if err := f.ReadAt(footer, size-footerSize, HintRandom); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint64(footer[footerSize-8:]); got != tableMagic {
+		f.Close()
+		return nil, fmt.Errorf("lsm: bad table magic %#x in %s", got, name)
+	}
+	filterHandle, n, err := decodeBlockHandle(footer)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	indexHandle, n2, err := decodeBlockHandle(footer[n:])
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	entries := binary.LittleEndian.Uint64(footer[n+n2:])
+	t := &tableReader{
+		f:       f,
+		env:     env,
+		cache:   cache,
+		fileNum: fileNum,
+		entries: entries,
+		size:    size,
+		stats:   stats,
+	}
+	if cache != nil {
+		t.cacheID = cache.NewID()
+	}
+	t.indexRaw, err = t.readBlockRaw(indexHandle, HintRandom)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if filterHandle.length > 0 {
+		t.filter, err = t.readBlockRaw(filterHandle, HintRandom)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// readBlockRaw reads and verifies one block payload, decompressing if needed.
+func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint) ([]byte, error) {
+	buf := make([]byte, h.length+blockTrailerSize)
+	if err := t.f.ReadAt(buf, int64(h.offset), hint); err != nil {
+		return nil, err
+	}
+	payload := buf[:h.length]
+	ctype := buf[h.length]
+	wantCRC := binary.LittleEndian.Uint32(buf[h.length+1:])
+	crc := crc32.ChecksumIEEE(payload)
+	crc = crc32.Update(crc, crc32.IEEETable, []byte{ctype})
+	if crc != wantCRC {
+		return nil, fmt.Errorf("lsm: block checksum mismatch at offset %d (file %d)", h.offset, t.fileNum)
+	}
+	switch ctype {
+	case 0:
+		return payload, nil
+	case 1:
+		fr := flate.NewReader(bytes.NewReader(payload))
+		out, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: decompress block at %d: %w", h.offset, err)
+		}
+		if t.env != nil {
+			t.env.ChargeCPU(time.Duration(len(out)) * 2 * time.Nanosecond)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("lsm: unknown block compression %d", ctype)
+	}
+}
+
+// readBlock returns a decoded block through the block cache.
+func (t *tableReader) readBlock(h blockHandle, hint AccessHint) ([]byte, error) {
+	if t.cache != nil {
+		if v, ok := t.cache.Lookup(t.cacheID, h.offset); ok {
+			if t.stats != nil {
+				t.stats.Add(TickerBlockCacheHit, 1)
+			}
+			if t.env != nil {
+				t.env.ChargeCPU(200 * time.Nanosecond)
+			}
+			return v, nil
+		}
+		if t.stats != nil {
+			t.stats.Add(TickerBlockCacheMiss, 1)
+		}
+	}
+	raw, err := t.readBlockRaw(h, hint)
+	if err != nil {
+		return nil, err
+	}
+	if t.cache != nil {
+		t.cache.Insert(t.cacheID, h.offset, raw)
+	}
+	return raw, nil
+}
+
+// mayContain runs the table's bloom filter for a user key.
+func (t *tableReader) mayContain(userKey []byte) bool {
+	if t.filter == nil {
+		return true
+	}
+	if t.env != nil {
+		t.env.ChargeCPU(120 * time.Nanosecond)
+	}
+	ok := bloomMayContain(t.filter, userKey)
+	if t.stats != nil {
+		if ok {
+			t.stats.Add(TickerBloomChecked, 1)
+		} else {
+			t.stats.Add(TickerBloomUseful, 1)
+		}
+	}
+	return ok
+}
+
+// icmp adapts compareInternal to the blockIter comparator signature.
+func icmp(a, b []byte) int { return compareInternal(internalKey(a), internalKey(b)) }
+
+// get finds the newest entry for ikey's user key at or before ikey's
+// sequence. Returns value, found, deleted.
+func (t *tableReader) get(ikey internalKey) (value []byte, found, deleted bool, err error) {
+	if !t.mayContain(ikey.userKey()) {
+		return nil, false, false, nil
+	}
+	idx, err := newBlockIter(t.indexRaw)
+	if err != nil {
+		return nil, false, false, err
+	}
+	idx.Seek(ikey, icmp)
+	if !idx.Valid() {
+		return nil, false, false, idx.Err()
+	}
+	h, _, err := decodeBlockHandle(idx.Value())
+	if err != nil {
+		return nil, false, false, err
+	}
+	data, err := t.readBlock(h, HintRandom)
+	if err != nil {
+		return nil, false, false, err
+	}
+	it, err := newBlockIter(data)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if t.env != nil {
+		t.env.ChargeCPU(400 * time.Nanosecond)
+	}
+	it.Seek(ikey, icmp)
+	if !it.Valid() {
+		return nil, false, false, it.Err()
+	}
+	got := internalKey(it.Key())
+	if !bytes.Equal(got.userKey(), ikey.userKey()) {
+		return nil, false, false, nil
+	}
+	if got.kind() == KindDelete {
+		return nil, true, true, nil
+	}
+	val := append([]byte(nil), it.Value()...)
+	return val, true, false, nil
+}
+
+// close releases the file and evicts the table's cached blocks.
+func (t *tableReader) close() error {
+	if t.cache != nil {
+		t.cache.EraseID(t.cacheID)
+	}
+	return t.f.Close()
+}
+
+// tableIter iterates a whole table in internal-key order.
+type tableIter struct {
+	t    *tableReader
+	idx  *blockIter
+	data *blockIter
+	err  error
+	hint AccessHint
+}
+
+// iterator returns an iterator over the table. hint prices block reads.
+func (t *tableReader) iterator(hint AccessHint) *tableIter {
+	idx, err := newBlockIter(t.indexRaw)
+	it := &tableIter{t: t, idx: idx, err: err, hint: hint}
+	return it
+}
+
+// loadDataBlock opens the data block under the current index position.
+func (it *tableIter) loadDataBlock() {
+	it.data = nil
+	if it.err != nil || !it.idx.Valid() {
+		return
+	}
+	h, _, err := decodeBlockHandle(it.idx.Value())
+	if err != nil {
+		it.err = err
+		return
+	}
+	raw, err := it.t.readBlock(h, it.hint)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.data, it.err = newBlockIter(raw)
+}
+
+// SeekToFirst positions at the table's first entry.
+func (it *tableIter) SeekToFirst() {
+	if it.err != nil {
+		return
+	}
+	it.idx.SeekToFirst()
+	it.loadDataBlock()
+	if it.data != nil {
+		it.data.SeekToFirst()
+	}
+	it.skipEmptyBlocks()
+}
+
+// Seek positions at the first entry >= ikey.
+func (it *tableIter) Seek(ikey internalKey) {
+	if it.err != nil {
+		return
+	}
+	it.idx.Seek(ikey, icmp)
+	it.loadDataBlock()
+	if it.data != nil {
+		it.data.Seek(ikey, icmp)
+	}
+	it.skipEmptyBlocks()
+}
+
+// Next advances one entry.
+func (it *tableIter) Next() {
+	if it.data == nil {
+		return
+	}
+	it.data.Next()
+	it.skipEmptyBlocks()
+}
+
+func (it *tableIter) skipEmptyBlocks() {
+	for it.err == nil && (it.data == nil || !it.data.Valid()) {
+		if it.data != nil && it.data.Err() != nil {
+			it.err = it.data.Err()
+			return
+		}
+		if !it.idx.Valid() {
+			it.data = nil
+			return
+		}
+		it.idx.Next()
+		if !it.idx.Valid() {
+			it.data = nil
+			return
+		}
+		it.loadDataBlock()
+		if it.data != nil {
+			it.data.SeekToFirst()
+		}
+	}
+}
+
+// Valid reports whether the iterator is on an entry.
+func (it *tableIter) Valid() bool { return it.err == nil && it.data != nil && it.data.Valid() }
+
+// Key returns the current internal key.
+func (it *tableIter) Key() internalKey { return internalKey(it.data.Key()) }
+
+// Value returns the current value.
+func (it *tableIter) Value() []byte { return it.data.Value() }
+
+// Err returns the first error encountered.
+func (it *tableIter) Err() error { return it.err }

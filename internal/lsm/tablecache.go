@@ -1,0 +1,108 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// tableCache keeps open tableReaders, bounded by max_open_files. Eviction
+// closes the reader and drops its cached blocks.
+type tableCache struct {
+	mu    sync.Mutex
+	env   Env
+	dir   string
+	cache *blockCache
+	stats *Statistics
+	cap   int
+	m     map[uint64]*list.Element
+	lru   *list.List // front = most recent; values are *tcEntry
+
+	hits, misses int64
+}
+
+type tcEntry struct {
+	num    uint64
+	reader *tableReader
+}
+
+// newTableCache builds a cache holding at most cap open tables (cap <= 0
+// means effectively unlimited, RocksDB's max_open_files = -1).
+func newTableCache(env Env, dir string, cache *blockCache, stats *Statistics, cap int) *tableCache {
+	if cap <= 0 {
+		cap = 1 << 30
+	}
+	return &tableCache{
+		env:   env,
+		dir:   dir,
+		cache: cache,
+		stats: stats,
+		cap:   cap,
+		m:     make(map[uint64]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// get returns an open reader for a table file, opening it on miss.
+func (tc *tableCache) get(num uint64) (*tableReader, error) {
+	tc.mu.Lock()
+	if el, ok := tc.m[num]; ok {
+		tc.lru.MoveToFront(el)
+		r := el.Value.(*tcEntry).reader
+		tc.hits++
+		tc.mu.Unlock()
+		return r, nil
+	}
+	tc.misses++
+	tc.mu.Unlock()
+
+	// Open outside the lock; a racing open of the same table is harmless
+	// (one wins the map, the loser is closed).
+	r, err := openTable(tc.env, tableFileName(tc.dir, num), num, tc.cache, tc.stats, IOForeground)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	if el, ok := tc.m[num]; ok {
+		tc.lru.MoveToFront(el)
+		existing := el.Value.(*tcEntry).reader
+		tc.mu.Unlock()
+		r.close()
+		return existing, nil
+	}
+	el := tc.lru.PushFront(&tcEntry{num: num, reader: r})
+	tc.m[num] = el
+	for tc.lru.Len() > tc.cap {
+		victim := tc.lru.Back()
+		tc.lru.Remove(victim)
+		ent := victim.Value.(*tcEntry)
+		delete(tc.m, ent.num)
+		ent.reader.close()
+	}
+	tc.mu.Unlock()
+	return r, nil
+}
+
+// evict closes and forgets a table (called when its file is deleted).
+func (tc *tableCache) evict(num uint64) {
+	tc.mu.Lock()
+	el, ok := tc.m[num]
+	if ok {
+		tc.lru.Remove(el)
+		delete(tc.m, num)
+	}
+	tc.mu.Unlock()
+	if ok {
+		el.Value.(*tcEntry).reader.close()
+	}
+}
+
+// close releases every open reader.
+func (tc *tableCache) close() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for _, el := range tc.m {
+		el.Value.(*tcEntry).reader.close()
+	}
+	tc.m = make(map[uint64]*list.Element)
+	tc.lru.Init()
+}

@@ -1,0 +1,251 @@
+package lsm
+
+import (
+	"testing"
+)
+
+func fm(num uint64, size int64, lo, hi string) *FileMeta {
+	return &FileMeta{
+		Number:   num,
+		Size:     size,
+		Smallest: makeInternalKey(nil, []byte(lo), maxSequence, KindValue),
+		Largest:  makeInternalKey(nil, []byte(hi), 0, KindDelete),
+	}
+}
+
+func TestVersionLevelAccounting(t *testing.T) {
+	v := newVersion(7)
+	v.levels[0] = []*FileMeta{fm(3, 100, "a", "m"), fm(2, 50, "c", "z")}
+	v.levels[1] = []*FileMeta{fm(1, 200, "a", "f"), fm(4, 300, "g", "p")}
+	if v.NumLevelFiles(0) != 2 || v.LevelBytes(1) != 500 || v.TotalBytes() != 650 || v.TotalFiles() != 4 {
+		t.Fatalf("accounting wrong: %d %d %d %d",
+			v.NumLevelFiles(0), v.LevelBytes(1), v.TotalBytes(), v.TotalFiles())
+	}
+	if got := v.LevelSummary(); got != "files[ 2 2 0 0 0 0 0 ]" {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+func TestVersionOverlaps(t *testing.T) {
+	v := newVersion(7)
+	v.levels[1] = []*FileMeta{fm(1, 10, "b", "d"), fm(2, 10, "f", "h"), fm(3, 10, "k", "m")}
+	got := v.overlappingFiles(1, []byte("c"), []byte("g"))
+	if len(got) != 2 || got[0].Number != 1 || got[1].Number != 2 {
+		t.Fatalf("overlapping = %v", got)
+	}
+	if got := v.overlappingFiles(1, nil, nil); len(got) != 3 {
+		t.Fatalf("open range overlap = %v", got)
+	}
+	if got := v.overlappingFiles(1, []byte("x"), []byte("z")); len(got) != 0 {
+		t.Fatalf("no-overlap = %v", got)
+	}
+}
+
+func TestVersionFilesForGet(t *testing.T) {
+	v := newVersion(3)
+	v.levels[0] = []*FileMeta{fm(9, 10, "a", "z"), fm(5, 10, "p", "q")}
+	sortLevel(0, v.levels[0])
+	v.levels[1] = []*FileMeta{fm(1, 10, "a", "c"), fm(2, 10, "d", "f")}
+
+	got := v.filesForGet([]byte("e"))
+	if len(got[0]) != 1 || got[0][0].Number != 9 {
+		t.Fatalf("L0 candidates = %v", got[0])
+	}
+	if len(got[1]) != 1 || got[1][0].Number != 2 {
+		t.Fatalf("L1 candidate = %v", got[1])
+	}
+	// Key "p": both L0 files overlap; newest (9) first.
+	got = v.filesForGet([]byte("p"))
+	if len(got[0]) != 2 || got[0][0].Number != 9 || got[0][1].Number != 5 {
+		t.Fatalf("L0 ordering = %v", got[0])
+	}
+	// Key outside L1 ranges.
+	got = v.filesForGet([]byte("x"))
+	if len(got[1]) != 0 {
+		t.Fatalf("phantom L1 candidate: %v", got[1])
+	}
+}
+
+func TestVersionInvariants(t *testing.T) {
+	v := newVersion(3)
+	v.levels[1] = []*FileMeta{fm(1, 10, "a", "m"), fm(2, 10, "c", "z")}
+	if err := v.checkInvariants(); err == nil {
+		t.Fatal("overlapping L1 accepted")
+	}
+	v.levels[1] = []*FileMeta{fm(1, 10, "a", "c"), fm(2, 10, "d", "z")}
+	if err := v.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionScore(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Level0FileNumCompactionTrigger = 4
+	opts.MaxBytesForLevelBase = 1000
+	opts.MaxBytesForLevelMultiplier = 10
+	v := newVersion(7)
+	for i := 0; i < 8; i++ {
+		v.levels[0] = append(v.levels[0], fm(uint64(10+i), 100, "a", "z"))
+	}
+	level, score := v.compactionScore(opts)
+	if level != 0 || score != 2.0 {
+		t.Fatalf("score = L%d %.2f, want L0 2.0", level, score)
+	}
+	// Oversized L1 outweighs a quiet L0.
+	v2 := newVersion(7)
+	v2.levels[1] = []*FileMeta{fm(1, 5000, "a", "c")}
+	level, score = v2.compactionScore(opts)
+	if level != 1 || score != 5.0 {
+		t.Fatalf("score = L%d %.2f, want L1 5.0", level, score)
+	}
+}
+
+func TestPendingCompactionBytes(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Level0FileNumCompactionTrigger = 2
+	opts.MaxBytesForLevelBase = 100
+	v := newVersion(7)
+	v.levels[0] = []*FileMeta{fm(4, 10, "a", "b"), fm(3, 10, "a", "b"), fm(2, 10, "a", "b")}
+	v.levels[1] = []*FileMeta{fm(1, 150, "a", "z")}
+	debt := v.pendingCompactionBytes(opts)
+	// one L0 file beyond trigger (10) + 50 over L1 capacity.
+	if debt != 60 {
+		t.Fatalf("debt = %d, want 60", debt)
+	}
+}
+
+func TestVersionEditEncodeDecode(t *testing.T) {
+	e := &versionEdit{
+		hasLogNumber: true, logNumber: 7,
+		hasNextFile: true, nextFileNum: 42,
+		hasLastSeq: true, lastSeq: 999,
+		deletedFiles: []deletedFile{{0, 3}, {2, 9}},
+		newFiles: []newFile{
+			{1, fm(10, 1234, "aaa", "zzz")},
+		},
+	}
+	enc := e.encode()
+	d, err := decodeVersionEdit(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.logNumber != 7 || d.nextFileNum != 42 || d.lastSeq != 999 {
+		t.Fatalf("scalars: %+v", d)
+	}
+	if len(d.deletedFiles) != 2 || d.deletedFiles[1] != (deletedFile{2, 9}) {
+		t.Fatalf("deleted: %+v", d.deletedFiles)
+	}
+	if len(d.newFiles) != 1 || d.newFiles[0].meta.Size != 1234 ||
+		string(d.newFiles[0].meta.Smallest.userKey()) != "aaa" {
+		t.Fatalf("new files: %+v", d.newFiles)
+	}
+}
+
+func TestVersionEditDecodeErrors(t *testing.T) {
+	if _, err := decodeVersionEdit([]byte{200}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := decodeVersionEdit([]byte{tagNewFile, 1}); err == nil {
+		t.Fatal("truncated edit accepted")
+	}
+}
+
+func TestLevelCapacityAndTargetFileSize(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxBytesForLevelBase = 1000
+	opts.MaxBytesForLevelMultiplier = 10
+	if c := levelCapacity(opts, 1); c != 1000 {
+		t.Fatalf("L1 cap = %d", c)
+	}
+	if c := levelCapacity(opts, 3); c != 100000 {
+		t.Fatalf("L3 cap = %d", c)
+	}
+	opts.TargetFileSizeBase = 1 << 20
+	opts.TargetFileSizeMultiplier = 2
+	if s := targetFileSize(opts, 1); s != 1<<20 {
+		t.Fatalf("L1 target = %d", s)
+	}
+	if s := targetFileSize(opts, 3); s != 4<<20 {
+		t.Fatalf("L3 target = %d", s)
+	}
+}
+
+func TestDynamicLevelCapacities(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LevelCompactionDynamicLevelBytes = true
+	opts.MaxBytesForLevelBase = 1 << 20
+	opts.MaxBytesForLevelMultiplier = 10
+	opts.TargetFileSizeBase = 1 << 16 // below the smallest expected capacity
+	v := newVersion(4)
+	v.levels[3] = []*FileMeta{fm(1, 100<<20, "a", "z")}
+	caps := levelCapacities(v, opts)
+	if caps[3] != 100<<20 {
+		t.Fatalf("bottom cap = %d", caps[3])
+	}
+	if caps[2] != 10<<20 || caps[1] != 1<<20 {
+		t.Fatalf("upper caps = %v", caps)
+	}
+}
+
+func TestParseFileNames(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind fileKind
+		num  uint64
+	}{
+		{"CURRENT", fileKindCurrent, 0},
+		{"MANIFEST-000007", fileKindManifest, 7},
+		{"000012.log", fileKindLog, 12},
+		{"000099.sst", fileKindTable, 99},
+		{"OPTIONS-000004", fileKindOptions, 4},
+		{"LOG.old", fileKindUnknown, 0},
+		{"xyz.sst", fileKindUnknown, 0},
+	} {
+		kind, num := parseFileName(tc.name)
+		if kind != tc.kind || num != tc.num {
+			t.Errorf("parseFileName(%q) = %v, %d", tc.name, kind, num)
+		}
+	}
+}
+
+func TestBlockCacheLRU(t *testing.T) {
+	c := newBlockCache(256 << 10)
+	id := c.NewID()
+	for i := uint64(0); i < 2000; i++ {
+		c.Insert(id, i, make([]byte, 1024))
+	}
+	// Capacity plus one straggler entry per shard of slack.
+	if used := c.Used(); used > (256<<10)+16*1100 {
+		t.Fatalf("cache over capacity: %d", used)
+	}
+	// Recent entries survive, oldest evicted.
+	if _, ok := c.Lookup(id, 1999); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.Lookup(id, 0); ok {
+		t.Fatal("oldest entry survived heavy insertion")
+	}
+	hits, misses := c.HitRate()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("hit/miss accounting: %d/%d", hits, misses)
+	}
+	c.EraseID(id)
+	if _, ok := c.Lookup(id, 99); ok {
+		t.Fatal("EraseID left entries")
+	}
+}
+
+func TestPickLeveledBusyFiles(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Level0FileNumCompactionTrigger = 2
+	v := newVersion(7)
+	v.levels[0] = []*FileMeta{fm(5, 10, "a", "z"), fm(4, 10, "a", "z")}
+	sortLevel(0, v.levels[0])
+	busy := map[uint64]bool{5: true}
+	if c := pickCompaction(v, opts, busy); c != nil {
+		t.Fatalf("picked compaction with busy L0 file: %v", c)
+	}
+	if c := pickCompaction(v, opts, map[uint64]bool{}); c == nil || len(c.inputs[0]) != 2 {
+		t.Fatalf("pick = %+v", c)
+	}
+}

@@ -1,0 +1,446 @@
+// Package mockllm is the offline stand-in for the GPT-4 API: a
+// deterministic "LSM-KVS tuning expert" whose knowledge base is distilled
+// from the RocksDB tuning guide and the option-change patterns the paper
+// reports (Table 5). It reproduces the behavioural properties the paper
+// attributes to the LLM:
+//
+//   - at most ~10 option changes per iteration;
+//   - hardware awareness (cache sized from memory, background jobs from
+//     cores, readahead on spinning disks);
+//   - iteration-to-iteration experimentation with oscillation
+//     (max_background_flushes 2 -> 1 -> 2, sync sizes halved and restored);
+//   - blog-like preferences for the same well-known options;
+//   - occasional hallucinated or deprecated options and occasionally
+//     dangerous suggestions (disabling the WAL), exercising the Safeguard
+//     Enforcer;
+//   - replies in mixed natural language + config blocks in varying formats.
+//
+// It implements llm.Client in-process and can be served over HTTP with
+// llm.ServeChat (cmd/mockllm), so the framework code path is identical to
+// one talking to a real endpoint.
+package mockllm
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/llm"
+)
+
+// Expert is the simulated tuning model.
+type Expert struct {
+	// Seed perturbs rendering and experimentation deterministically.
+	Seed int64
+	// HallucinationRate is the probability a response includes an invented
+	// option name (GPT-4-style confident nonsense). Default 0.15.
+	HallucinationRate float64
+	// DeprecatedRate is the probability a response includes a deprecated
+	// real option (the paper notes LLMs over-focus on old options).
+	DeprecatedRate float64
+	// DangerousRate is the probability a response suggests a blacklisted
+	// change (e.g. disabling the WAL for speed). Default 0.10.
+	DangerousRate float64
+	// FormatNoiseRate is the probability the response uses a sloppier
+	// format (prose bullets instead of a clean ini block).
+	FormatNoiseRate float64
+}
+
+// NewExpert returns an Expert with the default behaviour rates.
+func NewExpert(seed int64) *Expert {
+	return &Expert{
+		Seed:              seed,
+		HallucinationRate: 0.15,
+		DeprecatedRate:    0.10,
+		DangerousRate:     0.10,
+		FormatNoiseRate:   0.25,
+	}
+}
+
+// Name implements llm.Client.
+func (e *Expert) Name() string { return "mock-gpt-4" }
+
+// promptFeatures is what the expert extracts from the conversation, like an
+// LLM attending to the relevant facts.
+type promptFeatures struct {
+	iteration    int
+	workload     string // fillrandom, readrandom, readrandomwriterandom, mixgraph
+	writeHeavy   bool
+	readHeavy    bool
+	cores        int
+	memoryGiB    float64
+	hdd          bool
+	deteriorated bool
+	current      map[string]string // parsed current option values
+	throughput   float64
+}
+
+var (
+	reIteration  = regexp.MustCompile(`(?i)iteration[:\s#]+(\d+)`)
+	reCores      = regexp.MustCompile(`(?i)cpu cores?:\s*(\d+)`)
+	reMemory     = regexp.MustCompile(`(?i)memory:\s*([\d.]+)\s*GiB`)
+	reWorkload   = regexp.MustCompile(`(?i)workload[^\n]*?:\s*([a-z]+)`)
+	reThroughput = regexp.MustCompile(`([\d.]+)\s*ops/sec`)
+	reKV         = regexp.MustCompile(`(?m)^\s*([a-z_0-9]+)\s*=\s*(\S+)`)
+)
+
+// parsePrompt extracts features from the full conversation text.
+func parsePrompt(msgs []llm.Message) promptFeatures {
+	var all strings.Builder
+	var lastUser string
+	for _, m := range msgs {
+		all.WriteString(m.Content)
+		all.WriteString("\n")
+		if m.Role == llm.RoleUser {
+			lastUser = m.Content
+		}
+	}
+	text := all.String()
+	f := promptFeatures{cores: 4, memoryGiB: 8, current: map[string]string{}}
+	if m := reIteration.FindStringSubmatch(lastUser); m != nil {
+		f.iteration, _ = strconv.Atoi(m[1])
+	}
+	if m := reCores.FindStringSubmatch(text); m != nil {
+		f.cores, _ = strconv.Atoi(m[1])
+	}
+	if m := reMemory.FindStringSubmatch(text); m != nil {
+		f.memoryGiB, _ = strconv.ParseFloat(m[1], 64)
+	}
+	lt := strings.ToLower(text)
+	switch {
+	case strings.Contains(lt, "readrandomwriterandom"):
+		f.workload = "readrandomwriterandom"
+	case strings.Contains(lt, "mixgraph"):
+		f.workload = "mixgraph"
+	case strings.Contains(lt, "readrandom"):
+		f.workload = "readrandom"
+	case strings.Contains(lt, "fillrandom"):
+		f.workload = "fillrandom"
+	default:
+		if m := reWorkload.FindStringSubmatch(text); m != nil {
+			f.workload = strings.ToLower(m[1])
+		}
+	}
+	switch f.workload {
+	case "fillrandom":
+		f.writeHeavy = true
+	case "readrandom":
+		f.readHeavy = true
+	default:
+		f.writeHeavy, f.readHeavy = true, true
+	}
+	f.hdd = strings.Contains(lt, "hdd") || strings.Contains(lt, "spinning")
+	f.deteriorated = strings.Contains(lt, "deteriorat") || strings.Contains(strings.ToLower(lastUser), "regressed") ||
+		strings.Contains(strings.ToLower(lastUser), "got worse")
+	if ms := reThroughput.FindAllStringSubmatch(lastUser, -1); len(ms) > 0 {
+		f.throughput, _ = strconv.ParseFloat(ms[len(ms)-1][1], 64)
+	}
+	// Current option values: last occurrence wins (the options file is the
+	// last big key=value region in the prompt).
+	for _, m := range reKV.FindAllStringSubmatch(text, -1) {
+		f.current[m[1]] = m[2]
+	}
+	return f
+}
+
+// suggestion is one proposed option change with its natural-language
+// justification.
+type suggestion struct {
+	name, value, why string
+}
+
+// rngFor derives the deterministic generator for one response.
+func (e *Expert) rngFor(f promptFeatures) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%d|%.0f|%v|%v",
+		e.Seed, f.iteration, f.workload, f.cores, f.memoryGiB, f.hdd, f.deteriorated)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Complete implements llm.Client.
+func (e *Expert) Complete(_ context.Context, msgs []llm.Message) (string, error) {
+	if len(msgs) == 0 {
+		return "", fmt.Errorf("mockllm: empty conversation")
+	}
+	f := parsePrompt(msgs)
+	rng := e.rngFor(f)
+	var sugg []suggestion
+	if f.deteriorated {
+		sugg = e.recoverySuggestions(f, rng)
+	} else {
+		sugg = e.playbook(f, rng)
+	}
+	sugg = dedupeAgainstCurrent(sugg, f, rng)
+	// The paper observes >10 changes per iteration stops helping; the
+	// model itself tends to propose a handful.
+	if len(sugg) > 10 {
+		sugg = sugg[:10]
+	}
+	e.injectFaults(&sugg, f, rng)
+	return e.render(f, sugg, rng), nil
+}
+
+// mb returns n mebibytes in bytes as a decimal string.
+func mb(n int64) string { return strconv.FormatInt(n<<20, 10) }
+
+// playbook builds the iteration's suggestions from the knowledge base.
+func (e *Expert) playbook(f promptFeatures, rng *rand.Rand) []suggestion {
+	jobs := 4
+	if f.cores <= 2 {
+		jobs = 3
+	}
+	cacheMB := int64(f.memoryGiB * 1024 / 4) // 25% of RAM, blog-standard advice
+	if cacheMB < 64 {
+		cacheMB = 64
+	}
+	var s []suggestion
+	add := func(name, value, why string) { s = append(s, suggestion{name, value, why}) }
+
+	switch it := f.iteration; {
+	case it <= 1:
+		// The jumpstart: the well-known first-page-of-the-tuning-guide
+		// changes, tailored to hardware.
+		if f.writeHeavy {
+			add("max_background_flushes", "2", "dedicated flush threads prevent memtable pileups")
+			add("max_background_jobs", strconv.Itoa(jobs), fmt.Sprintf("use the %d cores for background work", f.cores))
+			add("wal_bytes_per_sync", "1048576", "smooth WAL writeback to avoid periodic stalls")
+			add("bytes_per_sync", "1048576", "smooth SST writeback the same way")
+			add("max_write_buffer_number", "3", "absorb write bursts while flushes run")
+		}
+		if f.readHeavy {
+			add("filter_policy", "bloomfilter:10:false", "bloom filters avoid reading SSTs that cannot hold the key")
+			add("block_cache_size", mb(cacheMB), fmt.Sprintf("use ~25%% of the %.0f GiB RAM for hot blocks", f.memoryGiB))
+			add("use_direct_io_for_flush_and_compaction", "true", "stop compactions from evicting hot pages")
+		}
+		if f.hdd {
+			add("compaction_readahead_size", "4194304", "large readahead keeps compaction sequential on spinning disks")
+		}
+	case it == 2:
+		if f.writeHeavy {
+			add("max_background_compactions", strconv.Itoa(jobs-1), "keep compaction ahead of incoming writes")
+			add("min_write_buffer_number_to_merge", "2", "merge memtables before flushing to write fewer L0 files")
+			add("level0_file_num_compaction_trigger", "6", "let L0 batch a little more before compacting")
+		}
+		if f.readHeavy {
+			add("cache_index_and_filter_blocks", "true", "account index/filter memory in the block cache")
+			add("level_compaction_dynamic_level_bytes", "true", "stabilize level shape for reads")
+		}
+		if f.memoryGiB <= 4 && f.writeHeavy {
+			add("write_buffer_size", "33554432", "halve the memtable so total memory stays in the 4 GiB budget")
+			add("target_file_size_base", "33554432", "match SST size to the smaller memtable")
+		}
+	case it == 3:
+		if f.writeHeavy {
+			add("strict_bytes_per_sync", "true", "bound the writeback backlog strictly for tail latency")
+			add("max_bytes_for_level_multiplier", "8", "a gentler level fan-out reduces compaction spikes")
+		}
+		if f.readHeavy {
+			add("block_cache_size", mb(cacheMB*2), "grow the cache further; reads still miss")
+			add("optimize_filters_for_hits", "true", "skip last-level filters for keys that mostly exist")
+		}
+		add("enable_pipelined_write", "false", "pipelined writes add overhead at this thread count")
+		add("dump_malloc_stats", "false", "stop paying for allocator introspection")
+	case it == 4:
+		// Experimentation: the model second-guesses earlier choices
+		// (Table 5's oscillations).
+		if f.writeHeavy {
+			add("max_background_flushes", "1", "try freeing a thread for compactions")
+			add("wal_bytes_per_sync", "524288", "try a smaller sync window for smoother writeback")
+			add("bytes_per_sync", "524288", "match the WAL sync window")
+			add("max_background_compactions", strconv.Itoa(jobs), "compactions are the bottleneck now")
+		}
+		if f.readHeavy {
+			add("max_open_files", "-1", "keep every table open; avoid table-cache churn")
+		}
+	case it == 5:
+		if f.writeHeavy {
+			add("max_background_flushes", "2", "reverting: one flush thread was not enough")
+			add("wal_bytes_per_sync", "1048576", "restore the larger sync window")
+			add("bytes_per_sync", "1048576", "restore the larger sync window")
+			add("max_write_buffer_number", strconv.Itoa(3+rng.Intn(2)), "more buffers absorb flush latency")
+		}
+		if f.readHeavy {
+			add("compaction_readahead_size", "2097152", "standard readahead is enough on this device")
+		}
+	case it == 6:
+		if f.writeHeavy {
+			add("min_write_buffer_number_to_merge", "3", "merge even more memtables per flush")
+			add("max_write_buffer_number", "6", "needed so three memtables can accumulate")
+			add("max_background_jobs", strconv.Itoa(jobs+1), "squeeze one more background slot")
+		}
+		if f.readHeavy {
+			add("block_cache_size", mb(cacheMB*2), "hold the larger cache")
+		}
+	default:
+		// Late iterations: diminishing returns, small perturbations.
+		if f.writeHeavy {
+			add("max_background_compactions", strconv.Itoa(jobs-1), "rebalance compaction threads")
+			add("level0_slowdown_writes_trigger", "24", "tolerate slightly more L0 before throttling")
+		}
+		if f.readHeavy {
+			add("whole_key_filtering", "true", "confirm whole-key blooms for point gets")
+		}
+		add("target_file_size_base", pick(rng, "33554432", "67108864"), "explore SST sizing")
+	}
+	return s
+}
+
+// recoverySuggestions responds to a deterioration notice: revert a couple
+// of risky knobs toward safe values, then keep experimenting with the
+// current iteration's playbook (the paper's model does not stop exploring
+// after a bad round — Table 5 keeps oscillating through iteration 7).
+func (e *Expert) recoverySuggestions(f promptFeatures, rng *rand.Rand) []suggestion {
+	var s []suggestion
+	add := func(name, value, why string) { s = append(s, suggestion{name, value, why}) }
+	add("max_background_flushes", "2", "restore dedicated flush capacity")
+	add("wal_bytes_per_sync", "1048576", "return to the sync window that worked")
+	add("bytes_per_sync", "1048576", "return to the sync window that worked")
+	if f.writeHeavy {
+		add("max_write_buffer_number", "3", "a moderate buffer count was more stable")
+		add("min_write_buffer_number_to_merge", "1", "merge-on-flush may have delayed flushes too long")
+	}
+	if f.readHeavy {
+		add("block_cache_size", mb(int64(f.memoryGiB*1024/4)), "keep the cache at a quarter of memory")
+	}
+	// Continue exploring: fold in this iteration's fresh ideas, skipping
+	// names the recovery already pinned.
+	pinned := map[string]bool{}
+	for _, sg := range s {
+		pinned[sg.name] = true
+	}
+	for _, sg := range e.playbook(f, rng) {
+		if !pinned[sg.name] {
+			pinned[sg.name] = true
+			s = append(s, sg)
+		}
+	}
+	return s
+}
+
+// dedupeAgainstCurrent drops suggestions equal to the live value — most of
+// the time. Real LLMs re-suggest current values now and then; keeping a few
+// of those exercises the framework's no-op handling.
+func dedupeAgainstCurrent(s []suggestion, f promptFeatures, rng *rand.Rand) []suggestion {
+	out := s[:0]
+	for _, sg := range s {
+		if cur, ok := f.current[sg.name]; ok && cur == sg.value && rng.Float64() < 0.8 {
+			continue
+		}
+		out = append(out, sg)
+	}
+	return out
+}
+
+// Fault catalogs.
+var hallucinatedOptions = []suggestion{
+	{"flush_job_count", "4", "more flush jobs increase ingest speed"},
+	{"memtable_flush_speed", "fast", "prioritize flushing under write load"},
+	{"level0_compaction_speed", "aggressive", "drain L0 faster"},
+	{"background_thread_priority", "high", "boost background threads"},
+	{"write_amp_limit", "8", "bound write amplification"},
+	{"auto_tune_compaction", "true", "let RocksDB self-tune compactions"},
+}
+
+var deprecatedOptions = []suggestion{
+	{"max_mem_compaction_level", "2", "push memtable output deeper"},
+	{"rate_limit_delay_max_milliseconds", "100", "cap rate-limit delays"},
+	{"purge_redundant_kvs_while_flush", "true", "drop redundant keys during flush"},
+	{"db_stats_log_interval", "600", "log statistics periodically"},
+}
+
+var dangerousOptions = []suggestion{
+	{"disable_wal", "true", "skipping the write-ahead log removes write overhead entirely"},
+	{"use_fsync", "false", "avoid fsync costs"},
+	{"paranoid_checks", "false", "skip checksum verification for speed"},
+	{"avoid_flush_during_shutdown", "true", "close faster by skipping the final flush"},
+}
+
+// injectFaults adds the hallucination/deprecated/dangerous behaviours.
+func (e *Expert) injectFaults(s *[]suggestion, f promptFeatures, rng *rand.Rand) {
+	if rng.Float64() < e.HallucinationRate {
+		*s = append(*s, hallucinatedOptions[rng.Intn(len(hallucinatedOptions))])
+	}
+	if rng.Float64() < e.DeprecatedRate {
+		*s = append(*s, deprecatedOptions[rng.Intn(len(deprecatedOptions))])
+	}
+	if f.writeHeavy && rng.Float64() < e.DangerousRate {
+		*s = append(*s, dangerousOptions[rng.Intn(len(dangerousOptions))])
+	}
+}
+
+func pick(rng *rand.Rand, vals ...string) string { return vals[rng.Intn(len(vals))] }
+
+// sectionFor places an option name in its OPTIONS-file section for clean
+// ini rendering (mirrors the real file layout closely enough).
+func sectionFor(name string) string {
+	switch name {
+	case "write_buffer_size", "max_write_buffer_number", "min_write_buffer_number_to_merge",
+		"level0_file_num_compaction_trigger", "level0_slowdown_writes_trigger",
+		"level0_stop_writes_trigger", "target_file_size_base", "max_bytes_for_level_base",
+		"max_bytes_for_level_multiplier", "level_compaction_dynamic_level_bytes",
+		"compaction_style", "compression", "optimize_filters_for_hits",
+		"min_write_buffer_number", "max_mem_compaction_level",
+		"purge_redundant_kvs_while_flush", "rate_limit_delay_max_milliseconds":
+		return `CFOptions "default"`
+	case "block_cache_size", "filter_policy", "cache_index_and_filter_blocks",
+		"whole_key_filtering", "block_size", "no_block_cache":
+		return `TableOptions/BlockBasedTable "default"`
+	default:
+		return "DBOptions"
+	}
+}
+
+// render produces the assistant's natural-language + config reply in one of
+// several formats (the Option Evaluator must cope with all of them).
+func (e *Expert) render(f promptFeatures, sugg []suggestion, rng *rand.Rand) string {
+	var b strings.Builder
+	intro := []string{
+		"Based on the hardware and workload characteristics you shared, here is my recommended configuration update.",
+		"Looking at the benchmark output and system profile, several options stand out as worth adjusting.",
+		"Given the current performance numbers, I suggest the following targeted changes.",
+	}
+	fmt.Fprintf(&b, "%s\n\n", intro[rng.Intn(len(intro))])
+	if f.deteriorated {
+		b.WriteString("Since the last change set degraded performance, I am reverting the risky knobs toward the previously stable values.\n\n")
+	}
+	if len(sugg) == 0 {
+		b.WriteString("The current configuration already reflects my recommendations; I would keep it as is and re-run the benchmark to confirm stability.\n")
+		return b.String()
+	}
+	for _, sg := range sugg {
+		fmt.Fprintf(&b, "- `%s`: %s.\n", sg.name, sg.why)
+	}
+	b.WriteString("\n")
+	if rng.Float64() < e.FormatNoiseRate {
+		// Sloppy format: bullets with inline values, no ini block.
+		b.WriteString("Set the options as follows:\n\n")
+		for _, sg := range sugg {
+			fmt.Fprintf(&b, "* set %s = %s\n", sg.name, sg.value)
+		}
+		b.WriteString("\nRe-run the benchmark and share the results so I can refine further.\n")
+		return b.String()
+	}
+	// Clean format: an ini block grouped into sections.
+	b.WriteString("Updated option file snippet:\n\n```ini\n")
+	bySection := map[string][]suggestion{}
+	var order []string
+	for _, sg := range sugg {
+		sec := sectionFor(sg.name)
+		if _, ok := bySection[sec]; !ok {
+			order = append(order, sec)
+		}
+		bySection[sec] = append(bySection[sec], sg)
+	}
+	for _, sec := range order {
+		fmt.Fprintf(&b, "[%s]\n", sec)
+		for _, sg := range bySection[sec] {
+			fmt.Fprintf(&b, "  %s=%s\n", sg.name, sg.value)
+		}
+	}
+	b.WriteString("```\n\nApply these and run the benchmark again; I will adjust based on the new numbers.\n")
+	return b.String()
+}

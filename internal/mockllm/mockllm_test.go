@@ -1,0 +1,229 @@
+package mockllm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/lsm"
+	"repro/internal/parser"
+)
+
+// buildPrompt fabricates the framework-style prompt the expert parses.
+func buildPrompt(iter int, workload, device string, cores int, memGiB float64, deteriorated bool) []llm.Message {
+	var b strings.Builder
+	b.WriteString("Iteration: ")
+	b.WriteString(itoa(iter))
+	b.WriteString("\n## System information\nCPU cores: ")
+	b.WriteString(itoa(cores))
+	b.WriteString("\nMemory: ")
+	if memGiB == 4 {
+		b.WriteString("4.0")
+	} else {
+		b.WriteString("8.0")
+	}
+	b.WriteString(" GiB\nStorage device: dev (")
+	b.WriteString(device)
+	b.WriteString(")\n## Workload\nBenchmark: ")
+	b.WriteString(workload)
+	b.WriteString("\n")
+	if deteriorated {
+		b.WriteString("## IMPORTANT: performance deteriorated\n")
+	}
+	b.WriteString("\n## Current OPTIONS file\n```ini\nwrite_buffer_size=67108864\nmax_background_jobs=2\n```\n")
+	return []llm.Message{llm.System("expert"), llm.User(b.String())}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func sterile(seed int64) *Expert {
+	e := NewExpert(seed)
+	e.HallucinationRate = 0
+	e.DeprecatedRate = 0
+	e.DangerousRate = 0
+	e.FormatNoiseRate = 0
+	return e
+}
+
+func TestExpertDeterministic(t *testing.T) {
+	e := NewExpert(1)
+	msgs := buildPrompt(1, "fillrandom", "SATA HDD", 2, 4, false)
+	a, err := e.Complete(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Complete(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same prompt produced different responses")
+	}
+}
+
+func TestExpertSuggestionsParseAndApply(t *testing.T) {
+	e := sterile(3)
+	for iter := 1; iter <= 7; iter++ {
+		for _, wl := range []string{"fillrandom", "readrandom", "readrandomwriterandom", "mixgraph"} {
+			resp, err := e.Complete(context.Background(), buildPrompt(iter, wl, "NVMe SSD", 4, 8, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := parser.Parse(resp)
+			if len(r.Changes) == 0 {
+				t.Fatalf("iter %d %s: no parseable changes in:\n%s", iter, wl, resp)
+			}
+			if len(r.Changes) > 10 {
+				t.Fatalf("iter %d %s: %d changes exceeds the 10-change behaviour", iter, wl, len(r.Changes))
+			}
+			// Sterile expert must propose only real, valid options.
+			o := lsm.DBBenchDefaults()
+			for _, c := range r.Changes {
+				if err := o.SetByName(c.Name, c.Value); err != nil {
+					t.Fatalf("iter %d %s: bad suggestion %s=%s: %v", iter, wl, c.Name, c.Value, err)
+				}
+			}
+		}
+	}
+}
+
+func TestExpertWorkloadAwareness(t *testing.T) {
+	e := sterile(3)
+	read, _ := e.Complete(context.Background(), buildPrompt(1, "readrandom", "NVMe SSD", 4, 8, false))
+	write, _ := e.Complete(context.Background(), buildPrompt(1, "fillrandom", "NVMe SSD", 4, 8, false))
+	if !strings.Contains(read, "filter_policy") && !strings.Contains(read, "block_cache") {
+		t.Fatalf("read workload advice lacks read options:\n%s", read)
+	}
+	if !strings.Contains(write, "wal_bytes_per_sync") && !strings.Contains(write, "max_background") {
+		t.Fatalf("write workload advice lacks write options:\n%s", write)
+	}
+}
+
+func TestExpertHardwareAwareness(t *testing.T) {
+	e := sterile(3)
+	hdd, _ := e.Complete(context.Background(), buildPrompt(1, "fillrandom", "SATA HDD", 2, 4, false))
+	if !strings.Contains(hdd, "compaction_readahead_size") {
+		t.Fatalf("HDD advice lacks readahead:\n%s", hdd)
+	}
+	// Memory-aware cache sizing: 4 GiB host gets a smaller cache than 8 GiB.
+	small, _ := e.Complete(context.Background(), buildPrompt(1, "readrandom", "NVMe SSD", 4, 4, false))
+	big, _ := e.Complete(context.Background(), buildPrompt(1, "readrandom", "NVMe SSD", 4, 8, false))
+	cs := changeValue(t, small, "block_cache_size")
+	cb := changeValue(t, big, "block_cache_size")
+	if cs == "" || cb == "" || cs == cb {
+		t.Fatalf("cache sizing ignores memory: 4GiB=%s 8GiB=%s", cs, cb)
+	}
+}
+
+func changeValue(t *testing.T, resp, name string) string {
+	t.Helper()
+	for _, c := range parser.Parse(resp).Changes {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return ""
+}
+
+func TestExpertDeteriorationRecovery(t *testing.T) {
+	e := sterile(3)
+	resp, err := e.Complete(context.Background(), buildPrompt(4, "fillrandom", "NVMe SSD", 4, 8, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(resp), "revert") {
+		t.Fatalf("deterioration response does not mention reverting:\n%s", resp)
+	}
+	r := parser.Parse(resp)
+	if len(r.Changes) == 0 {
+		t.Fatal("no recovery changes")
+	}
+}
+
+func TestExpertFaultInjection(t *testing.T) {
+	e := NewExpert(5)
+	e.HallucinationRate = 1
+	e.DeprecatedRate = 1
+	e.DangerousRate = 1
+	e.FormatNoiseRate = 0
+	resp, err := e.Complete(context.Background(), buildPrompt(2, "fillrandom", "NVMe SSD", 4, 8, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := parser.Parse(resp)
+	var hallucinated, deprecated, dangerous bool
+	for _, c := range r.Changes {
+		spec, ok := lsm.LookupOption(c.Name)
+		switch {
+		case !ok:
+			hallucinated = true
+		case spec.Deprecated:
+			deprecated = true
+		}
+		for _, d := range dangerousOptions {
+			if c.Name == d.name {
+				dangerous = true
+			}
+		}
+	}
+	if !hallucinated || !deprecated || !dangerous {
+		t.Fatalf("fault injection incomplete: hallucinated=%v deprecated=%v dangerous=%v\n%s",
+			hallucinated, deprecated, dangerous, resp)
+	}
+}
+
+func TestExpertFormatNoise(t *testing.T) {
+	e := NewExpert(1)
+	e.FormatNoiseRate = 1
+	e.HallucinationRate = 0
+	e.DeprecatedRate = 0
+	e.DangerousRate = 0
+	resp, err := e.Complete(context.Background(), buildPrompt(1, "fillrandom", "NVMe SSD", 4, 8, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(resp, "```") {
+		t.Fatalf("format-noise response still has a code block:\n%s", resp)
+	}
+	// Even the sloppy format must be parseable.
+	if len(parser.Parse(resp).Changes) == 0 {
+		t.Fatalf("sloppy format unparseable:\n%s", resp)
+	}
+}
+
+func TestExpertOscillation(t *testing.T) {
+	// Across iterations 4 and 5 the expert oscillates
+	// max_background_flushes (Table 5 behaviour).
+	e := sterile(3)
+	r4, _ := e.Complete(context.Background(), buildPrompt(4, "fillrandom", "SATA HDD", 2, 4, false))
+	r5, _ := e.Complete(context.Background(), buildPrompt(5, "fillrandom", "SATA HDD", 2, 4, false))
+	v4 := changeValue(t, r4, "max_background_flushes")
+	v5 := changeValue(t, r5, "max_background_flushes")
+	if v4 != "1" || v5 != "2" {
+		t.Fatalf("oscillation missing: iter4=%q iter5=%q", v4, v5)
+	}
+}
+
+func TestExpertEmptyConversation(t *testing.T) {
+	e := NewExpert(1)
+	if _, err := e.Complete(context.Background(), nil); err == nil {
+		t.Fatal("empty conversation accepted")
+	}
+}
+
+func TestExpertName(t *testing.T) {
+	if NewExpert(1).Name() != "mock-gpt-4" {
+		t.Fatal("unexpected name")
+	}
+}

@@ -1,0 +1,101 @@
+// Package prompt implements the framework's Prompt Generator: it interlaces
+// system information (sysmon), workload statistics, the current option file
+// and the latest benchmark report into the calibrated prompts the paper
+// sends to the LLM, including the intermediate "performance deteriorated"
+// prompt issued by the Active Flagger.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/lsm"
+	"repro/internal/sysmon"
+)
+
+// Inputs collects everything one tuning-iteration prompt interlaces.
+type Inputs struct {
+	// Iteration number (1-based; iteration 0 is the untuned baseline).
+	Iteration int
+	// WorkloadName is the db_bench benchmark name.
+	WorkloadName string
+	// WorkloadDescription is the user's expected-workload statement, e.g.
+	// "write intensive, 100% random inserts" (the only user input the
+	// framework requires).
+	WorkloadDescription string
+	// Host is the sysmon characterization (psutil/fio stand-ins).
+	Host sysmon.HostInfo
+	// Options is the configuration currently in effect.
+	Options *lsm.Options
+	// LastReport is the most recent benchmark output (db_bench style).
+	LastReport string
+	// History summarizes prior iterations ("iter 3: 120000 ops/sec ...").
+	History []string
+	// Deteriorated marks the intermediate prompt after a reverted
+	// iteration; DeteriorationNote carries the diff and the numbers.
+	Deteriorated      bool
+	DeteriorationNote string
+}
+
+// SystemPrompt frames the model as the tuning expert, states the rules of
+// engagement, and pins the response format expectations.
+func SystemPrompt() string {
+	return strings.TrimSpace(`
+You are an expert database performance engineer specializing in tuning
+LSM-tree based key-value stores (RocksDB). You will receive: the host's
+hardware profile, the expected workload, the current OPTIONS file, and the
+latest benchmark results. Recommend configuration changes that improve
+throughput and tail latency for this workload on this hardware.
+
+Rules:
+- Only change options that exist in RocksDB 8.x.
+- Respect the machine's memory and CPU budget when sizing buffers/caches.
+- Limit each reply to at most 10 option changes.
+- Never disable the write-ahead log, fsync, or data verification.
+- Reply with a short rationale and the changed options either as an ini
+  block or as explicit "option = value" lines.`)
+}
+
+// Build renders the full conversation for one iteration.
+func Build(in Inputs) []llm.Message {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Iteration: %d\n\n", in.Iteration)
+	b.WriteString("## System information (collected via psutil/fio)\n")
+	b.WriteString(sysmon.Describe(in.Host))
+	b.WriteString("\n## Workload\n")
+	fmt.Fprintf(&b, "Benchmark: %s\n", in.WorkloadName)
+	if in.WorkloadDescription != "" {
+		fmt.Fprintf(&b, "Expected workload: %s\n", in.WorkloadDescription)
+	}
+	if len(in.History) > 0 {
+		b.WriteString("\n## Tuning history\n")
+		for _, h := range in.History {
+			fmt.Fprintf(&b, "- %s\n", h)
+		}
+	}
+	if in.Deteriorated {
+		b.WriteString("\n## IMPORTANT: performance deteriorated\n")
+		b.WriteString("The previous change set REGRESSED performance and has been reverted.\n")
+		if in.DeteriorationNote != "" {
+			b.WriteString(in.DeteriorationNote)
+			b.WriteString("\n")
+		}
+		b.WriteString("Propose a different, more conservative change set.\n")
+	}
+	if in.LastReport != "" {
+		b.WriteString("\n## Latest benchmark output\n```\n")
+		b.WriteString(strings.TrimSpace(in.LastReport))
+		b.WriteString("\n```\n")
+	}
+	if in.Options != nil {
+		b.WriteString("\n## Current OPTIONS file\n```ini\n")
+		b.WriteString(in.Options.ToINI().String())
+		b.WriteString("```\n")
+	}
+	b.WriteString("\nRecommend the next configuration changes.\n")
+	return []llm.Message{
+		llm.System(SystemPrompt()),
+		llm.User(b.String()),
+	}
+}

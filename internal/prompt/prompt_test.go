@@ -1,0 +1,100 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/lsm"
+	"repro/internal/sysmon"
+)
+
+func testHost() sysmon.HostInfo {
+	return sysmon.HostInfo{
+		CPUs:        4,
+		MemoryBytes: 4 << 30,
+		OS:          "linux (simulated)",
+		Storage: sysmon.StorageInfo{
+			Name: "nvme0n1", Kind: "NVMe SSD",
+			RandReadLatency: 70 * time.Microsecond,
+			SeqReadMBps:     2800, SeqWriteMBps: 1900,
+			SyncLatency: 120 * time.Microsecond,
+		},
+	}
+}
+
+func TestBuildContainsEverything(t *testing.T) {
+	msgs := Build(Inputs{
+		Iteration:           3,
+		WorkloadName:        "fillrandom",
+		WorkloadDescription: "write intensive",
+		Host:                testHost(),
+		Options:             lsm.DBBenchDefaults(),
+		LastReport:          "fillrandom : 3.1 micros/op 320000 ops/sec",
+		History:             []string{"iteration 0 (default config): 320000 ops/sec"},
+	})
+	if len(msgs) != 2 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	if msgs[0].Role != llm.RoleSystem || msgs[1].Role != llm.RoleUser {
+		t.Fatalf("roles = %s, %s", msgs[0].Role, msgs[1].Role)
+	}
+	sys := msgs[0].Content
+	for _, want := range []string{"RocksDB", "10 option changes", "write-ahead log"} {
+		if !strings.Contains(sys, want) {
+			t.Errorf("system prompt missing %q", want)
+		}
+	}
+	user := msgs[1].Content
+	for _, want := range []string{
+		"Iteration: 3",
+		"CPU cores: 4",
+		"Memory: 4.0 GiB",
+		"NVMe SSD",
+		"fillrandom",
+		"write intensive",
+		"320000 ops/sec",
+		"write_buffer_size=67108864",
+		"[DBOptions]",
+		"Tuning history",
+	} {
+		if !strings.Contains(user, want) {
+			t.Errorf("user prompt missing %q", want)
+		}
+	}
+}
+
+func TestBuildDeteriorated(t *testing.T) {
+	msgs := Build(Inputs{
+		Iteration:         2,
+		WorkloadName:      "mixgraph",
+		Host:              testHost(),
+		Deteriorated:      true,
+		DeteriorationNote: "dropped from 100k to 50k ops/sec",
+	})
+	user := msgs[1].Content
+	if !strings.Contains(user, "deteriorated") || !strings.Contains(user, "REGRESSED") {
+		t.Fatalf("deterioration framing missing:\n%s", user)
+	}
+	if !strings.Contains(user, "dropped from 100k") {
+		t.Fatal("deterioration note missing")
+	}
+}
+
+func TestBuildMinimal(t *testing.T) {
+	msgs := Build(Inputs{Iteration: 1, WorkloadName: "readrandom", Host: testHost()})
+	if len(msgs) != 2 || !strings.Contains(msgs[1].Content, "readrandom") {
+		t.Fatal("minimal build broken")
+	}
+	// No options section when Options is nil.
+	if strings.Contains(msgs[1].Content, "Current OPTIONS file") {
+		t.Fatal("phantom options section")
+	}
+}
+
+func TestSystemPromptStable(t *testing.T) {
+	if SystemPrompt() != SystemPrompt() {
+		t.Fatal("system prompt not deterministic")
+	}
+}

@@ -1,0 +1,180 @@
+package safeguard
+
+import (
+	"testing"
+
+	"repro/internal/lsm"
+	"repro/internal/parser"
+)
+
+func vetOne(t *testing.T, e *Enforcer, name, value string) Decision {
+	t.Helper()
+	ds := e.Vet(lsm.DBBenchDefaults(), []parser.Change{{Name: name, Value: value}})
+	if len(ds) != 1 {
+		t.Fatalf("Vet returned %d decisions", len(ds))
+	}
+	return ds[0]
+}
+
+func TestVetAccepted(t *testing.T) {
+	e := New()
+	d := vetOne(t, e, "max_background_jobs", "4")
+	if d.Verdict != Accepted {
+		t.Fatalf("verdict = %v (%s)", d.Verdict, d.Reason)
+	}
+}
+
+func TestVetBlacklist(t *testing.T) {
+	e := New()
+	for _, tc := range []parser.Change{
+		{Name: "disable_wal", Value: "true"},
+		{Name: "paranoid_checks", Value: "false"},
+		{Name: "use_fsync", Value: "false"},
+		{Name: "avoid_flush_during_shutdown", Value: "true"},
+	} {
+		d := vetOne(t, e, tc.Name, tc.Value)
+		if d.Verdict != Blacklisted {
+			t.Errorf("%s: verdict = %v, want blacklisted", tc.Name, d.Verdict)
+		}
+	}
+}
+
+func TestVetHallucination(t *testing.T) {
+	e := New()
+	for _, name := range []string{"flush_job_count", "memtable_flush_speed", "write_amp_limit"} {
+		d := vetOne(t, e, name, "4")
+		if d.Verdict != Hallucinated {
+			t.Errorf("%s: verdict = %v, want hallucinated", name, d.Verdict)
+		}
+	}
+}
+
+func TestVetInvalidValue(t *testing.T) {
+	e := New()
+	if d := vetOne(t, e, "max_background_jobs", "banana"); d.Verdict != Invalid {
+		t.Errorf("bad int: %v", d.Verdict)
+	}
+	if d := vetOne(t, e, "max_background_jobs", "99999"); d.Verdict != Invalid {
+		t.Errorf("out of range: %v", d.Verdict)
+	}
+	if d := vetOne(t, e, "compression", "brotli"); d.Verdict != Invalid {
+		t.Errorf("bad enum: %v", d.Verdict)
+	}
+}
+
+func TestVetDeprecated(t *testing.T) {
+	e := New()
+	d := vetOne(t, e, "max_mem_compaction_level", "2")
+	if d.Verdict != DeprecatedAccepted {
+		t.Fatalf("verdict = %v", d.Verdict)
+	}
+	e.AllowDeprecated = false
+	d = vetOne(t, e, "max_mem_compaction_level", "3")
+	if d.Verdict != Invalid {
+		t.Fatalf("verdict with deprecated disallowed = %v", d.Verdict)
+	}
+}
+
+func TestVetNoOp(t *testing.T) {
+	e := New()
+	cur := lsm.DBBenchDefaults()
+	ds := e.Vet(cur, []parser.Change{{Name: "max_background_jobs", Value: "2"}})
+	if ds[0].Verdict != NoOp {
+		t.Fatalf("verdict = %v", ds[0].Verdict)
+	}
+}
+
+func TestCustomBlacklist(t *testing.T) {
+	e := New()
+	e.Blacklist("compression")
+	if d := vetOne(t, e, "compression", "snappy"); d.Verdict != Blacklisted {
+		t.Fatalf("custom blacklist ignored: %v", d.Verdict)
+	}
+	e.Unblacklist("compression")
+	if d := vetOne(t, e, "compression", "snappy"); d.Verdict != Accepted {
+		t.Fatalf("unblacklist failed: %v", d.Verdict)
+	}
+	if !e.IsBlacklisted("disable_wal") {
+		t.Fatal("default blacklist missing disable_wal")
+	}
+}
+
+func TestApply(t *testing.T) {
+	e := New()
+	cur := lsm.DBBenchDefaults()
+	changes := []parser.Change{
+		{Name: "max_background_jobs", Value: "4"},
+		{Name: "disable_wal", Value: "true"},  // blacklisted: skipped
+		{Name: "flush_job_count", Value: "2"}, // hallucinated: skipped
+		{Name: "write_buffer_size", Value: "33554432"},
+	}
+	next, applied, err := Apply(cur, e.Vet(cur, changes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("applied %d changes: %+v", len(applied), applied)
+	}
+	if next.MaxBackgroundJobs != 4 || next.WriteBufferSize != 33554432 {
+		t.Fatalf("changes not applied: %+v", next)
+	}
+	if next.DisableWAL {
+		t.Fatal("blacklisted change applied")
+	}
+	// Original untouched.
+	if cur.MaxBackgroundJobs != 2 {
+		t.Fatal("input options mutated")
+	}
+}
+
+func TestApplyCombinedValidationFailure(t *testing.T) {
+	e := New()
+	cur := lsm.DBBenchDefaults()
+	// Individually plausible, jointly invalid: min merge > max buffers.
+	changes := []parser.Change{
+		{Name: "min_write_buffer_number_to_merge", Value: "2"},
+		{Name: "max_write_buffer_number", Value: "1"},
+	}
+	next, _, err := Apply(cur, e.Vet(cur, changes))
+	if err == nil {
+		t.Fatal("combined invalid changes accepted")
+	}
+	if next != cur {
+		t.Fatal("failed Apply should return the original options")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	e := New()
+	cur := lsm.DBBenchDefaults()
+	ds := e.Vet(cur, []parser.Change{
+		{Name: "max_background_jobs", Value: "4"},
+		{Name: "disable_wal", Value: "true"},
+		{Name: "made_up", Value: "1"},
+	})
+	sum := Summary(ds)
+	if sum[Accepted] != 1 || sum[Blacklisted] != 1 || sum[Hallucinated] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Accepted: "accepted", Blacklisted: "blacklisted", Hallucinated: "hallucinated",
+		Invalid: "invalid", DeprecatedAccepted: "deprecated", NoOp: "no-op",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+}
+
+func TestVetAliasOfBlacklisted(t *testing.T) {
+	e := New()
+	e.Blacklist("filter_policy")
+	// bloom_bits_per_key resolves to filter_policy, which is blacklisted.
+	d := vetOne(t, e, "bloom_bits_per_key", "10")
+	if d.Verdict != Blacklisted {
+		t.Fatalf("alias bypassed blacklist: %v", d.Verdict)
+	}
+}

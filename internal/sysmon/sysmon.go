@@ -1,0 +1,179 @@
+// Package sysmon characterizes the host for the Prompt Generator, standing
+// in for the psutil and fio probes the paper uses: CPU count, memory size,
+// and storage-device performance. Against a simulation environment it reads
+// the configured hardware profile and micro-benchmarks the device model;
+// against the real OS it reads /proc.
+package sysmon
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/lsm"
+)
+
+// HostInfo describes the machine a workload runs on.
+type HostInfo struct {
+	CPUs        int
+	MemoryBytes int64
+	OS          string
+	Storage     StorageInfo
+}
+
+// StorageInfo is the fio-style device characterization.
+type StorageInfo struct {
+	Name             string
+	Kind             string
+	RandReadLatency  time.Duration // 4K QD1 random read
+	RandWriteLatency time.Duration
+	SeqReadMBps      float64
+	SeqWriteMBps     float64
+	SyncLatency      time.Duration
+}
+
+// Usage is a point-in-time resource snapshot, refreshed every monitoring
+// tick while a benchmark runs.
+type Usage struct {
+	CPUUtilization    float64 // 0..1 across all cores
+	MemoryUsed        int64
+	DeviceUtilization float64 // 0..1
+}
+
+// Monitor produces HostInfo and Usage samples.
+type Monitor interface {
+	Host() HostInfo
+	Sample() Usage
+}
+
+// SimMonitor characterizes a simulation environment.
+type SimMonitor struct {
+	Env *lsm.SimEnv
+}
+
+// NewSimMonitor wraps a simulation env.
+func NewSimMonitor(env *lsm.SimEnv) *SimMonitor { return &SimMonitor{Env: env} }
+
+// Host implements Monitor by probing the device model fio-style.
+func (m *SimMonitor) Host() HostInfo {
+	dev := m.Env.Device
+	prof := m.Env.Profile
+	const probe = 4096
+	return HostInfo{
+		CPUs:        prof.Cores,
+		MemoryBytes: prof.MemoryBytes,
+		OS:          "linux (simulated, " + prof.Name + ")",
+		Storage: StorageInfo{
+			Name:             dev.Name,
+			Kind:             dev.Kind.String(),
+			RandReadLatency:  dev.ReadLatency(probe, false, 0),
+			RandWriteLatency: dev.WriteLatency(probe, false, 0),
+			SeqReadMBps:      dev.SeqReadBW / 1e6,
+			SeqWriteMBps:     dev.SeqWriteBW / 1e6,
+			SyncLatency:      dev.Sync(0),
+		},
+	}
+}
+
+// Sample implements Monitor.
+func (m *SimMonitor) Sample() Usage {
+	u := m.Env.Utilization()
+	return Usage{
+		CPUUtilization:    minF(1, float64(1+m.Env.ActiveBackground())/float64(maxI(1, m.Env.Profile.Cores))),
+		MemoryUsed:        0,
+		DeviceUtilization: u,
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OSMonitor characterizes the real host via /proc (Linux) with safe
+// fallbacks elsewhere.
+type OSMonitor struct {
+	// DeviceModel optionally names the storage characteristics to report
+	// when no probe is possible (default: generic SSD numbers).
+	DeviceModel *device.Model
+}
+
+// NewOSMonitor returns a monitor for the real host.
+func NewOSMonitor() *OSMonitor { return &OSMonitor{} }
+
+// Host implements Monitor.
+func (m *OSMonitor) Host() HostInfo {
+	mem := readProcMemTotal()
+	dev := m.DeviceModel
+	if dev == nil {
+		dev = device.SATASSD()
+	}
+	return HostInfo{
+		CPUs:        runtime.NumCPU(),
+		MemoryBytes: mem,
+		OS:          runtime.GOOS + "/" + runtime.GOARCH,
+		Storage: StorageInfo{
+			Name:             dev.Name,
+			Kind:             dev.Kind.String(),
+			RandReadLatency:  dev.ReadLatency(4096, false, 0),
+			RandWriteLatency: dev.WriteLatency(4096, false, 0),
+			SeqReadMBps:      dev.SeqReadBW / 1e6,
+			SeqWriteMBps:     dev.SeqWriteBW / 1e6,
+			SyncLatency:      dev.Sync(0),
+		},
+	}
+}
+
+// Sample implements Monitor (load averages are beyond stdlib portability;
+// report a neutral sample).
+func (m *OSMonitor) Sample() Usage {
+	return Usage{CPUUtilization: 0, MemoryUsed: 0, DeviceUtilization: 0}
+}
+
+// readProcMemTotal parses MemTotal from /proc/meminfo, or 0.
+func readProcMemTotal() int64 {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "MemTotal:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				kb, err := strconv.ParseInt(fields[1], 10, 64)
+				if err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// Describe renders host info as the prompt-ready block the paper's Prompt
+// Generator interlaces into its requests.
+func Describe(h HostInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPU cores: %d\n", h.CPUs)
+	fmt.Fprintf(&b, "Memory: %.1f GiB\n", float64(h.MemoryBytes)/float64(1<<30))
+	fmt.Fprintf(&b, "OS: %s\n", h.OS)
+	fmt.Fprintf(&b, "Storage device: %s (%s)\n", h.Storage.Name, h.Storage.Kind)
+	fmt.Fprintf(&b, "  fio 4K randread latency: %v\n", h.Storage.RandReadLatency.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  fio 4K randwrite latency: %v\n", h.Storage.RandWriteLatency.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  fio seq read: %.0f MB/s, seq write: %.0f MB/s\n", h.Storage.SeqReadMBps, h.Storage.SeqWriteMBps)
+	fmt.Fprintf(&b, "  fsync latency: %v\n", h.Storage.SyncLatency.Round(time.Microsecond))
+	return b.String()
+}

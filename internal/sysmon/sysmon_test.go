@@ -1,0 +1,78 @@
+package sysmon
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/lsm"
+)
+
+func TestSimMonitorHost(t *testing.T) {
+	env := lsm.NewSimEnv(device.SATAHDD(), device.Profile2C4G(), 1)
+	m := NewSimMonitor(env)
+	h := m.Host()
+	if h.CPUs != 2 || h.MemoryBytes != 4*device.GiB {
+		t.Fatalf("host = %+v", h)
+	}
+	if h.Storage.Kind != "SATA HDD" {
+		t.Fatalf("kind = %q", h.Storage.Kind)
+	}
+	// HDD characterization: milliseconds of random read latency, modest
+	// bandwidth.
+	if h.Storage.RandReadLatency.Milliseconds() < 3 {
+		t.Fatalf("HDD randread latency = %v", h.Storage.RandReadLatency)
+	}
+	if h.Storage.SeqReadMBps < 50 || h.Storage.SeqReadMBps > 500 {
+		t.Fatalf("HDD seq read = %v MB/s", h.Storage.SeqReadMBps)
+	}
+	u := m.Sample()
+	if u.CPUUtilization < 0 || u.CPUUtilization > 1 {
+		t.Fatalf("cpu util = %v", u.CPUUtilization)
+	}
+}
+
+func TestSimVsNVMeCharacterization(t *testing.T) {
+	hdd := NewSimMonitor(lsm.NewSimEnv(device.SATAHDD(), device.Profile4C8G(), 1)).Host()
+	nvme := NewSimMonitor(lsm.NewSimEnv(device.NVMe(), device.Profile4C8G(), 1)).Host()
+	if nvme.Storage.RandReadLatency >= hdd.Storage.RandReadLatency {
+		t.Fatal("NVMe should have lower random-read latency than HDD")
+	}
+	if nvme.Storage.SeqReadMBps <= hdd.Storage.SeqReadMBps {
+		t.Fatal("NVMe should have higher bandwidth than HDD")
+	}
+}
+
+func TestOSMonitorHost(t *testing.T) {
+	m := NewOSMonitor()
+	h := m.Host()
+	if h.CPUs < 1 {
+		t.Fatalf("cpus = %d", h.CPUs)
+	}
+	// /proc/meminfo exists on the Linux CI box; elsewhere 0 is allowed.
+	if h.MemoryBytes < 0 {
+		t.Fatalf("memory = %d", h.MemoryBytes)
+	}
+	if h.Storage.Name == "" {
+		t.Fatal("no storage characterization")
+	}
+	_ = m.Sample()
+}
+
+func TestDescribe(t *testing.T) {
+	env := lsm.NewSimEnv(device.NVMe(), device.Profile4C4G(), 1)
+	h := NewSimMonitor(env).Host()
+	s := Describe(h)
+	for _, want := range []string{
+		"CPU cores: 4",
+		"Memory: 4.0 GiB",
+		"NVMe SSD",
+		"fio 4K randread latency",
+		"seq read",
+		"fsync latency",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q:\n%s", want, s)
+		}
+	}
+}

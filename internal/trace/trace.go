@@ -1,0 +1,242 @@
+// Package trace records and replays key-value operation traces, in the
+// spirit of the RocksDB trace_replay tooling and of the production-trace
+// methodology behind mixgraph (Cao et al., FAST'20). A trace is a plain
+// text file, one operation per line:
+//
+//	P <key> <value_size>    put
+//	G <key>                 get
+//	D <key>                 delete
+//	S <key> <scan_length>   seek + iterate
+//
+// Traces can be synthesized from any bench.Spec (Generate) or captured by
+// wrapping a workload, then replayed against any database (Replay), which
+// reports the same db_bench-style Report the live workloads produce.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/lsm"
+)
+
+// Op is one trace record.
+type Op struct {
+	Kind      byte // 'P', 'G', 'D', 'S'
+	Key       string
+	ValueSize int // P
+	ScanLen   int // S
+}
+
+// Writer emits trace lines.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+func (t *Writer) line(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+	t.n++
+}
+
+// Put records a put of key with a value of the given size.
+func (t *Writer) Put(key string, valueSize int) { t.line("P %s %d\n", key, valueSize) }
+
+// Get records a point lookup.
+func (t *Writer) Get(key string) { t.line("G %s\n", key) }
+
+// Delete records a tombstone write.
+func (t *Writer) Delete(key string) { t.line("D %s\n", key) }
+
+// Scan records a seek + iterate.
+func (t *Writer) Scan(key string, n int) { t.line("S %s %d\n", key, n) }
+
+// Flush finishes the trace. It returns the first write error.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Ops returns the number of records written.
+func (t *Writer) Ops() int64 { return t.n }
+
+// Generate synthesizes a trace from a workload spec: the same operation
+// stream the live runner would issue (single-threaded interleaving for
+// multi-thread specs).
+func Generate(spec *bench.Spec, w io.Writer) (int64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	tw := NewWriter(w)
+	rng := rand.New(rand.NewSource(spec.Seed*7919 + 1))
+	keys := bench.NewKeyGen(spec.KeySize)
+	dist := bench.DistFor(spec)
+	total := spec.TotalOps()
+	for i := int64(0); i < total; i++ {
+		roll := rng.Float64()
+		id := dist.Next(rng)
+		key := string(keys.Key(id))
+		switch {
+		case roll < spec.ReadFraction:
+			tw.Get(key)
+		case roll < spec.ReadFraction+spec.ScanFraction:
+			tw.Scan(key, spec.ScanLength)
+		default:
+			tw.Put(key, spec.ValueSize)
+		}
+	}
+	return tw.Ops(), tw.Flush()
+}
+
+// Parse reads one trace line ("" and # lines are skipped, returning ok=false).
+func parseLine(line string) (Op, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Op{}, false, nil
+	}
+	fields := strings.Fields(line)
+	op := Op{Kind: line[0]}
+	bad := func() (Op, bool, error) {
+		return Op{}, false, fmt.Errorf("trace: malformed line %q", line)
+	}
+	switch op.Kind {
+	case 'P':
+		if len(fields) != 3 {
+			return bad()
+		}
+		op.Key = fields[1]
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return bad()
+		}
+		op.ValueSize = n
+	case 'G', 'D':
+		if len(fields) != 2 {
+			return bad()
+		}
+		op.Key = fields[1]
+	case 'S':
+		if len(fields) != 3 {
+			return bad()
+		}
+		op.Key = fields[1]
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 1 {
+			return bad()
+		}
+		op.ScanLen = n
+	default:
+		return bad()
+	}
+	return op, true, nil
+}
+
+// Replay executes a trace against db and reports db_bench-style metrics.
+// In a simulation environment latencies come from the virtual clock.
+func Replay(db *lsm.DB, r io.Reader, seed int64) (*bench.Report, error) {
+	sim, _ := db.Env().(*lsm.SimEnv)
+	rng := rand.New(rand.NewSource(seed))
+	values := bench.NewValueGen(rng, 0.5)
+	rep := &bench.Report{
+		Workload: "replay",
+		Threads:  1,
+		Read:     bench.NewHistogram(),
+		Write:    bench.NewHistogram(),
+	}
+	var vnow time.Duration
+	if sim != nil {
+		vnow = sim.Now()
+		sim.TakeOpCost()
+	}
+	start := vnow
+	wallStart := time.Now()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		op, ok, err := parseLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("%w (line %d)", err, lineNo)
+		}
+		if !ok {
+			continue
+		}
+		var wallOp time.Time
+		if sim == nil {
+			wallOp = time.Now()
+		}
+		isRead := false
+		switch op.Kind {
+		case 'P':
+			if err := db.Put(nil, []byte(op.Key), values.Value(op.ValueSize)); err != nil {
+				return nil, err
+			}
+			rep.Bytes += int64(len(op.Key) + op.ValueSize)
+		case 'D':
+			if err := db.Delete(nil, []byte(op.Key)); err != nil {
+				return nil, err
+			}
+		case 'G':
+			isRead = true
+			if _, err := db.Get(nil, []byte(op.Key)); err == lsm.ErrNotFound {
+				rep.ReadMisses++
+			} else if err != nil {
+				return nil, err
+			}
+			rep.Bytes += int64(len(op.Key))
+		case 'S':
+			isRead = true
+			it := db.NewIterator(nil)
+			it.Seek([]byte(op.Key))
+			for n := 0; n < op.ScanLen && it.Valid(); n++ {
+				rep.Bytes += int64(len(it.Key()) + len(it.Value()))
+				it.Next()
+			}
+			it.Close()
+		}
+		var cost time.Duration
+		if sim != nil {
+			cost = sim.TakeOpCost()
+			vnow += cost
+			sim.Clock().AdvanceTo(vnow)
+		} else {
+			cost = time.Since(wallOp)
+		}
+		if isRead {
+			rep.Read.Add(cost)
+		} else {
+			rep.Write.Add(cost)
+		}
+		rep.Ops++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sim != nil {
+		rep.Elapsed = vnow - start
+	} else {
+		rep.Elapsed = time.Since(wallStart)
+	}
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / rep.Elapsed.Seconds()
+	}
+	rep.Metrics = db.GetMetrics()
+	rep.Stats = db.Statistics().Snapshot()
+	return rep, nil
+}

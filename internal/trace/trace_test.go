@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/lsm"
+)
+
+func simDB(t *testing.T) *lsm.DB {
+	t.Helper()
+	env := lsm.NewSimEnv(device.NVMe(), device.Profile4C8G(), 5)
+	opts := lsm.DBBenchDefaults()
+	opts.Env = env
+	opts.WriteBufferSize = 256 << 10
+	db, err := lsm.Open("/trace-db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestWriterFormat(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Put("k1", 100)
+	w.Get("k2")
+	w.Delete("k3")
+	w.Scan("k4", 10)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "P k1 100\nG k2\nD k3\nS k4 10\n"
+	if b.String() != want {
+		t.Fatalf("trace = %q", b.String())
+	}
+	if w.Ops() != 4 {
+		t.Fatalf("ops = %d", w.Ops())
+	}
+}
+
+func TestGenerateMatchesSpecMix(t *testing.T) {
+	spec := bench.ReadRandomWriteRandom(2000, 100, 7)
+	var b strings.Builder
+	n, err := Generate(spec, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != spec.TotalOps() {
+		t.Fatalf("generated %d ops, want %d", n, spec.TotalOps())
+	}
+	gets := strings.Count(b.String(), "G ")
+	frac := float64(gets) / float64(n)
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction in trace = %v, want ~0.9", frac)
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	if _, err := Generate(&bench.Spec{}, &strings.Builder{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	// Generate a fill trace, replay it, then verify the data landed.
+	spec := bench.FillRandom(3000, 100, 7)
+	var b strings.Builder
+	if _, err := Generate(spec, &b); err != nil {
+		t.Fatal(err)
+	}
+	db := simDB(t)
+	rep, err := Replay(db, strings.NewReader(b.String()), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 3000 || rep.Write.Count() != 3000 {
+		t.Fatalf("replayed %d ops, %d writes", rep.Ops, rep.Write.Count())
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	// Keys from the trace are now readable.
+	firstKey := strings.Fields(strings.SplitN(b.String(), "\n", 2)[0])[1]
+	if _, err := db.Get(nil, []byte(firstKey)); err != nil {
+		t.Fatalf("trace data missing: %v", err)
+	}
+}
+
+func TestReplayMixedOpsAndMisses(t *testing.T) {
+	db := simDB(t)
+	trace := `
+# comment lines and blanks are skipped
+
+P key-a 64
+P key-b 64
+G key-a
+G key-missing
+D key-a
+G key-a
+S key-a 5
+`
+	rep, err := Replay(db, strings.NewReader(trace), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 7 {
+		t.Fatalf("ops = %d", rep.Ops)
+	}
+	// Misses: key-missing, and key-a after its delete.
+	if rep.ReadMisses != 2 {
+		t.Fatalf("misses = %d", rep.ReadMisses)
+	}
+	if rep.Read.Count() != 4 || rep.Write.Count() != 3 {
+		t.Fatalf("histograms r=%d w=%d", rep.Read.Count(), rep.Write.Count())
+	}
+}
+
+func TestReplayMalformed(t *testing.T) {
+	db := simDB(t)
+	for _, bad := range []string{"X key", "P key", "P key notanum", "S key 0", "G"} {
+		if _, err := Replay(db, strings.NewReader(bad+"\n"), 1); err == nil {
+			t.Errorf("malformed line %q accepted", bad)
+		}
+	}
+}
+
+func TestReplayDeterministicInSim(t *testing.T) {
+	spec := bench.Mixgraph(2000, 100, 9)
+	var b strings.Builder
+	if _, err := Generate(spec, &b); err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		db := simDB(t)
+		rep, err := Replay(db, strings.NewReader(b.String()), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Throughput
+	}
+	if a, c := run(), run(); a != c {
+		t.Fatalf("replay not deterministic: %v vs %v", a, c)
+	}
+}

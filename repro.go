@@ -1,0 +1,102 @@
+// Package repro is an open-source reproduction of "Can Modern LLMs Tune and
+// Configure LSM-based Key-Value Stores?" (HotStorage '24): the ELMo-Tune
+// feedback loop, a from-scratch LSM key-value store with a RocksDB-style
+// option surface, a db_bench-style workload harness, deterministic
+// storage-device/host simulation, and a simulated GPT-4 tuning expert.
+//
+// This file is the public facade: the most commonly used types and
+// constructors aliased from the internal packages. Deeper control lives in:
+//
+//	internal/lsm         the storage engine (Open, Options, iterators, Env)
+//	internal/bench       workloads, histograms, the benchmark runner
+//	internal/core        the ELMo-Tune feedback loop
+//	internal/mockllm     the offline GPT-4 stand-in
+//	internal/experiments the paper's tables and figures
+package repro
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/llm"
+	"repro/internal/lsm"
+	"repro/internal/mockllm"
+)
+
+// Engine API.
+type (
+	// DB is the LSM-tree key-value store.
+	DB = lsm.DB
+	// Options configures a DB (RocksDB-style option names).
+	Options = lsm.Options
+	// WriteBatch groups updates applied atomically.
+	WriteBatch = lsm.WriteBatch
+	// WriteOptions and ReadOptions control individual operations.
+	WriteOptions = lsm.WriteOptions
+	// ReadOptions controls reads.
+	ReadOptions = lsm.ReadOptions
+	// Iterator walks keys in order.
+	Iterator = lsm.Iterator
+)
+
+// ErrNotFound is returned by DB.Get for missing keys.
+var ErrNotFound = lsm.ErrNotFound
+
+// Open opens (creating if configured) a database directory.
+func Open(dir string, opts *Options) (*DB, error) { return lsm.Open(dir, opts) }
+
+// DefaultOptions mirrors RocksDB 8.x defaults.
+func DefaultOptions() *Options { return lsm.DefaultOptions() }
+
+// DBBenchDefaults is db_bench's out-of-box configuration — the paper's
+// iteration-0 baseline.
+func DBBenchDefaults() *Options { return lsm.DBBenchDefaults() }
+
+// NewWriteBatch returns an empty batch.
+func NewWriteBatch() *WriteBatch { return lsm.NewWriteBatch() }
+
+// Tuning API.
+type (
+	// TuningConfig wires one ELMo-Tune session.
+	TuningConfig = core.Config
+	// TuningResult is a completed session.
+	TuningResult = core.Result
+	// LLMClient produces chat completions (HTTP endpoint or mock expert).
+	LLMClient = llm.Client
+)
+
+// Tune runs the ELMo-Tune feedback loop.
+func Tune(ctx context.Context, cfg TuningConfig) (*TuningResult, error) {
+	return core.Run(ctx, cfg)
+}
+
+// NewMockExpert returns the deterministic GPT-4 stand-in.
+func NewMockExpert(seed int64) LLMClient { return mockllm.NewExpert(seed) }
+
+// NewGPTClient returns a client for an OpenAI-compatible endpoint.
+func NewGPTClient(baseURL, apiKey, model string) LLMClient {
+	return llm.NewHTTPClient(baseURL, apiKey, model)
+}
+
+// TuneSimulated runs a complete session against a simulated device and
+// hardware profile — the turnkey entry point the examples use.
+// deviceName: "nvme", "satassd", "hdd"; profileName: "2+4".."4+8";
+// workload: "fillrandom", "readrandom", "readrandomwriterandom", "mixgraph".
+func TuneSimulated(ctx context.Context, deviceName, profileName, workload string, scale int64, seed int64) (*TuningResult, error) {
+	dev, err := device.ByName(deviceName)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := device.ProfileByName(profileName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := experiments.RunSession(ctx, dev, prof, workload,
+		experiments.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return s.Result, nil
+}

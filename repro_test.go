@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestFacadeKV(t *testing.T) {
+	db, err := Open(t.TempDir(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put(nil, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get(nil, []byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := db.Get(nil, []byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	b := NewWriteBatch()
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	if err := db.Write(nil, b); err != nil {
+		t.Fatal(err)
+	}
+	it := db.NewIterator(nil)
+	defer it.Close()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("scan count = %d", count)
+	}
+}
+
+func TestFacadeTuneSimulated(t *testing.T) {
+	res, err := TuneSimulated(context.Background(), "nvme", "4+4", "fillrandom", 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMetrics.Throughput < res.BaselineMetrics.Throughput {
+		t.Fatal("tuning regressed")
+	}
+	if res.ImprovementFactor() < 1 {
+		t.Fatal("improvement factor < 1")
+	}
+}
+
+func TestFacadeTuneSimulatedErrors(t *testing.T) {
+	if _, err := TuneSimulated(context.Background(), "floppy", "4+4", "fillrandom", 800, 1); err == nil {
+		t.Fatal("bad device accepted")
+	}
+	if _, err := TuneSimulated(context.Background(), "nvme", "16+64", "fillrandom", 800, 1); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+	if _, err := TuneSimulated(context.Background(), "nvme", "4+4", "ycsb", 800, 1); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+}
+
+func TestFacadeClients(t *testing.T) {
+	if NewMockExpert(1).Name() != "mock-gpt-4" {
+		t.Fatal("mock expert name")
+	}
+	if NewGPTClient("http://x", "k", "gpt-4").Name() != "gpt-4" {
+		t.Fatal("gpt client name")
+	}
+}
