@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine histograms and the tuning-loop trace are written from multiple
+# goroutines; keep them honest under the race detector.
+race:
+	$(GO) test -race ./internal/lsm ./internal/core
+
+verify: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -10,14 +10,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/ini"
 	"repro/internal/lsm"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -35,8 +38,21 @@ func main() {
 		stats      = flag.Bool("statistics", false, "print engine statistics after the run")
 		traceOut   = flag.String("trace_out", "", "synthesize the workload into a trace file and exit (no benchmark)")
 		traceIn    = flag.String("trace_in", "", "replay a trace file instead of running -benchmarks")
+		metricsA   = flag.String("metrics_addr", "", "serve Prometheus /metrics on this address while the benchmark runs (e.g. :9090)")
+		jsonTrace  = flag.String("trace", "", "append one JSON benchmark record (ops/sec, P99s, stats dump, histograms) to this file")
 	)
 	flag.Parse()
+
+	// Open the trace file before the (possibly long) run so a bad path
+	// fails immediately, not after the benchmark.
+	var traceFile *os.File
+	if *jsonTrace != "" {
+		f, err := os.OpenFile(*jsonTrace, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+	}
 
 	opts := lsm.DBBenchDefaults()
 	if *optsFile != "" {
@@ -97,6 +113,14 @@ func main() {
 	}
 	defer db.Close()
 
+	if *metricsA != "" {
+		addr, _, err := metrics.Serve(*metricsA, metrics.NewExporter(db))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving Prometheus metrics on http://%s/metrics\n", addr)
+	}
+
 	var rep *bench.Report
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
@@ -122,6 +146,26 @@ func main() {
 	if *stats {
 		fmt.Println("\nSTATISTICS:")
 		fmt.Print(db.Statistics().String())
+	}
+	if traceFile != nil {
+		rec := core.TraceRecord{
+			Kind:           "benchmark",
+			Workload:       rep.Workload,
+			OpsPerSec:      rep.Throughput,
+			P99WriteMicros: rep.P99Write(),
+			P99ReadMicros:  rep.P99Read(),
+			Kept:           true,
+			StatsDump:      rep.StatsDump,
+			Histograms:     rep.HistogramDump,
+			Tickers:        rep.Stats,
+		}
+		if err := json.NewEncoder(traceFile).Encode(rec); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "appended benchmark record to %s\n", *jsonTrace)
 	}
 }
 

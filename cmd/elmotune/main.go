@@ -20,6 +20,7 @@ import (
 	"repro/internal/finetune"
 	"repro/internal/llm"
 	"repro/internal/lsm"
+	"repro/internal/metrics"
 	"repro/internal/mockllm"
 	"repro/internal/sysmon"
 )
@@ -40,6 +41,8 @@ func main() {
 		llmURL   = flag.String("llm", "", "OpenAI-compatible endpoint (default: in-process mock expert)")
 		llmKey   = flag.String("key", "", "API key for -llm")
 		model    = flag.String("model", "gpt-4", "model name for -llm")
+		metricsA = flag.String("metrics_addr", "", "serve Prometheus /metrics for the live iteration's engine (e.g. :9090)")
+		traceF   = flag.String("trace", "", "write the tuning-loop JSONL trace (one record per iteration) to this file")
 	)
 	flag.Parse()
 
@@ -64,6 +67,24 @@ func main() {
 	} else {
 		cfg.Client = mockllm.NewExpert(*seed)
 	}
+	var exporter *metrics.Exporter
+	if *metricsA != "" {
+		exporter = metrics.NewExporter(nil)
+		addr, _, err := metrics.Serve(*metricsA, exporter)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving Prometheus metrics on http://%s/metrics\n", addr)
+		cfg.OnDB = func(db *lsm.DB) { exporter.Set(db) }
+	}
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
 	var res *core.Result
 	var session *experiments.Session
 	if *real {
@@ -78,7 +99,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ELMo-Tune: %s on the REAL filesystem under %s, up to %d iterations, model %s\n",
 			*workload, base, *iters, cfg.Client.Name())
-		runner := &experiments.OSRunner{BaseDir: base, Workload: *workload, Ops: *num, Seed: *seed}
+		runner := &experiments.OSRunner{BaseDir: base, Workload: *workload, Ops: *num, Seed: *seed, OnDB: cfg.OnDB}
 		var err error
 		res, err = core.Run(context.Background(), core.Config{
 			Client:         cfg.Client,
@@ -89,6 +110,7 @@ func main() {
 			MaxIterations:  *iters,
 			StallLimit:     *iters + 1,
 			Logf:           cfg.Logf,
+			Trace:          cfg.Trace,
 		})
 		if err != nil {
 			fatal(err)

@@ -14,8 +14,13 @@ import (
 )
 
 // Histogram collects latency observations into exponential buckets, in the
-// spirit of RocksDB's HistogramImpl. Not safe for concurrent use; each
-// virtual thread owns one and they are merged at the end.
+// spirit of RocksDB's HistogramImpl.
+//
+// NOT safe for concurrent use: Add, Merge and the readers race if shared
+// across goroutines. The runner honors this by giving each virtual thread
+// (and each OS-mode goroutine) its own Histogram and merging them only
+// after every worker has finished. Code that needs a concurrently-writable
+// histogram should use lsm.HistogramStats, whose recorders are atomic.
 type Histogram struct {
 	buckets []int64 // bucket i covers [limit(i-1), limit(i))
 	limits  []float64

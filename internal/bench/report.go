@@ -27,6 +27,14 @@ type Report struct {
 	Metrics  lsm.Metrics
 	SimStats lsm.SimStats
 	Stats    map[string]int64
+
+	// StatsDump is the engine's rocksdb.stats property text at the end of
+	// the run (per-level compaction-stats table included). HistogramDump is
+	// the engine histograms' RocksDB-style P50/P95/P99 lines. Both feed the
+	// tuning loop's trace and the LLM prompt; neither is part of Format()
+	// because flagger.ParseReportText keys off the P99 lines there.
+	StatsDump     string
+	HistogramDump string
 }
 
 // MicrosPerOp returns the mean operation latency in microseconds.

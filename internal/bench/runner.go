@@ -126,6 +126,8 @@ func (r *Runner) Run() (*Report, error) {
 		rep.Throughput = float64(rep.Ops) / rep.Elapsed.Seconds()
 	}
 	rep.Stats = r.DB.Statistics().Snapshot()
+	rep.StatsDump, _ = r.DB.GetProperty("rocksdb.stats")
+	rep.HistogramDump = r.DB.Histograms().String()
 	return rep, nil
 }
 

@@ -7,6 +7,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -80,6 +81,12 @@ type Config struct {
 	DisableFormatRetry bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Trace, when set, receives one JSONL TraceRecord per iteration
+	// (including the baseline): options diff applied, safeguard rejections,
+	// benchmark summary, engine stats dump and histograms, and the
+	// flagger's keep/revert decision. Encoding errors are logged, never
+	// fatal.
+	Trace io.Writer
 }
 
 // Iteration records everything about one loop turn, for analysis and for
@@ -160,6 +167,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	flag.SetBaseline(baseMetrics)
 	logf("iteration 0: %s", baseline.Summary())
 
+	tw := newTraceWriter(cfg.Trace)
+	if err := tw.write(reportRecord(TraceRecord{
+		Kind:     "baseline",
+		Workload: cfg.WorkloadName,
+		Kept:     true,
+	}, baseline)); err != nil {
+		logf("trace: %v", err)
+	}
+
 	res := &Result{
 		Baseline:        baseline,
 		BaselineMetrics: baseMetrics,
@@ -168,6 +184,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	current := cfg.InitialOptions.Clone()
 	lastReport := baseline.Format()
+	lastStatsDump := baseline.StatsDump
+	lastHistograms := baseline.HistogramDump
 	var history []string
 	history = append(history, fmt.Sprintf("iteration 0 (default config): %.0f ops/sec", baseMetrics.Throughput))
 	deteriorated := false
@@ -185,6 +203,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Host:                host,
 			Options:             current,
 			LastReport:          lastReport,
+			StatsDump:           lastStatsDump,
+			Histograms:          lastHistograms,
 			History:             history,
 			Deteriorated:        deteriorated,
 			DeteriorationNote:   detNote,
@@ -228,6 +248,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			it.Kept = false
 			it.Options = current.Clone()
 			res.Iterations = append(res.Iterations, it)
+			if terr := tw.write(TraceRecord{
+				Kind:      "iteration",
+				Iteration: n,
+				Workload:  cfg.WorkloadName,
+				Rejected:  rejectedStrings(decisions),
+				Reverted:  true,
+				Reason:    "combination rejected by validation: " + err.Error(),
+				LLMMillis: llmDur.Milliseconds(),
+			}); terr != nil {
+				logf("trace: %v", terr)
+			}
 			continue
 		}
 		it.AppliedDiff = ini.Diff(current.ToINI(), next.ToINI())
@@ -256,6 +287,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		it.EarlyStopped = earlyStopped
 		it.Metrics = flagger.FromReport(report)
 		lastReport = report.Format()
+		lastStatsDump = report.StatsDump
+		lastHistograms = report.HistogramDump
 
 		decision := flag.Judge(it.Metrics)
 		it.Kept = decision.Keep && !earlyStopped
@@ -289,6 +322,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			history = append(history, fmt.Sprintf("iteration %d (reverted): %.0f ops/sec", n, it.Metrics.Throughput))
 			logf("iteration %d: reverted (%s)", n, decision.Reason)
 			stalled++
+		}
+		if terr := tw.write(reportRecord(TraceRecord{
+			Kind:         "iteration",
+			Iteration:    n,
+			Workload:     cfg.WorkloadName,
+			AppliedDiff:  it.AppliedDiff,
+			Rejected:     rejectedStrings(decisions),
+			Kept:         it.Kept,
+			Reverted:     !it.Kept,
+			EarlyStopped: earlyStopped,
+			Reason:       decision.Reason,
+			LLMMillis:    llmDur.Milliseconds(),
+		}, report)); terr != nil {
+			logf("trace: %v", terr)
 		}
 		res.Iterations = append(res.Iterations, it)
 		if stalled >= cfg.StallLimit {

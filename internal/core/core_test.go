@@ -1,10 +1,13 @@
 package core_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -289,6 +292,146 @@ func TestWriteOptionsFile(t *testing.T) {
 	}
 	if loaded == nil {
 		t.Fatal("nil options from written file")
+	}
+}
+
+// TestTraceAndTelemetryFeedback is the observability acceptance test: a
+// tuning run with Trace set writes one valid JSONL record per iteration
+// (baseline included), and the engine stats dump captured by one iteration's
+// benchmark is fed back verbatim into the next iteration's prompt.
+func TestTraceAndTelemetryFeedback(t *testing.T) {
+	const maxIters = 3
+	runs := 0
+	runner := core.BenchRunnerFunc(func(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error) {
+		runs++
+		return &bench.Report{
+			Workload:      "fillrandom",
+			Ops:           1000,
+			Elapsed:       time.Second,
+			Throughput:    100_000 + float64(runs)*10_000, // always improving: every iteration kept
+			Read:          bench.NewHistogram(),
+			Write:         bench.NewHistogram(),
+			StatsDump:     fmt.Sprintf("SENTINEL-STATS-DUMP run %d\n** Compaction Stats [default] **", runs),
+			HistogramDump: fmt.Sprintf("rocksdb.db.write.micros P50 : 1.00 P95 : 2.00 P99 : 3.00 COUNT : %d SUM : 1", runs),
+			Stats:         map[string]int64{"rocksdb.flush.count": int64(runs)},
+		}, nil
+	})
+	var prompts []string
+	client := &llm.FuncClient{Fn: func(_ context.Context, msgs []llm.Message) (string, error) {
+		prompts = append(prompts, msgs[len(msgs)-1].Content)
+		// A different value each round so every iteration has a non-empty
+		// applied diff.
+		return fmt.Sprintf("max_background_jobs=%d\n", 3+len(prompts)), nil
+	}}
+	var traceBuf bytes.Buffer
+	res, err := core.Run(context.Background(), core.Config{
+		Client:         client,
+		Runner:         runner,
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  maxIters,
+		StallLimit:     10,
+		Trace:          &traceBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != maxIters {
+		t.Fatalf("iterations = %d, want %d", len(res.Iterations), maxIters)
+	}
+
+	// One valid JSON record per line: baseline + every iteration.
+	lines := strings.Split(strings.TrimSpace(traceBuf.String()), "\n")
+	if len(lines) != maxIters+1 {
+		t.Fatalf("trace records = %d, want %d:\n%s", len(lines), maxIters+1, traceBuf.String())
+	}
+	var records []core.TraceRecord
+	for i, line := range lines {
+		var rec core.TraceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %d invalid JSON: %v\n%s", i, err, line)
+		}
+		records = append(records, rec)
+	}
+	if records[0].Kind != "baseline" || records[0].Iteration != 0 || !records[0].Kept {
+		t.Fatalf("baseline record = %+v", records[0])
+	}
+	if records[0].StatsDump != "SENTINEL-STATS-DUMP run 1\n** Compaction Stats [default] **" {
+		t.Fatalf("baseline stats dump = %q", records[0].StatsDump)
+	}
+	for i := 1; i <= maxIters; i++ {
+		r := records[i]
+		if r.Kind != "iteration" || r.Iteration != i {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+		if !r.Kept || r.Reverted {
+			t.Fatalf("improving iteration %d not kept: %+v", i, r)
+		}
+		if r.OpsPerSec <= 0 || r.StatsDump == "" || r.Histograms == "" {
+			t.Fatalf("record %d missing telemetry: %+v", i, r)
+		}
+		if len(r.AppliedDiff) == 0 {
+			t.Fatalf("record %d missing applied diff", i)
+		}
+		if r.Tickers["rocksdb.flush.count"] != int64(i+1) {
+			t.Fatalf("record %d tickers = %v", i, r.Tickers)
+		}
+	}
+
+	// Feedback: each prompt embeds the stats dump and histogram text of the
+	// preceding run — the trace and the prompt see the same telemetry.
+	if len(prompts) != maxIters {
+		t.Fatalf("prompts = %d, want %d", len(prompts), maxIters)
+	}
+	for i, p := range prompts {
+		wantStats := fmt.Sprintf("SENTINEL-STATS-DUMP run %d", i+1)
+		if !strings.Contains(p, wantStats) {
+			t.Fatalf("prompt %d missing %q:\n%s", i+1, wantStats, p)
+		}
+		wantHist := fmt.Sprintf("COUNT : %d", i+1)
+		if !strings.Contains(p, "rocksdb.db.write.micros") || !strings.Contains(p, wantHist) {
+			t.Fatalf("prompt %d missing histogram feedback:\n%s", i+1, p)
+		}
+	}
+}
+
+// TestTraceRecordsRejectedCombination: an unbenchmarkable change set still
+// produces a trace record marking the rejection.
+func TestTraceRecordsRejectedCombination(t *testing.T) {
+	calls := 0
+	client := &llm.FuncClient{Fn: func(context.Context, []llm.Message) (string, error) {
+		calls++
+		if calls == 1 {
+			return "min_write_buffer_number_to_merge=4\nmax_write_buffer_number=2\n", nil
+		}
+		return "max_background_jobs=4", nil
+	}}
+	var traceBuf bytes.Buffer
+	_, err := core.Run(context.Background(), core.Config{
+		Client:         client,
+		Runner:         quickRunner("fillrandom", 37),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  2,
+		StallLimit:     10,
+		Trace:          &traceBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(traceBuf.String()), "\n")
+	if len(lines) != 3 { // baseline + rejected iteration + normal iteration
+		t.Fatalf("trace records = %d:\n%s", len(lines), traceBuf.String())
+	}
+	var rec core.TraceRecord
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kept || !rec.Reverted || !strings.Contains(rec.Reason, "rejected by validation") {
+		t.Fatalf("rejected-combination record = %+v", rec)
+	}
+	if rec.OpsPerSec != 0 {
+		t.Fatalf("unbenchmarked iteration reports throughput: %+v", rec)
 	}
 }
 

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/safeguard"
+)
+
+// TraceRecord is one line of the tuning-loop JSONL trace: everything the
+// loop knew and decided in one iteration, in a machine-readable form. Kind
+// "baseline" records iteration 0; "iteration" records each tuning turn;
+// "benchmark" is used by cmd/dbbench for standalone runs.
+type TraceRecord struct {
+	Kind      string `json:"kind"`
+	Iteration int    `json:"iteration"`
+	Workload  string `json:"workload,omitempty"`
+
+	// AppliedDiff is the option diff this iteration's configuration applied
+	// (empty when the change set was rejected outright).
+	AppliedDiff []string `json:"applied_diff,omitempty"`
+	// Rejected lists safeguard verdicts other than Accepted, as
+	// "verdict name=value (reason)" strings.
+	Rejected []string `json:"rejected,omitempty"`
+
+	// Benchmark summary.
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	P99WriteMicros float64 `json:"p99_write_micros,omitempty"`
+	P99ReadMicros  float64 `json:"p99_read_micros,omitempty"`
+
+	// Flagger verdict.
+	Kept         bool   `json:"kept"`
+	Reverted     bool   `json:"reverted,omitempty"`
+	EarlyStopped bool   `json:"early_stopped,omitempty"`
+	Reason       string `json:"reason,omitempty"`
+
+	// Engine telemetry at the end of the run — the same text the prompt
+	// generator feeds back to the LLM.
+	StatsDump  string           `json:"stats_dump,omitempty"`
+	Histograms string           `json:"histograms,omitempty"`
+	Tickers    map[string]int64 `json:"tickers,omitempty"`
+
+	LLMMillis int64 `json:"llm_millis,omitempty"`
+}
+
+// traceWriter emits JSONL records; a nil receiver or nil writer is a no-op.
+type traceWriter struct {
+	enc *json.Encoder
+}
+
+// newTraceWriter wraps w (nil w yields a no-op writer).
+func newTraceWriter(w io.Writer) *traceWriter {
+	if w == nil {
+		return nil
+	}
+	return &traceWriter{enc: json.NewEncoder(w)}
+}
+
+// write encodes one record; errors are returned for the caller to log
+// (tracing is observability, never fatal to the tuning session).
+func (t *traceWriter) write(rec TraceRecord) error {
+	if t == nil {
+		return nil
+	}
+	return t.enc.Encode(rec)
+}
+
+// reportRecord fills the benchmark-summary and telemetry fields from a
+// report.
+func reportRecord(rec TraceRecord, rep *bench.Report) TraceRecord {
+	if rep == nil {
+		return rec
+	}
+	rec.OpsPerSec = rep.Throughput
+	rec.P99WriteMicros = rep.P99Write()
+	rec.P99ReadMicros = rep.P99Read()
+	rec.StatsDump = rep.StatsDump
+	rec.Histograms = rep.HistogramDump
+	rec.Tickers = rep.Stats
+	return rec
+}
+
+// rejectedStrings renders non-accepted safeguard decisions for the trace.
+func rejectedStrings(decisions []safeguard.Decision) []string {
+	var out []string
+	for _, d := range decisions {
+		if d.Verdict != safeguard.Accepted {
+			out = append(out, d.Verdict.String()+" "+d.Change.Name+"="+d.Change.Value+" ("+d.Reason+")")
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/bench"
@@ -34,6 +35,13 @@ type Config struct {
 	Client llm.Client
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// OnDB, when set, is called with each freshly opened database before its
+	// benchmark runs (used to repoint a live /metrics exporter at the
+	// current iteration's DB).
+	OnDB func(*lsm.DB)
+	// Trace, when set, receives the tuning loop's JSONL trace (one
+	// core.TraceRecord per iteration).
+	Trace io.Writer
 }
 
 // withDefaults fills zero fields.
@@ -124,6 +132,9 @@ func (s *SimRunner) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress)
 		return nil, err
 	}
 	defer db.Close()
+	if s.Cfg.OnDB != nil {
+		s.Cfg.OnDB(db)
+	}
 	spec, err := workloadSpec(s.Workload, s.Cfg)
 	if err != nil {
 		return nil, err
@@ -193,6 +204,7 @@ func RunSession(ctx context.Context, dev *device.Model, prof device.Profile, wor
 		// The paper's 30-second monitor window, in scaled virtual time.
 		EarlyStopCheckAfter: 30 * time.Second / time.Duration(cfg.Scale),
 		Logf:                cfg.Logf,
+		Trace:               cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -23,6 +23,9 @@ type OSRunner struct {
 	ValueSize int
 	// Seed drives workload randomness.
 	Seed int64
+	// OnDB, when set, is called with each freshly opened database before its
+	// benchmark runs (used to repoint a live /metrics exporter).
+	OnDB func(*lsm.DB)
 
 	runs int
 }
@@ -45,6 +48,9 @@ func (r *OSRunner) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) 
 		db.Close()
 		os.RemoveAll(dir) // keep disk use bounded across iterations
 	}()
+	if r.OnDB != nil {
+		r.OnDB(db)
+	}
 	valueSize := r.ValueSize
 	if valueSize <= 0 {
 		valueSize = 400

@@ -26,6 +26,7 @@ type cacheShard struct {
 	head, tail *cacheEntry
 	used       int64
 	capacity   int64
+	stats      *Statistics
 }
 
 func (s *cacheShard) unlink(e *cacheEntry) {
@@ -80,6 +81,7 @@ func (s *cacheShard) insert(k cacheKey, v []byte) {
 		s.pushFront(e)
 		s.used += charge
 	}
+	s.stats.Add(TickerBlockCacheAdd, 1)
 	// Evict to capacity, but always keep the just-inserted entry (head):
 	// an entry larger than a shard would otherwise thrash forever.
 	for s.used > s.capacity && s.tail != nil && s.tail != s.head {
@@ -87,6 +89,7 @@ func (s *cacheShard) insert(k cacheKey, v []byte) {
 		s.unlink(victim)
 		delete(s.m, victim.key)
 		s.used -= victim.charge
+		s.stats.Add(TickerBlockCacheEvict, 1)
 	}
 }
 
@@ -125,6 +128,13 @@ func newBlockCache(capacity int64) *blockCache {
 		c.shards[i].capacity = per
 	}
 	return c
+}
+
+// setStats routes insert/evict tickers to stats (nil disables them).
+func (c *blockCache) setStats(stats *Statistics) {
+	for i := range c.shards {
+		c.shards[i].stats = stats
+	}
 }
 
 // NewID allocates a table-unique namespace within the cache.

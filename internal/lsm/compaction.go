@@ -229,6 +229,9 @@ type compactionResult struct {
 	writeBytes int64
 	cpu        time.Duration
 	outputs    int
+	// dur is the job's wall-clock execution time, for histograms, the
+	// per-level compaction-stats table and event listeners.
+	dur time.Duration
 }
 
 // isBaseLevelForKey reports whether no level below outputLevel may contain
@@ -250,6 +253,7 @@ func isBaseLevelForKey(v *Version, outputLevel int, userKey []byte) bool {
 // mutex; inputs are immutable files.
 func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error) {
 	res := &compactionResult{edit: &versionEdit{}}
+	defer func(start time.Time) { res.dur = time.Since(start) }(time.Now())
 	for _, f := range c.inputs[0] {
 		res.edit.deletedFiles = append(res.edit.deletedFiles, deletedFile{c.level, f.Number})
 		res.readBytes += f.Size

@@ -47,13 +47,26 @@ type simJob struct {
 	run func()
 }
 
+// levelIOStats accumulates cumulative background I/O per level (flush
+// writes land on L0; compaction reads/writes land on the output level).
+// Guarded by db.mu.
+type levelIOStats struct {
+	readBytes  int64
+	writeBytes int64
+	count      int64
+	duration   time.Duration
+}
+
 // DB is a log-structured merge-tree key-value store.
 type DB struct {
-	opts  *Options
-	env   Env
-	sim   *SimEnv // non-nil when env is a simulation
-	dir   string
-	stats *Statistics
+	opts      *Options
+	env       Env
+	sim       *SimEnv // non-nil when env is a simulation
+	dir       string
+	stats     *Statistics
+	hists     *HistogramStats
+	listeners []EventListener
+	infoLog   *logListener
 
 	mu      sync.Mutex
 	bgCond  *sync.Cond
@@ -68,6 +81,8 @@ type DB struct {
 	flushingCount int // prefix of imm currently being flushed
 	flushActive   int
 	compactActive int
+	stallCond     StallCondition
+	levelIO       []levelIOStats
 	busyFiles     map[uint64]bool
 	simJobs       []simJob
 	simJobSeq     uint64
@@ -100,8 +115,11 @@ func Open(dir string, opts *Options) (*DB, error) {
 		env:       env,
 		dir:       dir,
 		stats:     opts.Stats,
+		hists:     NewHistogramStats(),
+		listeners: append([]EventListener(nil), opts.Listeners...),
 		busyFiles: make(map[uint64]bool),
 		memSeed:   opts.Seed + 1,
+		levelIO:   make([]levelIOStats, opts.NumLevels),
 	}
 	if se, ok := env.(*SimEnv); ok {
 		db.sim = se
@@ -116,6 +134,13 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 	if cacheSize > 0 {
 		db.bcache = newBlockCache(cacheSize)
+		db.bcache.setStats(db.stats)
+	}
+	if !opts.DisableInfoLog {
+		db.infoLog = newLogListener(env, dir)
+		if db.infoLog != nil {
+			db.listeners = append(db.listeners, db.infoLog)
+		}
 	}
 	db.tcache = newTableCache(env, dir, db.bcache, db.stats, opts.MaxOpenFiles)
 	db.vs = &versionSet{env: env, dir: dir, opts: opts}
@@ -162,6 +187,8 @@ func Open(dir string, opts *Options) (*DB, error) {
 		}
 	}
 	db.deleteObsoleteFilesLocked()
+	db.infoLog.logf("[db] open %s (write_buffer_size=%d block_cache_size=%d compaction_style=%s num_levels=%d)",
+		dir, opts.WriteBufferSize, cacheSize, opts.CompactionStyle, opts.NumLevels)
 	return db, nil
 }
 
@@ -191,6 +218,7 @@ func (db *DB) newMemtableLocked() error {
 		return err
 	}
 	db.wal = newWALWriter(f, db.opts)
+	db.wal.onSync = db.notifyWALSync
 	db.memSeed++
 	db.mem = newMemtable(db.memSeed, logNum)
 	return nil
@@ -244,6 +272,7 @@ func (db *DB) replayWALsLocked() error {
 		}
 		db.stats.Add(TickerFlushCount, 1)
 		db.stats.Add(TickerFlushBytes, res.writeBytes)
+		db.recordFlushLocked(res, 1)
 		if err := db.newMemtableLocked(); err != nil {
 			return err
 		}
@@ -278,6 +307,9 @@ func (db *DB) Write(wo *WriteOptions, batch *WriteBatch) error {
 	if batch.Count() == 0 {
 		return nil
 	}
+	defer func(start time.Time) {
+		db.hists.Record(HistWriteMicros, time.Since(start))
+	}(time.Now())
 	// CPU cost of the write path (memtable insert, WAL framing), calibrated
 	// against db_bench fillrandom on a warmed NVMe box (~2-3 us/op before
 	// stall effects).
@@ -333,6 +365,9 @@ func (db *DB) Get(ro *ReadOptions, key []byte) ([]byte, error) {
 	if ro == nil {
 		ro = DefaultReadOptions()
 	}
+	defer func(start time.Time) {
+		db.hists.Record(HistGetMicros, time.Since(start))
+	}(time.Now())
 	db.env.ChargeCPU(1300 * time.Nanosecond)
 	db.mu.Lock()
 	if db.closed {
@@ -415,6 +450,7 @@ func (db *DB) makeRoomForWriteLocked(batchBytes int64) error {
 		// Hard stops.
 		if auto && (l0 >= db.opts.Level0StopWritesTrigger ||
 			(db.opts.HardPendingCompactionBytesLimit > 0 && pending >= db.opts.HardPendingCompactionBytesLimit)) {
+			db.setStallConditionLocked(StallStopped, l0, pending)
 			db.stats.Add(TickerStoppedWrites, 1)
 			if err := db.waitForBackgroundLocked(); err != nil {
 				return err
@@ -425,6 +461,7 @@ func (db *DB) makeRoomForWriteLocked(batchBytes int64) error {
 		if auto && !delayed &&
 			(l0 >= db.opts.Level0SlowdownWritesTrigger ||
 				(db.opts.SoftPendingCompactionBytesLimit > 0 && pending >= db.opts.SoftPendingCompactionBytesLimit)) {
+			db.setStallConditionLocked(StallDelayed, l0, pending)
 			delay := time.Duration(float64(batchBytes) / float64(db.opts.delayedWriteRate()) * 1e9)
 			if delay < 50*time.Microsecond {
 				delay = 50 * time.Microsecond
@@ -436,10 +473,12 @@ func (db *DB) makeRoomForWriteLocked(batchBytes int64) error {
 			continue
 		}
 		if db.mem.approximateBytes() < db.opts.WriteBufferSize && db.wal.size() < db.opts.maxTotalWALSize() {
+			db.setStallConditionLocked(StallNormal, l0, pending)
 			return nil
 		}
 		// Memtable full: switch, unless the buffer count limit stalls us.
 		if len(db.imm)+1 >= db.opts.MaxWriteBufferNumber {
+			db.setStallConditionLocked(StallStopped, l0, pending)
 			db.stats.Add(TickerStoppedWrites, 1)
 			db.maybeScheduleFlushLocked(true)
 			if err := db.waitForBackgroundLocked(); err != nil {
@@ -561,15 +600,65 @@ func (db *DB) installFlushLocked(mems []*memtable, res *compactionResult, err er
 	if err != nil {
 		db.bgErr = err
 		db.flushingCount -= len(mems)
+		db.notifyFlush(FlushInfo{MemtablesMerged: len(mems), Err: err})
 		return
 	}
 	db.imm = db.imm[len(mems):]
 	db.flushingCount -= len(mems)
 	db.stats.Add(TickerFlushCount, 1)
 	db.stats.Add(TickerFlushBytes, res.writeBytes)
+	db.recordFlushLocked(res, len(mems))
 	db.deleteObsoleteFilesLocked()
 	db.maybeScheduleFlushLocked(false)
 	db.maybeScheduleCompactionLocked()
+}
+
+// recordFlushLocked books a successful flush into the per-level I/O stats,
+// the flush histogram and the event listeners.
+func (db *DB) recordFlushLocked(res *compactionResult, memsMerged int) {
+	db.levelIO[0].writeBytes += res.writeBytes
+	db.levelIO[0].count++
+	db.levelIO[0].duration += res.dur
+	db.hists.Record(HistFlushMicros, res.dur)
+	info := FlushInfo{Bytes: res.writeBytes, MemtablesMerged: memsMerged, Duration: res.dur}
+	if len(res.edit.newFiles) > 0 {
+		info.OutputFileNumber = res.edit.newFiles[0].meta.Number
+	}
+	db.notifyFlush(info)
+}
+
+// recordCompactionLocked books a completed compaction (auto, manual or
+// fifo) into the per-level I/O stats, the compaction histogram and the event
+// listeners.
+func (db *DB) recordCompactionLocked(c *compaction, res *compactionResult, reason string, err error) {
+	if err != nil {
+		db.notifyCompaction(CompactionInfo{
+			InputLevel:  c.level,
+			OutputLevel: c.outputLevel,
+			InputFiles:  len(c.allInputs()),
+			Reason:      reason,
+			Err:         err,
+		})
+		return
+	}
+	out := c.outputLevel
+	if out >= 0 && out < len(db.levelIO) {
+		db.levelIO[out].readBytes += res.readBytes
+		db.levelIO[out].writeBytes += res.writeBytes
+		db.levelIO[out].count++
+		db.levelIO[out].duration += res.dur
+	}
+	db.hists.Record(HistCompactionMicros, res.dur)
+	db.notifyCompaction(CompactionInfo{
+		InputLevel:  c.level,
+		OutputLevel: c.outputLevel,
+		InputFiles:  len(c.allInputs()),
+		OutputFiles: res.outputs,
+		ReadBytes:   res.readBytes,
+		WriteBytes:  res.writeBytes,
+		Duration:    res.dur,
+		Reason:      reason,
+	})
 }
 
 // maybeScheduleCompactionLocked starts compactions while slots and work
@@ -633,13 +722,19 @@ func (db *DB) installCompactionLocked(c *compaction, res *compactionResult, err 
 	if err == nil {
 		err = db.vs.logAndApply(res.edit)
 	}
+	reason := "auto"
+	if c.fifoDrop {
+		reason = "fifo"
+	}
 	if err != nil {
 		db.bgErr = err
+		db.recordCompactionLocked(c, res, reason, err)
 		return
 	}
 	db.stats.Add(TickerCompactCount, 1)
 	db.stats.Add(TickerCompactReadBytes, res.readBytes)
 	db.stats.Add(TickerCompactWriteBytes, res.writeBytes)
+	db.recordCompactionLocked(c, res, reason, nil)
 	db.deleteObsoleteFilesLocked()
 	db.maybeScheduleCompactionLocked()
 }
@@ -823,6 +918,7 @@ func (db *DB) CompactRange(start, end []byte) error {
 			db.stats.Add(TickerCompactCount, 1)
 			db.stats.Add(TickerCompactReadBytes, res.readBytes)
 			db.stats.Add(TickerCompactWriteBytes, res.writeBytes)
+			db.recordCompactionLocked(c, res, "manual", nil)
 			db.deleteObsoleteFilesLocked()
 		}
 	}
@@ -865,6 +961,14 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	// RocksDB dumps statistics to LOG on a stats_dump_period_sec timer; we
+	// dump once at close (virtual clocks have no timers to hang one on).
+	if db.infoLog != nil {
+		db.infoLog.logf("[db] close %s", db.dir)
+		db.infoLog.logRaw(db.statsStringLocked())
+		db.infoLog.logRaw(db.hists.String())
+		db.infoLog.close()
+	}
 	db.tcache.close()
 	if db.wal != nil {
 		db.wal.close()
@@ -920,6 +1024,9 @@ func (db *DB) Options() *Options { return db.opts.Clone() }
 
 // Statistics returns the engine's statistics object.
 func (db *DB) Statistics() *Statistics { return db.stats }
+
+// Histograms returns the engine's latency histograms.
+func (db *DB) Histograms() *HistogramStats { return db.hists }
 
 // Env returns the environment the DB runs on.
 func (db *DB) Env() Env { return db.env }

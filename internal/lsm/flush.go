@@ -9,6 +9,7 @@ import (
 // The caller installs the returned edit.
 func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
 	res := &compactionResult{edit: &versionEdit{}}
+	defer func(start time.Time) { res.dur = time.Since(start) }(time.Now())
 	iters := make([]internalIterator, 0, len(mems))
 	var inputBytes int64
 	for _, m := range mems {

@@ -1,0 +1,212 @@
+package lsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HistogramType identifies one engine latency histogram, in the spirit of
+// rocksdb::Histograms.
+type HistogramType int
+
+const (
+	HistGetMicros HistogramType = iota
+	HistWriteMicros
+	HistSeekMicros
+	HistNextMicros
+	HistFlushMicros
+	HistCompactionMicros
+	HistWALSyncMicros
+	numHistogramTypes
+)
+
+var histogramNames = map[HistogramType]string{
+	HistGetMicros:        "rocksdb.db.get.micros",
+	HistWriteMicros:      "rocksdb.db.write.micros",
+	HistSeekMicros:       "rocksdb.db.seek.micros",
+	HistNextMicros:       "rocksdb.db.next.micros",
+	HistFlushMicros:      "rocksdb.db.flush.micros",
+	HistCompactionMicros: "rocksdb.compaction.times.micros",
+	HistWALSyncMicros:    "rocksdb.wal.file.sync.micros",
+}
+
+// String returns the RocksDB-style histogram name.
+func (t HistogramType) String() string {
+	if s, ok := histogramNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("histogram(%d)", int(t))
+}
+
+// histBucketLimits are exponential bucket upper bounds in microseconds:
+// 1us .. ~1e9us with 25% growth per bucket, plus an overflow bucket.
+var histBucketLimits = func() []float64 {
+	var out []float64
+	v := 1.0
+	for v < 1e9 {
+		out = append(out, v)
+		v *= 1.25
+	}
+	return append(out, math.MaxFloat64)
+}()
+
+// atomicHistogram is one thread-safe exponential-bucket histogram. Unlike
+// bench.Histogram (single-goroutine, merged after a run), every counter here
+// is atomic so the engine can record from foreground and background
+// goroutines concurrently.
+type atomicHistogram struct {
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+	min     atomic.Int64 // microseconds; math.MaxInt64 when empty
+	max     atomic.Int64 // microseconds
+}
+
+func (h *atomicHistogram) record(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	idx := sort.SearchFloat64s(histBucketLimits, float64(us))
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.min.Load()
+		if us >= cur || h.min.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// HistogramData is a point-in-time summary of one histogram. Latencies are
+// in microseconds.
+type HistogramData struct {
+	Name  string
+	Count int64
+	Sum   int64
+	Mean  float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// HistogramStats records per-operation engine latencies (Get, Write, Seek,
+// Next, flush, compaction, WAL sync) into concurrent exponential-bucket
+// histograms keyed by RocksDB histogram names. All methods are nil-safe and
+// safe for concurrent use.
+type HistogramStats struct {
+	hists [numHistogramTypes]atomicHistogram
+}
+
+// NewHistogramStats returns an empty set of engine histograms.
+func NewHistogramStats() *HistogramStats {
+	h := &HistogramStats{}
+	for i := range h.hists {
+		h.hists[i].buckets = make([]atomic.Int64, len(histBucketLimits))
+		h.hists[i].min.Store(math.MaxInt64)
+	}
+	return h
+}
+
+// Record adds one latency observation to histogram t.
+func (h *HistogramStats) Record(t HistogramType, d time.Duration) {
+	if h == nil || t < 0 || t >= numHistogramTypes {
+		return
+	}
+	h.hists[t].record(int64(d / time.Microsecond))
+}
+
+// Data summarizes one histogram.
+func (h *HistogramStats) Data(t HistogramType) HistogramData {
+	d := HistogramData{Name: t.String()}
+	if h == nil || t < 0 || t >= numHistogramTypes {
+		return d
+	}
+	ah := &h.hists[t]
+	d.Count = ah.count.Load()
+	if d.Count == 0 {
+		return d
+	}
+	d.Sum = ah.sum.Load()
+	d.Mean = float64(d.Sum) / float64(d.Count)
+	d.Min = float64(ah.min.Load())
+	d.Max = float64(ah.max.Load())
+	d.P50 = ah.percentile(50, d.Count, d.Min, d.Max)
+	d.P95 = ah.percentile(95, d.Count, d.Min, d.Max)
+	d.P99 = ah.percentile(99, d.Count, d.Min, d.Max)
+	return d
+}
+
+// percentile interpolates inside the covering bucket, like bench.Histogram.
+// count, min and max are passed in so one (racy but consistent-enough)
+// snapshot is shared across the P50/P95/P99 calls.
+func (ah *atomicHistogram) percentile(p float64, count int64, minUs, maxUs float64) float64 {
+	threshold := float64(count) * p / 100
+	var cum float64
+	for i := range ah.buckets {
+		c := float64(ah.buckets[i].Load())
+		cum += c
+		if cum >= threshold {
+			lo := 0.0
+			if i > 0 {
+				lo = histBucketLimits[i-1]
+			}
+			hi := histBucketLimits[i]
+			if hi > maxUs {
+				hi = maxUs
+			}
+			if c == 0 {
+				return hi
+			}
+			left := threshold - (cum - c)
+			r := lo + (hi-lo)*left/c
+			if r < minUs {
+				r = minUs
+			}
+			return r
+		}
+	}
+	return maxUs
+}
+
+// Snapshot returns a summary of every histogram that has observations,
+// ordered by histogram type.
+func (h *HistogramStats) Snapshot() []HistogramData {
+	var out []HistogramData
+	if h == nil {
+		return out
+	}
+	for t := HistogramType(0); t < numHistogramTypes; t++ {
+		if d := h.Data(t); d.Count > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders non-empty histograms in the RocksDB statistics-dump format:
+//
+//	rocksdb.db.get.micros P50 : 3.10 P95 : 9.80 P99 : 14.20 COUNT : 123 SUM : 456
+func (h *HistogramStats) String() string {
+	var b strings.Builder
+	for _, d := range h.Snapshot() {
+		fmt.Fprintf(&b, "%s P50 : %.2f P95 : %.2f P99 : %.2f COUNT : %d SUM : %d\n",
+			d.Name, d.P50, d.P95, d.P99, d.Count, d.Sum)
+	}
+	return b.String()
+}

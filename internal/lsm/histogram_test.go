@@ -1,0 +1,130 @@
+package lsm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramRecordAndData(t *testing.T) {
+	h := NewHistogramStats()
+	for i := 1; i <= 100; i++ {
+		h.Record(HistGetMicros, time.Duration(i)*time.Microsecond)
+	}
+	d := h.Data(HistGetMicros)
+	if d.Count != 100 {
+		t.Fatalf("count = %d, want 100", d.Count)
+	}
+	if d.Sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", d.Sum)
+	}
+	if d.Min != 1 || d.Max != 100 {
+		t.Fatalf("min/max = %g/%g, want 1/100", d.Min, d.Max)
+	}
+	if d.Mean < 50 || d.Mean > 51.5 {
+		t.Fatalf("mean = %f, want ~50.5", d.Mean)
+	}
+	// Percentiles are interpolated within exponential buckets: accept slack
+	// proportional to the ~25% bucket growth.
+	if d.P50 < 35 || d.P50 > 70 {
+		t.Fatalf("p50 = %f, want ~50", d.P50)
+	}
+	if d.P99 < d.P95 || d.P95 < d.P50 {
+		t.Fatalf("percentiles not monotone: p50=%f p95=%f p99=%f", d.P50, d.P95, d.P99)
+	}
+	if d.Name != "rocksdb.db.get.micros" {
+		t.Fatalf("name = %q", d.Name)
+	}
+}
+
+func TestHistogramSubMicrosecondClampsToOne(t *testing.T) {
+	h := NewHistogramStats()
+	h.Record(HistWriteMicros, 10*time.Nanosecond)
+	d := h.Data(HistWriteMicros)
+	if d.Count != 1 || d.Min < 0 {
+		t.Fatalf("data = %+v", d)
+	}
+}
+
+func TestHistogramSnapshotOrderingAndFiltering(t *testing.T) {
+	h := NewHistogramStats()
+	// Record in reverse declaration order; Snapshot must come back in
+	// declaration order and include only non-empty histograms.
+	h.Record(HistWALSyncMicros, time.Millisecond)
+	h.Record(HistFlushMicros, time.Millisecond)
+	h.Record(HistGetMicros, time.Millisecond)
+	snap := h.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3 (empty histograms filtered)", len(snap))
+	}
+	want := []string{"rocksdb.db.get.micros", "rocksdb.db.flush.micros", "rocksdb.wal.file.sync.micros"}
+	for i, w := range want {
+		if snap[i].Name != w {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, snap[i].Name, w)
+		}
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogramStats()
+	h.Record(HistWriteMicros, 100*time.Microsecond)
+	h.Record(HistWriteMicros, 200*time.Microsecond)
+	s := h.String()
+	if !strings.Contains(s, "rocksdb.db.write.micros") {
+		t.Fatalf("missing histogram name:\n%s", s)
+	}
+	for _, tok := range []string{"P50 :", "P95 :", "P99 :", "COUNT : 2", "SUM : 300"} {
+		if !strings.Contains(s, tok) {
+			t.Fatalf("missing %q in:\n%s", tok, s)
+		}
+	}
+	if strings.Contains(s, "rocksdb.db.get.micros") {
+		t.Fatalf("empty histogram rendered:\n%s", s)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *HistogramStats
+	h.Record(HistGetMicros, time.Microsecond) // must not panic
+	if d := h.Data(HistGetMicros); d.Count != 0 {
+		t.Fatalf("nil data = %+v", d)
+	}
+	if s := h.Snapshot(); len(s) != 0 {
+		t.Fatalf("nil snapshot = %v", s)
+	}
+	if s := h.String(); s != "" {
+		t.Fatalf("nil string = %q", s)
+	}
+}
+
+// TestHistogramConcurrentRecord is the -race regression test for the
+// engine's shared histograms: many goroutines record into the same
+// HistogramStats (as foreground ops and background jobs do in OS mode),
+// unlike bench.Histogram which is documented single-goroutine.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogramStats()
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(HistGetMicros, time.Duration(1+(g*perG+i)%1000)*time.Microsecond)
+				h.Record(HistWriteMicros, time.Duration(1+i%100)*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d := h.Data(HistGetMicros); d.Count != goroutines*perG {
+		t.Fatalf("get count = %d, want %d", d.Count, goroutines*perG)
+	}
+	if d := h.Data(HistWriteMicros); d.Count != goroutines*perG {
+		t.Fatalf("write count = %d, want %d", d.Count, goroutines*perG)
+	}
+	if d := h.Data(HistGetMicros); d.Min != 1 || d.Max != 1000 {
+		t.Fatalf("min/max = %g/%g, want 1/1000", d.Min, d.Max)
+	}
+}

@@ -130,6 +130,9 @@ func (it *Iterator) findNextVisible(skipCurrent []byte) {
 
 // SeekToFirst positions at the first visible key.
 func (it *Iterator) SeekToFirst() {
+	defer func(start time.Time) {
+		it.db.hists.Record(HistSeekMicros, time.Since(start))
+	}(time.Now())
 	it.db.env.ChargeCPU(2 * time.Microsecond)
 	it.db.stats.Add(TickerSeekCount, 1)
 	it.merge.SeekToFirst()
@@ -138,6 +141,9 @@ func (it *Iterator) SeekToFirst() {
 
 // Seek positions at the first visible key >= target.
 func (it *Iterator) Seek(target []byte) {
+	defer func(start time.Time) {
+		it.db.hists.Record(HistSeekMicros, time.Since(start))
+	}(time.Now())
 	it.db.env.ChargeCPU(2 * time.Microsecond)
 	it.db.stats.Add(TickerSeekCount, 1)
 	it.merge.Seek(makeInternalKey(nil, target, it.seq, KindValue))
@@ -149,6 +155,9 @@ func (it *Iterator) Next() {
 	if !it.valid {
 		return
 	}
+	defer func(start time.Time) {
+		it.db.hists.Record(HistNextMicros, time.Since(start))
+	}(time.Now())
 	it.db.env.ChargeCPU(300 * time.Nanosecond)
 	it.db.stats.Add(TickerNextCount, 1)
 	cur := append([]byte(nil), it.key...)

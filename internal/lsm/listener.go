@@ -1,0 +1,266 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StallCondition is the write controller's state, mirroring RocksDB's
+// WriteStallCondition.
+type StallCondition int
+
+const (
+	// StallNormal: writes proceed at full speed.
+	StallNormal StallCondition = iota
+	// StallDelayed: writes are throttled to delayed_write_rate.
+	StallDelayed
+	// StallStopped: writes block until background work catches up.
+	StallStopped
+)
+
+// String renders the condition for logs.
+func (s StallCondition) String() string {
+	switch s {
+	case StallNormal:
+		return "normal"
+	case StallDelayed:
+		return "delayed"
+	case StallStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("StallCondition(%d)", int(s))
+	}
+}
+
+// FlushInfo describes a completed memtable flush.
+type FlushInfo struct {
+	// OutputFileNumber is the new L0 table's file number (0 when the flush
+	// produced no output, e.g. all entries were shadowed).
+	OutputFileNumber uint64
+	// Bytes written to the output table.
+	Bytes int64
+	// MemtablesMerged is how many immutable memtables the flush consumed.
+	MemtablesMerged int
+	// Duration is the flush job's execution time.
+	Duration time.Duration
+	// Err is non-nil when the flush failed (the DB enters a background
+	// error state).
+	Err error
+}
+
+// CompactionInfo describes a completed compaction.
+type CompactionInfo struct {
+	InputLevel  int
+	OutputLevel int
+	// InputFiles counts input tables across both levels.
+	InputFiles int
+	// OutputFiles counts tables written.
+	OutputFiles int
+	ReadBytes   int64
+	WriteBytes  int64
+	// Duration is the compaction job's execution time.
+	Duration time.Duration
+	// Reason distinguishes "auto", "manual" (CompactRange) and "fifo" drops.
+	Reason string
+	Err    error
+}
+
+// StallInfo describes a write-controller state transition.
+type StallInfo struct {
+	Previous StallCondition
+	Current  StallCondition
+	// L0Files and PendingCompactionBytes are the trigger inputs at the
+	// moment of the transition.
+	L0Files                int
+	PendingCompactionBytes int64
+}
+
+// WALSyncInfo describes one WAL durability sync.
+type WALSyncInfo struct {
+	// Bytes appended to the WAL since the previous sync.
+	Bytes    int64
+	Duration time.Duration
+}
+
+// EventListener receives engine lifecycle callbacks, in the spirit of
+// rocksdb::EventListener. Callbacks may fire from background goroutines and
+// may hold internal engine locks: implementations must be fast and must not
+// call back into the DB.
+type EventListener interface {
+	OnFlushCompleted(FlushInfo)
+	OnCompactionCompleted(CompactionInfo)
+	OnStallConditionChanged(StallInfo)
+	OnWALSync(WALSyncInfo)
+}
+
+// ListenerFuncs adapts optional funcs to EventListener; nil fields are
+// no-ops. Useful for tests and one-off hooks.
+type ListenerFuncs struct {
+	FlushCompleted        func(FlushInfo)
+	CompactionCompleted   func(CompactionInfo)
+	StallConditionChanged func(StallInfo)
+	WALSync               func(WALSyncInfo)
+}
+
+// OnFlushCompleted implements EventListener.
+func (l *ListenerFuncs) OnFlushCompleted(info FlushInfo) {
+	if l.FlushCompleted != nil {
+		l.FlushCompleted(info)
+	}
+}
+
+// OnCompactionCompleted implements EventListener.
+func (l *ListenerFuncs) OnCompactionCompleted(info CompactionInfo) {
+	if l.CompactionCompleted != nil {
+		l.CompactionCompleted(info)
+	}
+}
+
+// OnStallConditionChanged implements EventListener.
+func (l *ListenerFuncs) OnStallConditionChanged(info StallInfo) {
+	if l.StallConditionChanged != nil {
+		l.StallConditionChanged(info)
+	}
+}
+
+// OnWALSync implements EventListener.
+func (l *ListenerFuncs) OnWALSync(info WALSyncInfo) {
+	if l.WALSync != nil {
+		l.WALSync(info)
+	}
+}
+
+// InfoLogFileName returns the path of the DB's RocksDB-style LOG file.
+func InfoLogFileName(dir string) string { return dir + "/LOG" }
+
+// logListener is the built-in EventListener that writes a RocksDB-style LOG
+// file into the DB directory: one timestamped line per flush, compaction and
+// stall transition, plus open/close banners and a statistics dump at close.
+type logListener struct {
+	mu  sync.Mutex
+	f   WritableFile
+	env Env
+}
+
+// newLogListener opens (truncating) dir/LOG. Returns nil on failure: info
+// logging is best-effort.
+func newLogListener(env Env, dir string) *logListener {
+	f, err := env.NewWritableFile(InfoLogFileName(dir), IOBackground)
+	if err != nil {
+		return nil
+	}
+	return &logListener{f: f, env: env}
+}
+
+// logf appends one timestamped line. The timestamp is the env clock
+// (virtual time under simulation), so LOG output is deterministic in sim
+// runs.
+func (l *logListener) logf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return
+	}
+	line := fmt.Sprintf("%014.6f %s\n", l.env.Now().Seconds(), fmt.Sprintf(format, args...))
+	l.f.Append([]byte(line))
+}
+
+// logRaw appends a multi-line block verbatim (statistics dumps).
+func (l *logListener) logRaw(text string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return
+	}
+	l.f.Append([]byte(text))
+}
+
+func (l *logListener) close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+}
+
+// OnFlushCompleted implements EventListener.
+func (l *logListener) OnFlushCompleted(info FlushInfo) {
+	if info.Err != nil {
+		l.logf("[flush] ERROR: %v", info.Err)
+		return
+	}
+	l.logf("[flush] memtables=%d -> %06d.sst bytes=%d duration=%v",
+		info.MemtablesMerged, info.OutputFileNumber, info.Bytes, info.Duration.Round(time.Microsecond))
+}
+
+// OnCompactionCompleted implements EventListener.
+func (l *logListener) OnCompactionCompleted(info CompactionInfo) {
+	if info.Err != nil {
+		l.logf("[compaction] ERROR: %v", info.Err)
+		return
+	}
+	l.logf("[compaction] %s L%d->L%d inputs=%d outputs=%d read=%d write=%d duration=%v",
+		info.Reason, info.InputLevel, info.OutputLevel, info.InputFiles, info.OutputFiles,
+		info.ReadBytes, info.WriteBytes, info.Duration.Round(time.Microsecond))
+}
+
+// OnStallConditionChanged implements EventListener.
+func (l *logListener) OnStallConditionChanged(info StallInfo) {
+	l.logf("[stall] %s -> %s (l0_files=%d pending_compaction_bytes=%d)",
+		info.Previous, info.Current, info.L0Files, info.PendingCompactionBytes)
+}
+
+// OnWALSync implements EventListener. WAL syncs are high-frequency; they are
+// counted in statistics but not logged line-by-line.
+func (l *logListener) OnWALSync(WALSyncInfo) {}
+
+// notifyFlush dispatches a flush completion to every listener.
+func (db *DB) notifyFlush(info FlushInfo) {
+	for _, l := range db.listeners {
+		l.OnFlushCompleted(info)
+	}
+}
+
+// notifyCompaction dispatches a compaction completion to every listener.
+func (db *DB) notifyCompaction(info CompactionInfo) {
+	for _, l := range db.listeners {
+		l.OnCompactionCompleted(info)
+	}
+}
+
+// setStallConditionLocked records a write-controller transition and notifies
+// listeners when the condition actually changed. Caller holds db.mu.
+func (db *DB) setStallConditionLocked(cond StallCondition, l0 int, pending int64) {
+	if db.stallCond == cond {
+		return
+	}
+	info := StallInfo{
+		Previous:               db.stallCond,
+		Current:                cond,
+		L0Files:                l0,
+		PendingCompactionBytes: pending,
+	}
+	db.stallCond = cond
+	for _, l := range db.listeners {
+		l.OnStallConditionChanged(info)
+	}
+}
+
+// notifyWALSync records the sync latency and dispatches the event.
+func (db *DB) notifyWALSync(info WALSyncInfo) {
+	db.hists.Record(HistWALSyncMicros, info.Duration)
+	for _, l := range db.listeners {
+		l.OnWALSync(info)
+	}
+}

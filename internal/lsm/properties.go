@@ -27,6 +27,8 @@ func (db *DB) GetProperty(name string) (string, bool) {
 		return db.statsStringLocked(), true
 	case name == "rocksdb.levelstats":
 		return db.levelStatsLocked(), true
+	case name == "rocksdb.cfstats":
+		return db.compactionStatsLocked(), true
 	case strings.HasPrefix(name, "rocksdb.num-files-at-level"):
 		n, err := strconv.Atoi(strings.TrimPrefix(name, "rocksdb.num-files-at-level"))
 		if err != nil || n < 0 || n >= v.NumLevels() {
@@ -101,6 +103,42 @@ func (db *DB) statsStringLocked() string {
 		db.stats.Get(TickerBloomChecked), db.stats.Get(TickerBloomUseful))
 	b.WriteString(db.levelStatsLocked())
 	fmt.Fprintf(&b, "Pending compaction bytes: %d\n", v.pendingCompactionBytes(db.opts))
+	b.WriteString(db.compactionStatsLocked())
+	return b.String()
+}
+
+// compactionStatsLocked renders the RocksDB-style per-level compaction-stats
+// table: live files/size plus cumulative background read/write traffic per
+// level (flushes land on L0; compactions on their output level).
+func (db *DB) compactionStatsLocked() string {
+	var b strings.Builder
+	v := db.vs.current
+	b.WriteString("** Compaction Stats [default] **\n")
+	b.WriteString("Level    Files   Size(MB)   Read(MB)  Write(MB)  Comp(cnt)  Comp(sec)\n")
+	b.WriteString("----------------------------------------------------------------------\n")
+	var sum levelIOStats
+	var sumFiles int
+	var sumBytes int64
+	for l := 0; l < v.NumLevels(); l++ {
+		var io levelIOStats
+		if l < len(db.levelIO) {
+			io = db.levelIO[l]
+		}
+		fmt.Fprintf(&b, "  L%-4d %6d %10.2f %10.2f %10.2f %10d %10.2f\n",
+			l, v.NumLevelFiles(l), float64(v.LevelBytes(l))/(1<<20),
+			float64(io.readBytes)/(1<<20), float64(io.writeBytes)/(1<<20),
+			io.count, io.duration.Seconds())
+		sum.readBytes += io.readBytes
+		sum.writeBytes += io.writeBytes
+		sum.count += io.count
+		sum.duration += io.duration
+		sumFiles += v.NumLevelFiles(l)
+		sumBytes += v.LevelBytes(l)
+	}
+	fmt.Fprintf(&b, "  Sum   %6d %10.2f %10.2f %10.2f %10d %10.2f\n",
+		sumFiles, float64(sumBytes)/(1<<20),
+		float64(sum.readBytes)/(1<<20), float64(sum.writeBytes)/(1<<20),
+		sum.count, sum.duration.Seconds())
 	return b.String()
 }
 

@@ -57,6 +57,70 @@ func TestGetProperty(t *testing.T) {
 	}
 }
 
+func TestCompactionStatsProperty(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 5000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), make([]byte, 128))
+	}
+	db.Flush()
+	db.WaitForBackgroundIdle()
+
+	table, ok := db.GetProperty("rocksdb.cfstats")
+	if !ok {
+		t.Fatal("rocksdb.cfstats unknown")
+	}
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	// Golden structure: banner, column header, separator, one row per level,
+	// then the Sum row.
+	if len(lines) < 4 {
+		t.Fatalf("table too short:\n%s", table)
+	}
+	if lines[0] != "** Compaction Stats [default] **" {
+		t.Fatalf("banner = %q", lines[0])
+	}
+	header := strings.Fields(lines[1])
+	wantCols := []string{"Level", "Files", "Size(MB)", "Read(MB)", "Write(MB)", "Comp(cnt)", "Comp(sec)"}
+	if len(header) != len(wantCols) {
+		t.Fatalf("header = %v, want %v", header, wantCols)
+	}
+	for i := range wantCols {
+		if header[i] != wantCols[i] {
+			t.Fatalf("header[%d] = %q, want %q", i, header[i], wantCols[i])
+		}
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[2]), "---") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	last := strings.Fields(lines[len(lines)-1])
+	if len(last) == 0 || last[0] != "Sum" {
+		t.Fatalf("last row = %q, want Sum row", lines[len(lines)-1])
+	}
+	// Each level row parses: "L<n>" then 6 numeric columns, and the flush
+	// above must have produced at least one file and one compaction count
+	// somewhere.
+	sawFiles := false
+	for _, row := range lines[3 : len(lines)-1] {
+		f := strings.Fields(row)
+		if len(f) != 7 || !strings.HasPrefix(f[0], "L") {
+			t.Fatalf("malformed level row %q", row)
+		}
+		if n, err := strconv.Atoi(f[1]); err == nil && n > 0 {
+			sawFiles = true
+		}
+	}
+	if !sawFiles {
+		t.Fatalf("no level reports files after flush:\n%s", table)
+	}
+
+	// The full rocksdb.stats dump embeds the same table.
+	stats, _ := db.GetProperty("rocksdb.stats")
+	if !strings.Contains(stats, "** Compaction Stats [default] **") {
+		t.Fatalf("rocksdb.stats missing compaction table:\n%s", stats)
+	}
+}
+
 func TestGetApproximateSizes(t *testing.T) {
 	db, _ := openTestDB(t, nil)
 	defer db.Close()

@@ -34,6 +34,10 @@ const (
 	TickerStoppedWrites
 	TickerSeekCount
 	TickerNextCount
+	TickerTableCacheHit
+	TickerTableCacheMiss
+	TickerBlockCacheAdd
+	TickerBlockCacheEvict
 	numTickers
 )
 
@@ -60,6 +64,10 @@ var tickerNames = map[Ticker]string{
 	TickerStoppedWrites:     "rocksdb.stall.stopped.writes",
 	TickerSeekCount:         "rocksdb.number.db.seek",
 	TickerNextCount:         "rocksdb.number.db.next",
+	TickerTableCacheHit:     "rocksdb.table.cache.hit",
+	TickerTableCacheMiss:    "rocksdb.table.cache.miss",
+	TickerBlockCacheAdd:     "rocksdb.block.cache.add",
+	TickerBlockCacheEvict:   "rocksdb.block.cache.evict",
 }
 
 // String returns the RocksDB-style ticker name.
@@ -92,6 +100,18 @@ func (s *Statistics) Get(t Ticker) int64 {
 		return 0
 	}
 	return s.tickers[t].Load()
+}
+
+// Each calls fn for every ticker (including zero-valued ones) in declaration
+// order, keyed by the RocksDB-style name. Used by exporters that must emit a
+// stable series set.
+func (s *Statistics) Each(fn func(name string, value int64)) {
+	if s == nil {
+		return
+	}
+	for t := Ticker(0); t < numTickers; t++ {
+		fn(t.String(), s.tickers[t].Load())
+	}
 }
 
 // Snapshot returns all non-zero tickers keyed by RocksDB-style names.

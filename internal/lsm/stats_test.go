@@ -1,0 +1,101 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestStatisticsSnapshotAndString(t *testing.T) {
+	s := NewStatistics()
+	s.Add(TickerWALSyncs, 3)
+	s.Add(TickerBlockCacheHit, 10)
+	s.Add(TickerTableCacheMiss, 1)
+
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %v, want 3 non-zero tickers", snap)
+	}
+	if snap["rocksdb.wal.synced"] != 3 || snap["rocksdb.block.cache.hit"] != 10 ||
+		snap["rocksdb.table.cache.miss"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	// String renders one "NAME COUNT : N" line per non-zero ticker, sorted
+	// by name.
+	out := s.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("String lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("String lines not sorted:\n%s", out)
+	}
+	if lines[0] != "rocksdb.block.cache.hit COUNT : 10" {
+		t.Fatalf("line[0] = %q", lines[0])
+	}
+}
+
+func TestStatisticsEachIncludesZeros(t *testing.T) {
+	s := NewStatistics()
+	s.Add(TickerGetHit, 7)
+	var names []string
+	total := 0
+	s.Each(func(name string, v int64) {
+		names = append(names, name)
+		total++
+		if name == "rocksdb.get.hit" && v != 7 {
+			t.Fatalf("get.hit = %d", v)
+		}
+	})
+	if total != int(numTickers) {
+		t.Fatalf("Each visited %d tickers, want %d (zeros included)", total, numTickers)
+	}
+	// Declaration order, and every name resolved (no "ticker(N)" fallbacks).
+	for i, n := range names {
+		if n != Ticker(i).String() {
+			t.Fatalf("names[%d] = %q, want %q", i, n, Ticker(i).String())
+		}
+		if strings.HasPrefix(n, "ticker(") {
+			t.Fatalf("unnamed ticker %d", i)
+		}
+	}
+}
+
+func TestStatisticsNilSafe(t *testing.T) {
+	var s *Statistics
+	s.Add(TickerGetHit, 1)
+	if s.Get(TickerGetHit) != 0 {
+		t.Fatal("nil Get")
+	}
+	if len(s.Snapshot()) != 0 {
+		t.Fatal("nil Snapshot")
+	}
+	s.Each(func(string, int64) { t.Fatal("nil Each visited a ticker") })
+}
+
+func TestTableAndBlockCacheTickers(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	defer db.Close()
+	wo := DefaultWriteOptions()
+	for i := 0; i < 4000; i++ {
+		db.Put(wo, []byte(fmt.Sprintf("k%05d", i)), make([]byte, 128))
+	}
+	db.Flush()
+	db.WaitForBackgroundIdle()
+	ro := DefaultReadOptions()
+	for i := 0; i < 4000; i++ {
+		db.Get(ro, []byte(fmt.Sprintf("k%05d", i)))
+	}
+	s := db.Statistics()
+	if s.Get(TickerTableCacheMiss) == 0 {
+		t.Error("no table-cache misses after reading flushed data")
+	}
+	if s.Get(TickerTableCacheHit) == 0 {
+		t.Error("no table-cache hits after repeated reads")
+	}
+	if s.Get(TickerBlockCacheAdd) == 0 {
+		t.Error("no block-cache inserts after cache-filling reads")
+	}
+}

@@ -50,10 +50,12 @@ func (tc *tableCache) get(num uint64) (*tableReader, error) {
 		r := el.Value.(*tcEntry).reader
 		tc.hits++
 		tc.mu.Unlock()
+		tc.stats.Add(TickerTableCacheHit, 1)
 		return r, nil
 	}
 	tc.misses++
 	tc.mu.Unlock()
+	tc.stats.Add(TickerTableCacheMiss, 1)
 
 	// Open outside the lock; a racing open of the same table is harmless
 	// (one wins the map, the loser is closed).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 )
 
 // WAL record framing: length(4, LE) crc32(4, LE over payload) payload.
@@ -19,7 +20,11 @@ type walWriter struct {
 	opts         *Options
 	bytesWritten int64
 	sinceSync    int64
+	unsynced     int64 // bytes appended since the last durability sync
 	stats        *Statistics
+	// onSync, when set, receives one event per durability sync (periodic
+	// bytes-per-sync syncs and explicit WriteOptions.Sync syncs).
+	onSync func(WALSyncInfo)
 }
 
 func newWALWriter(f WritableFile, opts *Options) *walWriter {
@@ -39,6 +44,7 @@ func (w *walWriter) addRecord(payload []byte) error {
 	}
 	n := int64(len(payload)) + walHeaderSize
 	w.bytesWritten += n
+	w.unsynced += n
 	w.stats.Add(TickerWALBytes, n)
 	if w.opts.WALBytesPerSync > 0 {
 		w.sinceSync += n
@@ -46,6 +52,7 @@ func (w *walWriter) addRecord(payload []byte) error {
 			// Non-strict mode queues writeback asynchronously
 			// (sync_file_range); strict blocks the writer until the range
 			// is durable (steadier tail, higher average).
+			start := time.Now()
 			var err error
 			if w.opts.StrictBytesPerSync {
 				err = w.f.Sync()
@@ -56,6 +63,7 @@ func (w *walWriter) addRecord(payload []byte) error {
 				return err
 			}
 			w.stats.Add(TickerWALSyncs, 1)
+			w.notifySync(time.Since(start))
 			w.sinceSync = 0
 		}
 	}
@@ -66,7 +74,18 @@ func (w *walWriter) addRecord(payload []byte) error {
 func (w *walWriter) sync() error {
 	w.stats.Add(TickerWALSyncs, 1)
 	w.sinceSync = 0
-	return w.f.Sync()
+	start := time.Now()
+	err := w.f.Sync()
+	w.notifySync(time.Since(start))
+	return err
+}
+
+// notifySync reports one durability sync to the owner.
+func (w *walWriter) notifySync(d time.Duration) {
+	if w.onSync != nil {
+		w.onSync(WALSyncInfo{Bytes: w.unsynced, Duration: d})
+	}
+	w.unsynced = 0
 }
 
 // size returns bytes appended so far.

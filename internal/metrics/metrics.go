@@ -1,0 +1,137 @@
+// Package metrics exports engine observability — tickers, latency
+// histograms and level/compaction gauges — in the Prometheus text exposition
+// format over plain net/http (stdlib-only, no client library).
+//
+// The Exporter's source is swappable at runtime because the tuning loop
+// opens a fresh database per iteration: callers point the exporter at each
+// new DB as it opens (see experiments.Config.OnDB) and /metrics always
+// reflects the live engine.
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/lsm"
+)
+
+// Source is the engine surface the exporter scrapes. *lsm.DB implements it.
+type Source interface {
+	Statistics() *lsm.Statistics
+	Histograms() *lsm.HistogramStats
+	GetMetrics() lsm.Metrics
+}
+
+// Exporter serves Prometheus text-format metrics for a swappable Source.
+// The zero value is usable (serves only a comment until Set is called).
+type Exporter struct {
+	src atomic.Value // Source
+}
+
+// NewExporter returns an exporter, optionally pre-bound to a source.
+func NewExporter(src Source) *Exporter {
+	e := &Exporter{}
+	if src != nil {
+		e.Set(src)
+	}
+	return e
+}
+
+// Set points the exporter at a (new) engine. Safe to call concurrently with
+// scrapes; used by the tuning loop each time an iteration opens a fresh DB.
+func (e *Exporter) Set(src Source) {
+	if src != nil {
+		e.src.Store(&src)
+	}
+}
+
+// sanitize maps RocksDB dotted names to Prometheus metric names.
+func sanitize(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// ServeHTTP implements http.Handler with the text exposition format.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p, _ := e.src.Load().(*Source)
+	if p == nil {
+		fmt.Fprintln(w, "# no engine attached yet")
+		return
+	}
+	src := *p
+	var b strings.Builder
+	writeTickers(&b, src.Statistics())
+	writeHistograms(&b, src.Histograms())
+	writeGauges(&b, src.GetMetrics())
+	w.Write([]byte(b.String()))
+}
+
+// writeTickers emits every ticker (including zeros) as a counter, sorted by
+// name so scrapes are stable.
+func writeTickers(b *strings.Builder, stats *lsm.Statistics) {
+	type kv struct {
+		name  string
+		value int64
+	}
+	var all []kv
+	stats.Each(func(name string, v int64) { all = append(all, kv{sanitize(name), v}) })
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	for _, t := range all {
+		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", t.name, t.name, t.value)
+	}
+}
+
+// writeHistograms emits each non-empty histogram as a Prometheus summary:
+// quantile series plus _sum and _count.
+func writeHistograms(b *strings.Builder, hists *lsm.HistogramStats) {
+	for _, d := range hists.Snapshot() {
+		name := sanitize(d.Name)
+		fmt.Fprintf(b, "# TYPE %s summary\n", name)
+		fmt.Fprintf(b, "%s{quantile=\"0.5\"} %g\n", name, d.P50)
+		fmt.Fprintf(b, "%s{quantile=\"0.95\"} %g\n", name, d.P95)
+		fmt.Fprintf(b, "%s{quantile=\"0.99\"} %g\n", name, d.P99)
+		fmt.Fprintf(b, "%s_sum %d\n", name, d.Sum)
+		fmt.Fprintf(b, "%s_count %d\n", name, d.Count)
+	}
+}
+
+// writeGauges emits point-in-time engine state.
+func writeGauges(b *strings.Builder, m lsm.Metrics) {
+	gauge := func(name string, v float64) {
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %g\n", name, name, v)
+	}
+	gauge("lsm_memtable_bytes", float64(m.MemtableBytes))
+	gauge("lsm_immutable_memtables", float64(m.ImmutableCount))
+	gauge("lsm_pending_compaction_bytes", float64(m.PendingCompactionBytes))
+	gauge("lsm_block_cache_used_bytes", float64(m.BlockCacheUsed))
+	gauge("lsm_running_flushes", float64(m.RunningFlushes))
+	gauge("lsm_running_compactions", float64(m.RunningCompactions))
+	gauge("lsm_total_sst_bytes", float64(m.TotalSSTBytes))
+	fmt.Fprintf(b, "# TYPE lsm_level_files gauge\n")
+	for l, n := range m.LevelFiles {
+		fmt.Fprintf(b, "lsm_level_files{level=\"%d\"} %d\n", l, n)
+	}
+	fmt.Fprintf(b, "# TYPE lsm_level_bytes gauge\n")
+	for l, n := range m.LevelBytes {
+		fmt.Fprintf(b, "lsm_level_bytes{level=\"%d\"} %d\n", l, n)
+	}
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves /metrics in a
+// background goroutine. It returns the bound address (useful with port 0)
+// and the server for shutdown.
+func Serve(addr string, e *Exporter) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", e)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv, nil
+}

@@ -30,6 +30,13 @@ type Inputs struct {
 	Options *lsm.Options
 	// LastReport is the most recent benchmark output (db_bench style).
 	LastReport string
+	// StatsDump is the engine's rocksdb.stats property text from the last
+	// run: cumulative stall/flush/compaction counters and the per-level
+	// compaction-stats table — the telemetry an operator would read.
+	StatsDump string
+	// Histograms is the engine's latency-histogram summary (RocksDB-style
+	// P50/P95/P99 lines per operation type).
+	Histograms string
 	// History summarizes prior iterations ("iter 3: 120000 ops/sec ...").
 	History []string
 	// Deteriorated marks the intermediate prompt after a reverted
@@ -86,6 +93,16 @@ func Build(in Inputs) []llm.Message {
 	if in.LastReport != "" {
 		b.WriteString("\n## Latest benchmark output\n```\n")
 		b.WriteString(strings.TrimSpace(in.LastReport))
+		b.WriteString("\n```\n")
+	}
+	if in.StatsDump != "" {
+		b.WriteString("\n## Engine statistics (rocksdb.stats)\n```\n")
+		b.WriteString(strings.TrimSpace(in.StatsDump))
+		b.WriteString("\n```\n")
+	}
+	if in.Histograms != "" {
+		b.WriteString("\n## Engine latency histograms\n```\n")
+		b.WriteString(strings.TrimSpace(in.Histograms))
 		b.WriteString("\n```\n")
 	}
 	if in.Options != nil {

@@ -65,6 +65,37 @@ func TestBuildContainsEverything(t *testing.T) {
 	}
 }
 
+func TestBuildEngineTelemetrySections(t *testing.T) {
+	msgs := Build(Inputs{
+		Iteration:    2,
+		WorkloadName: "fillrandom",
+		Host:         testHost(),
+		StatsDump:    "** Compaction Stats [default] **\n  L0  3  0.50 ...",
+		Histograms:   "rocksdb.db.write.micros P50 : 3.10 P95 : 9.80 P99 : 14.20 COUNT : 123 SUM : 456",
+	})
+	user := msgs[1].Content
+	for _, want := range []string{
+		"## Engine statistics (rocksdb.stats)",
+		"** Compaction Stats [default] **",
+		"## Engine latency histograms",
+		"P99 : 14.20",
+	} {
+		if !strings.Contains(user, want) {
+			t.Errorf("user prompt missing %q:\n%s", want, user)
+		}
+	}
+	// Both dumps must be fenced so the model sees them as verbatim output.
+	if strings.Count(user, "```") < 4 {
+		t.Errorf("telemetry sections not fenced:\n%s", user)
+	}
+
+	// And both sections disappear when there is no telemetry.
+	bare := Build(Inputs{Iteration: 1, WorkloadName: "fillrandom", Host: testHost()})[1].Content
+	if strings.Contains(bare, "Engine statistics") || strings.Contains(bare, "Engine latency histograms") {
+		t.Errorf("phantom telemetry sections:\n%s", bare)
+	}
+}
+
 func TestBuildDeteriorated(t *testing.T) {
 	msgs := Build(Inputs{
 		Iteration:         2,

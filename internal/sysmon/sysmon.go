@@ -83,24 +83,10 @@ func (m *SimMonitor) Host() HostInfo {
 func (m *SimMonitor) Sample() Usage {
 	u := m.Env.Utilization()
 	return Usage{
-		CPUUtilization:    minF(1, float64(1+m.Env.ActiveBackground())/float64(maxI(1, m.Env.Profile.Cores))),
+		CPUUtilization:    min(1, float64(1+m.Env.ActiveBackground())/float64(max(1, m.Env.Profile.Cores))),
 		MemoryUsed:        0,
 		DeviceUtilization: u,
 	}
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // OSMonitor characterizes the real host via /proc (Linux) with safe
