@@ -3,6 +3,7 @@ package bench
 import (
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -357,3 +358,98 @@ func TestRunnerHDDSlowerThanNVMe(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// openOSBenchDB opens a DB on the real filesystem for parallel benchmarks
+// (b.RunParallel needs real goroutine concurrency, not the sim event loop).
+func openOSBenchDB(b *testing.B, tweak func(*lsm.Options)) *lsm.DB {
+	b.Helper()
+	opts := lsm.DefaultOptions()
+	opts.WriteBufferSize = 8 << 20
+	opts.DisableInfoLog = true
+	if tweak != nil {
+		tweak(opts)
+	}
+	db, err := lsm.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkWriteParallel measures the group-commit write pipeline under
+// contending goroutines. -cpu 1,4,8 varies the writer count; toggle the
+// pipeline knobs via the closure to compare configurations.
+func BenchmarkWriteParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name       string
+		concurrent bool
+		pipelined  bool
+	}{
+		{"serialized", false, false},
+		{"concurrent", true, false},
+		{"concurrent-pipelined", true, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db := openOSBenchDB(b, func(o *lsm.Options) {
+				o.AllowConcurrentMemtableWrite = cfg.concurrent
+				o.EnablePipelinedWrite = cfg.pipelined
+				// Microbench the write pipeline itself, not the compaction
+				// backlog it eventually builds.
+				o.WriteBufferSize = 64 << 20
+				o.DisableAutoCompactions = true
+			})
+			defer db.Close()
+			var ctr int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// KeyGen reuses its buffer: one per worker goroutine.
+				kg := NewKeyGen(16)
+				rng := rand.New(rand.NewSource(atomicAdd(&ctr, 1)))
+				val := make([]byte, 128)
+				wo := lsm.DefaultWriteOptions()
+				for pb.Next() {
+					batch := lsm.NewWriteBatch()
+					for k := 0; k < 4; k++ {
+						batch.Put(kg.Key(rng.Uint64()%1e6), val)
+					}
+					if err := db.Write(wo, batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkGetParallel measures concurrent point reads against a preloaded
+// memtable + L0 working set (the lock-free skiplist read path).
+func BenchmarkGetParallel(b *testing.B) {
+	db := openOSBenchDB(b, nil)
+	defer db.Close()
+	kg := NewKeyGen(16)
+	wo := lsm.DefaultWriteOptions()
+	const keys = 50000
+	for i := 0; i < keys; i += 512 {
+		batch := lsm.NewWriteBatch()
+		for j := i; j < i+512 && j < keys; j++ {
+			batch.Put(kg.Key(uint64(j)), make([]byte, 128))
+		}
+		if err := db.Write(wo, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// KeyGen reuses its buffer: one per worker goroutine.
+		kg := NewKeyGen(16)
+		rng := rand.New(rand.NewSource(atomicAdd(&ctr, 1)))
+		for pb.Next() {
+			if _, err := db.Get(nil, kg.Key(rng.Uint64()%keys)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func atomicAdd(p *int64, d int64) int64 { return atomic.AddInt64(p, d) }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -68,6 +69,19 @@ type DB struct {
 	listeners []EventListener
 	infoLog   *logListener
 
+	// commitMu serializes the write-group WAL stage (which runs outside
+	// db.mu) against memtable/WAL switches from Flush and Close. Lock order:
+	// commitMu before mu.
+	commitMu sync.Mutex
+	// wt is the OS-mode write queue (leader election + group claim).
+	wt writeThread
+	// publishedSeq is the last sequence visible to reads. Write groups
+	// allocate sequences under mu but publish them in order, after their
+	// memtable inserts land, via publishMu/publishCond.
+	publishedSeq atomic.Uint64
+	publishMu    sync.Mutex
+	publishCond  *sync.Cond
+
 	mu      sync.Mutex
 	bgCond  *sync.Cond
 	mem     *memtable
@@ -90,6 +104,14 @@ type DB struct {
 	closed        bool
 	snapMu        sync.Mutex
 	snapshots     *list.List // live *Snapshot, oldest first
+
+	// Sim-mode write pipeline state (guarded by mu): the virtual times the
+	// WAL and memtable stages free up, the write position (for leader
+	// rotation) and the outstanding sync-amortization debt.
+	simWALFreeAt time.Duration
+	simMemFreeAt time.Duration
+	simWritePos  uint64
+	simSyncDebt  int
 
 	manualWaiters int
 }
@@ -125,6 +147,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		db.sim = se
 	}
 	db.bgCond = sync.NewCond(&db.mu)
+	db.publishCond = sync.NewCond(&db.publishMu)
 	if err := env.MkdirAll(dir); err != nil {
 		return nil, err
 	}
@@ -175,6 +198,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 	if db.sim != nil {
 		db.sim.SetEngineMemCallback(db.engineMemory)
 	}
+	db.publishedSeq.Store(db.vs.lastSeq)
 	// Persist the effective options, RocksDB-style.
 	optNum := db.vs.newFileNumber()
 	f := db.opts.ToINI()
@@ -299,7 +323,10 @@ func (db *DB) Delete(wo *WriteOptions, key []byte) error {
 	return db.Write(wo, b)
 }
 
-// Write applies a batch atomically.
+// Write applies a batch atomically through the group-commit write pipeline
+// (writethread.go): in OS mode concurrent writers form groups behind a
+// leader; in simulation the same pipeline is modeled deterministically on
+// the virtual clock.
 func (db *DB) Write(wo *WriteOptions, batch *WriteBatch) error {
 	if wo == nil {
 		wo = DefaultWriteOptions()
@@ -310,54 +337,10 @@ func (db *DB) Write(wo *WriteOptions, batch *WriteBatch) error {
 	defer func(start time.Time) {
 		db.hists.Record(HistWriteMicros, time.Since(start))
 	}(time.Now())
-	// CPU cost of the write path (memtable insert, WAL framing), calibrated
-	// against db_bench fillrandom on a warmed NVMe box (~2-3 us/op before
-	// stall effects).
-	cpu := 900*time.Nanosecond + time.Duration(batch.Count())*1100*time.Nanosecond +
-		time.Duration(batch.ApproximateSize()>>10)*200*time.Nanosecond
-	if db.opts.EnablePipelinedWrite {
-		// Pipelining separates WAL and memtable stages; a small win under
-		// concurrency, slight overhead otherwise.
-		if db.sim != nil && db.sim.fgThreads > 1 {
-			cpu = cpu * 85 / 100
-		} else {
-			cpu = cpu * 105 / 100
-		}
+	if db.sim != nil {
+		return db.writeSim(wo, batch)
 	}
-	db.env.ChargeCPU(cpu)
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if err := db.makeRoomForWriteLocked(batch.ApproximateSize()); err != nil {
-		return err
-	}
-	seq := db.vs.lastSeq + 1
-	batch.setSequence(seq)
-	db.vs.lastSeq += uint64(batch.Count())
-
-	disableWAL := wo.DisableWAL || db.opts.DisableWAL
-	if !disableWAL {
-		if err := db.wal.addRecord(batch.rep); err != nil {
-			return err
-		}
-		if wo.Sync {
-			if err := db.wal.sync(); err != nil {
-				return err
-			}
-		}
-	}
-	err := batch.iterate(func(s uint64, kind ValueKind, key, value []byte) error {
-		db.mem.add(s, kind, key, value) // add copies
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	db.stats.Add(TickerBytesWritten, batch.ApproximateSize())
-	return nil
+	return db.writeOS(wo, batch)
 }
 
 // Get returns the value stored for key, or ErrNotFound.
@@ -378,7 +361,9 @@ func (db *DB) Get(ro *ReadOptions, key []byte) ([]byte, error) {
 	mem := db.mem
 	imms := append([]*memtable(nil), db.imm...)
 	v := db.vs.current
-	seq := db.vs.lastSeq
+	// Read at the published sequence: entries whose group has not finished
+	// its memtable inserts are not yet visible.
+	seq := db.publishedSeq.Load()
 	if ro.Snapshot != nil {
 		seq = ro.Snapshot.seq
 	}
@@ -392,6 +377,7 @@ func (db *DB) Get(ro *ReadOptions, key []byte) ([]byte, error) {
 			return nil, ErrNotFound
 		}
 		db.stats.Add(TickerGetHit, 1)
+		db.stats.Add(TickerBytesRead, int64(len(val)))
 		return append([]byte(nil), val...), nil
 	}
 	for i := len(imms) - 1; i >= 0; i-- {
@@ -402,6 +388,7 @@ func (db *DB) Get(ro *ReadOptions, key []byte) ([]byte, error) {
 				return nil, ErrNotFound
 			}
 			db.stats.Add(TickerGetHit, 1)
+			db.stats.Add(TickerBytesRead, int64(len(val)))
 			return append([]byte(nil), val...), nil
 		}
 	}
@@ -425,6 +412,9 @@ func (db *DB) Get(ro *ReadOptions, key []byte) ([]byte, error) {
 				}
 				db.stats.Add(TickerGetHit, 1)
 				db.stats.Add(TickerBytesRead, int64(len(val)))
+				// val is already a private copy (tableReader.get copies out
+				// of the block), so the caller may mutate it freely without
+				// corrupting cached block bytes.
 				return val, nil
 			}
 		}
@@ -854,23 +844,35 @@ func (db *DB) pendingOutputLocked(num uint64) bool {
 	return len(db.simJobs) > 0 || db.flushActive > 0 || db.compactActive > 0
 }
 
-// Flush forces the active memtable to disk and waits for it.
+// Flush forces the active memtable to disk and waits for it. The memtable
+// switch takes commitMu so it cannot race a write group's WAL stage.
 func (db *DB) Flush() error {
+	db.commitMu.Lock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
+		db.commitMu.Unlock()
 		return ErrClosed
 	}
 	db.drainSimLocked()
 	if db.mem.empty() && len(db.imm) == 0 {
+		db.mu.Unlock()
+		db.commitMu.Unlock()
 		return nil
 	}
 	if !db.mem.empty() {
 		if err := db.switchMemtableLocked(); err != nil {
+			db.mu.Unlock()
+			db.commitMu.Unlock()
 			return err
 		}
 	}
 	db.maybeScheduleFlushLocked(true)
+	db.mu.Unlock()
+	db.commitMu.Unlock()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for len(db.imm) > 0 && db.bgErr == nil {
 		if err := db.waitForBackgroundLocked(); err != nil {
 			return err
@@ -955,6 +957,8 @@ func (db *DB) Close() error {
 	if err := db.WaitForBackgroundIdle(); err != nil {
 		return err
 	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -1004,7 +1008,7 @@ func (db *DB) GetMetrics() Metrics {
 		PendingCompactionBytes: v.pendingCompactionBytes(db.opts),
 		RunningFlushes:         db.flushActive,
 		RunningCompactions:     db.compactActive,
-		LastSequence:           db.vs.lastSeq,
+		LastSequence:           db.publishedSeq.Load(),
 	}
 	for l := 0; l < v.NumLevels(); l++ {
 		m.LevelFiles = append(m.LevelFiles, v.NumLevelFiles(l))

@@ -13,6 +13,11 @@ func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
 	iters := make([]internalIterator, 0, len(mems))
 	var inputBytes int64
 	for _, m := range mems {
+		// A pipelined write group may still be inserting into a memtable
+		// that a later group's makeRoom already froze; wait for those
+		// writers to drain before iterating (no new ones can pin a frozen
+		// memtable).
+		m.writers.Wait()
 		iters = append(iters, m.iterator())
 		inputBytes += m.approximateBytes()
 	}

@@ -21,6 +21,12 @@ const (
 	HistFlushMicros
 	HistCompactionMicros
 	HistWALSyncMicros
+	// HistWriteGroupSize records batches per committed write group (a raw
+	// count, not a latency).
+	HistWriteGroupSize
+	// HistWriteJoinMicros records how long a writer waited in the write
+	// queue before its group committed (leader handoff + publish wait).
+	HistWriteJoinMicros
 	numHistogramTypes
 )
 
@@ -32,6 +38,8 @@ var histogramNames = map[HistogramType]string{
 	HistFlushMicros:      "rocksdb.db.flush.micros",
 	HistCompactionMicros: "rocksdb.compaction.times.micros",
 	HistWALSyncMicros:    "rocksdb.wal.file.sync.micros",
+	HistWriteGroupSize:   "rocksdb.db.write.group.size",
+	HistWriteJoinMicros:  "rocksdb.db.write.join.micros",
 }
 
 // String returns the RocksDB-style histogram name.
@@ -129,6 +137,14 @@ func (h *HistogramStats) Record(t HistogramType, d time.Duration) {
 		return
 	}
 	h.hists[t].record(int64(d / time.Microsecond))
+}
+
+// RecordValue adds one raw (unit-less) observation, e.g. a write-group size.
+func (h *HistogramStats) RecordValue(t HistogramType, v int64) {
+	if h == nil || t < 0 || t >= numHistogramTypes {
+		return
+	}
+	h.hists[t].record(v)
 }
 
 // Data summarizes one histogram.

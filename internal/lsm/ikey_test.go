@@ -169,8 +169,8 @@ func TestMemtableGetVisibility(t *testing.T) {
 	if _, found, _ := m.get([]byte("other"), 100); found {
 		t.Fatal("get(other) should miss")
 	}
-	if m.count() != 3 || m.firstSeq != 1 || m.lastSeq != 9 {
-		t.Fatalf("bookkeeping: count=%d first=%d last=%d", m.count(), m.firstSeq, m.lastSeq)
+	if m.count() != 3 || m.firstSeq.Load() != 1 || m.lastSeq.Load() != 9 {
+		t.Fatalf("bookkeeping: count=%d first=%d last=%d", m.count(), m.firstSeq.Load(), m.lastSeq.Load())
 	}
 	if m.approximateBytes() <= 0 {
 		t.Fatal("approximateBytes should be positive")

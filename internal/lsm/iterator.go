@@ -25,7 +25,7 @@ func (db *DB) NewIterator(ro *ReadOptions) *Iterator {
 	}
 	db.mu.Lock()
 	db.drainSimLocked()
-	seq := db.vs.lastSeq
+	seq := db.publishedSeq.Load()
 	if ro.Snapshot != nil {
 		seq = ro.Snapshot.seq
 	}

@@ -1,14 +1,27 @@
 package lsm
 
-import "bytes"
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
 
 // memtable is the in-memory write buffer: a skiplist of internal keys plus
-// accounting used by the flush triggers (write_buffer_size et al).
+// accounting used by the flush triggers (write_buffer_size et al). add may be
+// called concurrently by write-group members; sequence bounds are atomics and
+// the skiplist insert path is lock-free.
 type memtable struct {
 	list     *skiplist
-	firstSeq uint64 // smallest sequence number added (0 if empty)
-	lastSeq  uint64 // largest sequence number added
-	logNum   uint64 // WAL file backing this memtable
+	firstSeq atomic.Uint64 // smallest sequence number added (0 if empty)
+	lastSeq  atomic.Uint64 // largest sequence number added
+	logNum   uint64        // WAL file backing this memtable
+
+	// writers counts in-flight write groups still inserting into this
+	// memtable. A pipelined leader may switch to a fresh memtable while a
+	// prior group's inserts land here; flush waits for them to drain.
+	// Add happens under db.mu while the memtable is still db.mem, so no new
+	// writers can arrive once it is frozen and the wait is race-free.
+	writers sync.WaitGroup
 }
 
 func newMemtable(seed int64, logNum uint64) *memtable {
@@ -26,11 +39,17 @@ func (m *memtable) add(seq uint64, kind ValueKind, key, value []byte) {
 		val = full[len(ik):]
 	}
 	m.list.insert(ik, val)
-	if m.firstSeq == 0 || seq < m.firstSeq {
-		m.firstSeq = seq
+	for {
+		cur := m.firstSeq.Load()
+		if (cur != 0 && seq >= cur) || m.firstSeq.CompareAndSwap(cur, seq) {
+			break
+		}
 	}
-	if seq > m.lastSeq {
-		m.lastSeq = seq
+	for {
+		cur := m.lastSeq.Load()
+		if seq <= cur || m.lastSeq.CompareAndSwap(cur, seq) {
+			break
+		}
 	}
 }
 

@@ -77,8 +77,22 @@ type Options struct {
 	WALBytesPerSync          int64 // incremental sync of WAL; 0 = off
 	StrictBytesPerSync       bool
 	CompactionReadaheadSize  int64
-	EnablePipelinedWrite     bool
-	UseDirectReads           bool
+	// EnablePipelinedWrite overlaps the WAL stage of one write group with
+	// the memtable stage of the previous group (two pipeline stages instead
+	// of one exclusive write slot).
+	EnablePipelinedWrite bool
+	// AllowConcurrentMemtableWrite lets write-group followers insert their
+	// own batches into the memtable in parallel with the leader instead of
+	// the leader applying every batch serially.
+	AllowConcurrentMemtableWrite bool
+	// EnableWriteThreadAdaptiveYield makes queued writers spin (yielding the
+	// processor) for up to WriteThreadMaxYieldUsec before blocking; when a
+	// single yield takes longer than WriteThreadSlowYieldUsec repeatedly the
+	// cores are oversubscribed and the writer blocks immediately.
+	EnableWriteThreadAdaptiveYield bool
+	WriteThreadMaxYieldUsec        int
+	WriteThreadSlowYieldUsec       int
+	UseDirectReads                 bool
 	// UseDirectIOForFlushAndCompaction routes background I/O around the OS
 	// page cache, preventing compactions from evicting hot read pages.
 	UseDirectIOForFlushAndCompaction bool
@@ -140,21 +154,25 @@ type Options struct {
 // 8 MiB block cache — see DBBenchDefaults).
 func DefaultOptions() *Options {
 	return &Options{
-		CreateIfMissing:          true,
-		MaxBackgroundJobs:        2,
-		MaxBackgroundCompactions: -1,
-		MaxBackgroundFlushes:     -1,
-		MaxSubcompactions:        1,
-		BytesPerSync:             0,
-		WALBytesPerSync:          0,
-		StrictBytesPerSync:       false,
-		CompactionReadaheadSize:  2 * 1024 * 1024,
-		EnablePipelinedWrite:     false,
-		MaxOpenFiles:             -1,
-		TableCacheNumshardbits:   6,
-		DelayedWriteRate:         0, // 16 MiB/s effective
-		MaxTotalWALSize:          0,
-		StatsDumpPeriodSec:       600,
+		CreateIfMissing:                true,
+		MaxBackgroundJobs:              2,
+		MaxBackgroundCompactions:       -1,
+		MaxBackgroundFlushes:           -1,
+		MaxSubcompactions:              1,
+		BytesPerSync:                   0,
+		WALBytesPerSync:                0,
+		StrictBytesPerSync:             false,
+		CompactionReadaheadSize:        2 * 1024 * 1024,
+		EnablePipelinedWrite:           false,
+		AllowConcurrentMemtableWrite:   true,
+		EnableWriteThreadAdaptiveYield: true,
+		WriteThreadMaxYieldUsec:        100,
+		WriteThreadSlowYieldUsec:       3,
+		MaxOpenFiles:                   -1,
+		TableCacheNumshardbits:         6,
+		DelayedWriteRate:               0, // 16 MiB/s effective
+		MaxTotalWALSize:                0,
+		StatsDumpPeriodSec:             600,
 
 		WriteBufferSize:                 64 << 20,
 		MaxWriteBufferNumber:            2,
@@ -297,6 +315,9 @@ func (o *Options) Validate() error {
 	}
 	if o.MaxBackgroundJobs < 1 {
 		return fmt.Errorf("lsm: max_background_jobs must be >= 1")
+	}
+	if o.WriteThreadMaxYieldUsec < 0 || o.WriteThreadSlowYieldUsec < 0 {
+		return fmt.Errorf("lsm: write thread yield budgets must be >= 0")
 	}
 	return nil
 }

@@ -90,7 +90,7 @@ var optionSpecs = []OptionSpec{
 
 	// --- DBOptions: recorded (inert mechanically, valid surface) ---
 	spec("advise_random_on_open", SectionDB, TypeBool, "true", false, "fadvise random on file open"),
-	spec("allow_concurrent_memtable_write", SectionDB, TypeBool, "true", false, "concurrent skiplist inserts"),
+	spec("allow_concurrent_memtable_write", SectionDB, TypeBool, "true", true, "write-group followers insert into the memtable concurrently"),
 	spec("allow_fallocate", SectionDB, TypeBool, "true", false, "preallocate file space"),
 	spec("allow_mmap_reads", SectionDB, TypeBool, "false", false, "mmap SST files for reads"),
 	spec("allow_mmap_writes", SectionDB, TypeBool, "false", false, "mmap files for writes"),
@@ -102,7 +102,7 @@ var optionSpecs = []OptionSpec{
 	specB("compaction_job_stats_dump_period_sec", SectionDB, TypeInt, "0", 0, 1<<32, false, "compaction stats dump period"),
 	specB("delete_obsolete_files_period_micros", SectionDB, TypeInt, "21600000000", 0, 1<<50, false, "obsolete file GC period"),
 	spec("enable_thread_tracking", SectionDB, TypeBool, "false", false, "track thread status"),
-	spec("enable_write_thread_adaptive_yield", SectionDB, TypeBool, "true", false, "spin before blocking in write queue"),
+	spec("enable_write_thread_adaptive_yield", SectionDB, TypeBool, "true", true, "spin before blocking in write queue"),
 	spec("fail_if_options_file_error", SectionDB, TypeBool, "false", false, "fail Open on OPTIONS write error"),
 	spec("flush_verify_memtable_count", SectionDB, TypeBool, "true", false, "verify memtable count at flush"),
 	spec("is_fd_close_on_exec", SectionDB, TypeBool, "true", false, "set FD_CLOEXEC"),
@@ -130,8 +130,8 @@ var optionSpecs = []OptionSpec{
 	specB("wal_ttl_seconds", SectionDB, TypeInt, "0", 0, 1<<40, false, "archived WAL TTL"),
 	specB("writable_file_max_buffer_size", SectionDB, TypeInt, "1048576", 0, 1<<32, false, "write buffer for file appends"),
 	spec("write_dbid_to_manifest", SectionDB, TypeBool, "false", false, "record DB id in MANIFEST"),
-	specB("write_thread_max_yield_usec", SectionDB, TypeInt, "100", 0, 1<<32, false, "write thread yield budget"),
-	specB("write_thread_slow_yield_usec", SectionDB, TypeInt, "3", 0, 1<<32, false, "write thread slow yield"),
+	specB("write_thread_max_yield_usec", SectionDB, TypeInt, "100", 0, 1<<32, true, "microseconds a queued writer spins before blocking"),
+	specB("write_thread_slow_yield_usec", SectionDB, TypeInt, "3", 0, 1<<32, true, "yield slower than this signals core oversubscription"),
 	spec("access_hint_on_compaction_start", SectionDB, TypeEnum, "NORMAL", false, "fadvise hint for compaction inputs"),
 
 	// --- CFOptions: honored ---
@@ -399,6 +399,14 @@ func (o *Options) applyHonored(name, v string) error {
 		o.CompactionReadaheadSize = atoi64(v)
 	case "enable_pipelined_write":
 		o.EnablePipelinedWrite = atob(v)
+	case "allow_concurrent_memtable_write":
+		o.AllowConcurrentMemtableWrite = atob(v)
+	case "enable_write_thread_adaptive_yield":
+		o.EnableWriteThreadAdaptiveYield = atob(v)
+	case "write_thread_max_yield_usec":
+		o.WriteThreadMaxYieldUsec = atoiInt(v)
+	case "write_thread_slow_yield_usec":
+		o.WriteThreadSlowYieldUsec = atoiInt(v)
 	case "use_direct_reads":
 		o.UseDirectReads = atob(v)
 	case "use_direct_io_for_flush_and_compaction":
@@ -561,6 +569,14 @@ func (o *Options) GetByName(name string) (string, error) {
 		return strconv.FormatInt(o.CompactionReadaheadSize, 10), nil
 	case "enable_pipelined_write":
 		return strconv.FormatBool(o.EnablePipelinedWrite), nil
+	case "allow_concurrent_memtable_write":
+		return strconv.FormatBool(o.AllowConcurrentMemtableWrite), nil
+	case "enable_write_thread_adaptive_yield":
+		return strconv.FormatBool(o.EnableWriteThreadAdaptiveYield), nil
+	case "write_thread_max_yield_usec":
+		return strconv.Itoa(o.WriteThreadMaxYieldUsec), nil
+	case "write_thread_slow_yield_usec":
+		return strconv.Itoa(o.WriteThreadSlowYieldUsec), nil
 	case "use_direct_reads":
 		return strconv.FormatBool(o.UseDirectReads), nil
 	case "use_direct_io_for_flush_and_compaction":

@@ -124,6 +124,14 @@ func (e *SimEnv) SetForegroundThreads(n int) {
 	e.mu.Unlock()
 }
 
+// ForegroundThreads returns the modeled number of foreground workload
+// threads (the write path derives its virtual group size from it).
+func (e *SimEnv) ForegroundThreads() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fgThreads
+}
+
 // Clock exposes the virtual clock (the benchmark runner advances it).
 func (e *SimEnv) Clock() *device.Clock { return e.clock }
 
@@ -142,6 +150,27 @@ func (e *SimEnv) TakeOpCost() time.Duration {
 	e.opCost = 0
 	e.mu.Unlock()
 	return c
+}
+
+// AccruedOpCost returns the cost accumulated so far for the current
+// operation without resetting it. The write pipeline uses deltas around its
+// serialized section to drive the virtual write-lock timeline.
+func (e *SimEnv) AccruedOpCost() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opCost
+}
+
+// ChargeLatency adds plain waiting time (write-queue waits, leader handoff)
+// to the current op without scaling, jitter, or the stall bookkeeping that
+// ChargeStall feeds into SimStats.TotalStall.
+func (e *SimEnv) ChargeLatency(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.opCost += d
+	e.mu.Unlock()
 }
 
 // jitter perturbs d by ±8% deterministically.
@@ -181,11 +210,34 @@ func (e *SimEnv) utilizationLocked(now time.Duration) float64 {
 	return u
 }
 
+// writebackPressureLocked returns the strongest saturating-writeback
+// interference active at now: only intervals at or above the dirty-burst
+// fraction count (frac >= 0.6 — the blocking bursts and job-end spikes),
+// because moderate background streaming does not trip dirty throttling.
+func (e *SimEnv) writebackPressureLocked(now time.Duration) float64 {
+	var p float64
+	for _, iv := range e.bg {
+		if iv.start <= now && iv.end > now && iv.frac >= 0.6 && iv.frac > p {
+			p = iv.frac
+		}
+	}
+	return p
+}
+
 // Utilization returns the current background device utilization in [0,0.88].
 func (e *SimEnv) Utilization() float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.utilizationLocked(e.clock.Now())
+}
+
+// Oversubscribed reports whether runnable work (foreground vthreads plus
+// active background jobs) currently exceeds the profile's cores — the
+// condition under which a spinning writer's yields come back slow.
+func (e *SimEnv) Oversubscribed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cpuFactorLocked(e.clock.Now()) > 1
 }
 
 // ActiveBackground returns the number of in-flight background transfers.
@@ -276,6 +328,20 @@ func (e *SimEnv) pageBudgetLocked() int64 {
 // briefly saturates the device (the p99 tail mechanism).
 func (e *SimEnv) addDirtyLocked(n int64) {
 	e.dirtyBytes += n
+	// Kernel dirty throttling: while writeback is saturating the device
+	// (the high-interference bursts flush and compaction outputs trigger),
+	// processes dirtying page-cache pages are rate-limited in
+	// balance_dirty_pages, so WAL appends slow down under compaction churn
+	// even far below the watermark. Ordinary background streaming does not
+	// throttle dirtiers — only saturated writeback does — so the charge
+	// keys off the saturating intervals, and a workload that compacts twice
+	// the bytes pays roughly twice the throttle time. The sleep is several
+	// times the raw device cost of the bytes (the kernel quantizes it and
+	// deliberately over-damps).
+	if p := e.writebackPressureLocked(e.clock.Now()); p > 0 {
+		throttle := time.Duration(p * float64(n) / e.Device.SeqWriteBW * 1e9 * 8)
+		e.opCost += e.jitter(throttle)
+	}
 	if e.dirtyBytes < e.DirtyBurst {
 		return
 	}

@@ -3,6 +3,7 @@ package lsm
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -11,56 +12,120 @@ const (
 )
 
 // skipNode is one tower of the skiplist. key is an internal key; val is the
-// stored value (nil for tombstones, distinguished by key kind).
+// stored value (nil for tombstones, distinguished by key kind). Forward
+// pointers are atomic so concurrent inserts (write-group followers) and
+// readers need no lock.
 type skipNode struct {
 	key  internalKey
 	val  []byte
-	next []*skipNode
+	next []atomic.Pointer[skipNode]
 }
 
-// skiplist is an ordered map from internal keys to values. Inserts take the
-// mutex; reads are guarded by the same mutex held briefly (the engine's write
-// path is already serialized, so a fine-grained lock-free list would buy
-// nothing here and cost determinism).
+// skiplist is an ordered map from internal keys to values, insert-only and
+// lock-free in the style of RocksDB's InlineSkipList: writers splice nodes in
+// with per-level CAS (retrying from a recomputed predecessor on contention),
+// readers follow atomic forward pointers. Nodes are never removed or resized
+// after publication, so there is no ABA hazard and iterators may hold node
+// pointers indefinitely.
 type skiplist struct {
-	mu     sync.RWMutex
 	head   *skipNode
-	height int
-	rnd    *rand.Rand
-	n      int
-	bytes  int64
+	height atomic.Int32
+
+	rngMu sync.Mutex
+	rnd   *rand.Rand
+
+	n     atomic.Int64
+	bytes atomic.Int64
 }
 
 // newSkiplist returns an empty list seeded deterministically.
 func newSkiplist(seed int64) *skiplist {
-	return &skiplist{
-		head:   &skipNode{next: make([]*skipNode, skiplistMaxHeight)},
-		height: 1,
-		rnd:    rand.New(rand.NewSource(seed)),
+	s := &skiplist{
+		head: &skipNode{next: make([]atomic.Pointer[skipNode], skiplistMaxHeight)},
+		rnd:  rand.New(rand.NewSource(seed)),
 	}
+	s.height.Store(1)
+	return s
 }
 
+// randomHeight draws a tower height. The rng is shared across concurrent
+// inserters; in simulation the write path is serialized, so the draw sequence
+// (and therefore the list shape) stays deterministic.
 func (s *skiplist) randomHeight() int {
+	s.rngMu.Lock()
 	h := 1
 	for h < skiplistMaxHeight && s.rnd.Intn(skiplistBranching) == 0 {
 		h++
 	}
+	s.rngMu.Unlock()
 	return h
 }
 
-// findGreaterOrEqual returns the first node with key >= k and fills prev with
-// the predecessor at each level when prev is non-nil.
-func (s *skiplist) findGreaterOrEqual(k internalKey, prev []*skipNode) *skipNode {
-	x := s.head
-	level := s.height - 1
+// findSpliceForLevel walks level from start and returns the insertion point
+// for key: the last node with key < k and its successor.
+func (s *skiplist) findSpliceForLevel(k internalKey, start *skipNode, level int) (prev, next *skipNode) {
+	prev = start
 	for {
-		next := x.next[level]
+		next = prev.next[level].Load()
+		if next == nil || compareInternal(next.key, k) >= 0 {
+			return prev, next
+		}
+		prev = next
+	}
+}
+
+// insert adds key→val. Keys are unique by construction (each write gets a
+// fresh sequence number), so duplicates are a programming error. Safe for
+// concurrent use with other inserts and with readers.
+func (s *skiplist) insert(key internalKey, val []byte) {
+	h := s.randomHeight()
+	for {
+		listHeight := s.height.Load()
+		if int(listHeight) >= h || s.height.CompareAndSwap(listHeight, int32(h)) {
+			break
+		}
+	}
+
+	// Compute the splice top-down from the list's full height (descending
+	// through the upper levels is what keeps the walk logarithmic), then
+	// link the node's levels bottom-up with CAS; a failed CAS means a
+	// concurrent insert landed in our window, so recompute the splice at
+	// that level from the last known predecessor.
+	lh := int(s.height.Load())
+	var prev, next [skiplistMaxHeight + 1]*skipNode
+	prev[lh] = s.head
+	for i := lh - 1; i >= 0; i-- {
+		prev[i], next[i] = s.findSpliceForLevel(key, prev[i+1], i)
+		if next[i] != nil && compareInternal(next[i].key, key) == 0 {
+			panic("lsm: duplicate internal key inserted into skiplist")
+		}
+	}
+	n := &skipNode{key: key, val: val, next: make([]atomic.Pointer[skipNode], h)}
+	for i := 0; i < h; i++ {
+		for {
+			n.next[i].Store(next[i])
+			if prev[i].next[i].CompareAndSwap(next[i], n) {
+				break
+			}
+			prev[i], next[i] = s.findSpliceForLevel(key, prev[i], i)
+			if next[i] != nil && compareInternal(next[i].key, key) == 0 {
+				panic("lsm: duplicate internal key inserted into skiplist")
+			}
+		}
+	}
+	s.n.Add(1)
+	s.bytes.Add(int64(len(key)) + int64(len(val)) + 48) // node overhead estimate
+}
+
+// findGreaterOrEqual returns the first node with key >= k.
+func (s *skiplist) findGreaterOrEqual(k internalKey) *skipNode {
+	x := s.head
+	level := int(s.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
 		if next != nil && compareInternal(next.key, k) < 0 {
 			x = next
 			continue
-		}
-		if prev != nil {
-			prev[level] = x
 		}
 		if level == 0 {
 			return next
@@ -69,61 +134,20 @@ func (s *skiplist) findGreaterOrEqual(k internalKey, prev []*skipNode) *skipNode
 	}
 }
 
-// insert adds key→val. Keys are unique by construction (each write gets a
-// fresh sequence number), so duplicates are a programming error.
-func (s *skiplist) insert(key internalKey, val []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var prev [skiplistMaxHeight]*skipNode
-	if next := s.findGreaterOrEqual(key, prev[:]); next != nil && compareInternal(next.key, key) == 0 {
-		panic("lsm: duplicate internal key inserted into skiplist")
-	}
-	h := s.randomHeight()
-	if h > s.height {
-		for i := s.height; i < h; i++ {
-			prev[i] = s.head
-		}
-		s.height = h
-	}
-	n := &skipNode{key: key, val: val, next: make([]*skipNode, h)}
-	for i := 0; i < h; i++ {
-		n.next[i] = prev[i].next[i]
-		prev[i].next[i] = n
-	}
-	s.n++
-	s.bytes += int64(len(key)) + int64(len(val)) + 48 // node overhead estimate
-}
-
 // seek returns the first node with key >= k.
-func (s *skiplist) seek(k internalKey) *skipNode {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.findGreaterOrEqual(k, nil)
-}
+func (s *skiplist) seek(k internalKey) *skipNode { return s.findGreaterOrEqual(k) }
 
 // first returns the smallest node, or nil when empty.
-func (s *skiplist) first() *skipNode {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.head.next[0]
-}
+func (s *skiplist) first() *skipNode { return s.head.next[0].Load() }
 
 // count returns the number of entries.
-func (s *skiplist) count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.n
-}
+func (s *skiplist) count() int { return int(s.n.Load()) }
 
 // approximateBytes returns the approximate memory footprint.
-func (s *skiplist) approximateBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bytes
-}
+func (s *skiplist) approximateBytes() int64 { return s.bytes.Load() }
 
 // skipIter iterates the list in internal-key order. The list is append-only,
-// so holding node pointers across lock releases is safe.
+// so holding node pointers across other operations is safe.
 type skipIter struct {
 	list *skiplist
 	node *skipNode
@@ -141,11 +165,7 @@ func (it *skipIter) SeekToFirst() { it.node = it.list.first() }
 func (it *skipIter) Seek(k internalKey) { it.node = it.list.seek(k) }
 
 // Next advances the iterator.
-func (it *skipIter) Next() {
-	it.list.mu.RLock()
-	it.node = it.node.next[0]
-	it.list.mu.RUnlock()
-}
+func (it *skipIter) Next() { it.node = it.node.next[0].Load() }
 
 // Key returns the current internal key.
 func (it *skipIter) Key() internalKey { return it.node.key }

@@ -16,9 +16,7 @@ func (s *Snapshot) Sequence() uint64 { return s.seq }
 // GetSnapshot captures the current state. Release it with ReleaseSnapshot;
 // live snapshots pin old versions and grow space usage.
 func (db *DB) GetSnapshot() *Snapshot {
-	db.mu.Lock()
-	seq := db.vs.lastSeq
-	db.mu.Unlock()
+	seq := db.publishedSeq.Load()
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()
 	s := &Snapshot{seq: seq}

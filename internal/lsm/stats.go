@@ -38,6 +38,8 @@ const (
 	TickerTableCacheMiss
 	TickerBlockCacheAdd
 	TickerBlockCacheEvict
+	TickerWriteDoneBySelf  // writes committed as a group leader
+	TickerWriteDoneByOther // writes committed by another thread's group
 	numTickers
 )
 
@@ -68,6 +70,8 @@ var tickerNames = map[Ticker]string{
 	TickerTableCacheMiss:    "rocksdb.table.cache.miss",
 	TickerBlockCacheAdd:     "rocksdb.block.cache.add",
 	TickerBlockCacheEvict:   "rocksdb.block.cache.evict",
+	TickerWriteDoneBySelf:   "rocksdb.write.self",
+	TickerWriteDoneByOther:  "rocksdb.write.other",
 }
 
 // String returns the RocksDB-style ticker name.

@@ -1,0 +1,497 @@
+package lsm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the RocksDB-style write-thread/group-commit pipeline.
+//
+// OS mode: concurrent writers enqueue; one becomes the group leader, claims
+// the queued batches, assigns sequence numbers, appends every batch to the
+// WAL as one record run with at most one sync, then either applies all
+// memtable inserts itself or (allow_concurrent_memtable_write) lets the
+// followers insert their own batches in parallel through the lock-free
+// skiplist. The group's last sequence is published — made visible to reads —
+// only after every insert has landed, in group order.
+//
+// Sim mode (db.writeSim): the virtual-thread event loop serializes
+// foreground ops, so groups cannot form from real races. Instead the model
+// derives the group size from the number of foreground vthreads and tracks a
+// virtual write-lock timeline: each write occupies the WAL (and, unless
+// concurrent, the memtable) stage for its measured serialized cost, and a
+// writer arriving while a stage is busy is charged the queue wait plus a
+// handoff overhead governed by the write-thread yield knobs. Identical specs
+// therefore produce identical timings.
+
+// Writer states. Monotonically increasing; each transition sends one token
+// on the writer's wake channel.
+const (
+	writerPending  int32 = iota
+	writerLeader         // promoted to lead the next group
+	writerParallel       // leader published mem/wg; insert your own batch
+	writerDone           // group committed (err holds the outcome)
+)
+
+// writeRequest is one writer waiting in the write queue.
+type writeRequest struct {
+	batch      *WriteBatch
+	sync       bool
+	disableWAL bool
+
+	state atomic.Int32
+	// wake carries one token per state transition (at most two transitions
+	// are observable by a waiter, so capacity 2 keeps sends non-blocking).
+	wake chan struct{}
+
+	// Leader-set fields. The follower reads them only after observing
+	// writerParallel, so the atomic state store orders the accesses.
+	mem *memtable
+	wg  *sync.WaitGroup
+
+	err       error // group outcome, set before writerDone
+	insertErr error // follower's own memtable insert error
+}
+
+// to advances the writer's state and wakes a blocked waiter.
+func (w *writeRequest) to(state int32) {
+	w.state.Store(state)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writeThread is the write queue: at most one leader is active; writers
+// arriving while it runs queue up and are claimed as the next group.
+type writeThread struct {
+	mu           sync.Mutex
+	queue        []*writeRequest
+	leaderActive bool
+}
+
+// enqueue registers a writer; it returns true when the writer should lead
+// immediately (no leader was active).
+func (wt *writeThread) enqueue(w *writeRequest) (leader bool) {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	if !wt.leaderActive {
+		wt.leaderActive = true
+		return true
+	}
+	wt.queue = append(wt.queue, w)
+	return false
+}
+
+// maxWriteGroupBytes caps a claimed group, like RocksDB's max_write_batch_group_size.
+const maxWriteGroupBytes = 1 << 20
+
+// claim forms the leader's group: the queue prefix with matching WAL
+// disposition, up to the group byte cap.
+func (wt *writeThread) claim(leader *writeRequest) []*writeRequest {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	group := []*writeRequest{leader}
+	size := leader.batch.ApproximateSize()
+	n := 0
+	for _, w := range wt.queue {
+		if w.disableWAL != leader.disableWAL {
+			break
+		}
+		if size+w.batch.ApproximateSize() > maxWriteGroupBytes {
+			break
+		}
+		size += w.batch.ApproximateSize()
+		group = append(group, w)
+		n++
+	}
+	wt.queue = wt.queue[n:]
+	return group
+}
+
+// handoff promotes the next queued writer to leader, or clears the leader
+// slot when the queue is empty.
+func (wt *writeThread) handoff() {
+	wt.mu.Lock()
+	var next *writeRequest
+	if len(wt.queue) > 0 {
+		next = wt.queue[0]
+		wt.queue = wt.queue[1:]
+	} else {
+		wt.leaderActive = false
+	}
+	wt.mu.Unlock()
+	if next != nil {
+		next.to(writerLeader)
+	}
+}
+
+// insertBatch applies a batch's entries to a memtable.
+func insertBatch(mem *memtable, b *WriteBatch) error {
+	return b.iterate(func(seq uint64, kind ValueKind, key, value []byte) error {
+		mem.add(seq, kind, key, value) // add copies
+		return nil
+	})
+}
+
+// awaitStateChange waits for the writer to leave writerPending, spinning
+// first when adaptive yield is enabled: cheap when the leader hands off
+// within the yield budget, and backing off to a blocking wait when a single
+// yield repeatedly runs long (cores oversubscribed — RocksDB's
+// write_thread_slow_yield_usec heuristic).
+func (db *DB) awaitStateChange(w *writeRequest) int32 {
+	if db.opts.EnableWriteThreadAdaptiveYield && db.opts.WriteThreadMaxYieldUsec > 0 {
+		deadline := time.Now().Add(time.Duration(db.opts.WriteThreadMaxYieldUsec) * time.Microsecond)
+		slow := time.Duration(db.opts.WriteThreadSlowYieldUsec) * time.Microsecond
+		slowCount := 0
+		for time.Now().Before(deadline) {
+			if s := w.state.Load(); s != writerPending {
+				return s
+			}
+			t0 := time.Now()
+			runtime.Gosched()
+			if time.Since(t0) > slow {
+				slowCount++
+				if slowCount >= 3 {
+					break
+				}
+			} else {
+				slowCount = 0
+			}
+		}
+	}
+	return db.awaitAtLeast(w, writerLeader)
+}
+
+// awaitAtLeast blocks until the writer's state reaches target.
+func (db *DB) awaitAtLeast(w *writeRequest, target int32) int32 {
+	for {
+		if s := w.state.Load(); s >= target {
+			return s
+		}
+		<-w.wake
+	}
+}
+
+// writeOS is the OS-mode write path: join the write queue, lead a group or
+// follow one, and return the group's outcome.
+func (db *DB) writeOS(wo *WriteOptions, batch *WriteBatch) error {
+	w := &writeRequest{
+		batch:      batch,
+		sync:       wo.Sync,
+		disableWAL: wo.DisableWAL || db.opts.DisableWAL,
+		wake:       make(chan struct{}, 2),
+	}
+	if !db.wt.enqueue(w) {
+		enqueuedAt := time.Now()
+		st := db.awaitStateChange(w)
+		db.hists.Record(HistWriteJoinMicros, time.Since(enqueuedAt))
+		if st == writerParallel {
+			w.insertErr = insertBatch(w.mem, w.batch)
+			w.wg.Done()
+			st = db.awaitAtLeast(w, writerDone)
+		}
+		if st == writerDone {
+			db.stats.Add(TickerWriteDoneByOther, 1)
+			return w.err
+		}
+		// Promoted to leader: fall through.
+	}
+	return db.leadGroup(w)
+}
+
+// leadGroup runs one full group commit with w as leader.
+func (db *DB) leadGroup(leader *writeRequest) error {
+	group := db.wt.claim(leader)
+	db.stats.Add(TickerWriteDoneBySelf, 1)
+	db.hists.RecordValue(HistWriteGroupSize, int64(len(group)))
+
+	var totalBytes int64
+	for _, w := range group {
+		totalBytes += w.batch.ApproximateSize()
+	}
+
+	// Commit stage. commitMu excludes Flush/Close memtable switches from the
+	// window where the leader appends to the WAL outside db.mu (lock order:
+	// commitMu then db.mu).
+	db.commitMu.Lock()
+	db.mu.Lock()
+	var err error
+	if db.closed {
+		err = ErrClosed
+	} else {
+		err = db.makeRoomForWriteLocked(totalBytes)
+	}
+	if err != nil {
+		db.mu.Unlock()
+		db.commitMu.Unlock()
+		db.wt.handoff()
+		return db.finishGroup(group, err)
+	}
+	prevSeq := db.vs.lastSeq
+	seq := prevSeq + 1
+	for _, w := range group {
+		w.batch.setSequence(seq)
+		seq += uint64(w.batch.Count())
+	}
+	lastSeq := seq - 1
+	db.vs.lastSeq = lastSeq
+	mem, wal := db.mem, db.wal
+	// Pin the memtable against flush until the group's inserts land (a
+	// pipelined successor group may switch memtables while we insert).
+	mem.writers.Add(1)
+	db.mu.Unlock()
+
+	// WAL stage: every batch in one record run, at most one sync.
+	if !group[0].disableWAL {
+		reps := make([][]byte, len(group))
+		needSync := false
+		for i, w := range group {
+			reps[i] = w.batch.rep
+			needSync = needSync || w.sync
+		}
+		err = wal.addRecords(reps)
+		if err == nil && needSync {
+			err = wal.sync()
+		}
+	}
+	db.commitMu.Unlock()
+
+	pipelined := db.opts.EnablePipelinedWrite
+	if pipelined {
+		// Promote the next leader now so its WAL stage overlaps our
+		// memtable stage.
+		db.wt.handoff()
+	}
+
+	// Memtable stage.
+	if err == nil {
+		if db.opts.AllowConcurrentMemtableWrite && len(group) > 1 {
+			var wg sync.WaitGroup
+			wg.Add(len(group) - 1)
+			for _, w := range group[1:] {
+				w.mem, w.wg = mem, &wg
+				w.to(writerParallel)
+			}
+			err = insertBatch(mem, leader.batch)
+			wg.Wait()
+			for _, w := range group[1:] {
+				if err == nil && w.insertErr != nil {
+					err = w.insertErr
+				}
+			}
+		} else {
+			for _, w := range group {
+				if e := insertBatch(mem, w.batch); e != nil && err == nil {
+					err = e
+				}
+			}
+		}
+	}
+	mem.writers.Done()
+
+	// Publish in group order: reads at sequence S must see every entry with
+	// sequence <= S, so a group waits for its predecessor before exposing
+	// its own last sequence. Published even on error — the sequences were
+	// allocated and later groups' publishes chain behind ours.
+	db.publishSequence(prevSeq, lastSeq)
+
+	db.stats.Add(TickerBytesWritten, totalBytes)
+	if !pipelined {
+		db.wt.handoff()
+	}
+	return db.finishGroup(group, err)
+}
+
+// publishSequence advances the published sequence from prev to last once the
+// predecessor group has published.
+func (db *DB) publishSequence(prev, last uint64) {
+	db.publishMu.Lock()
+	for db.publishedSeq.Load() != prev {
+		db.publishCond.Wait()
+	}
+	db.publishedSeq.Store(last)
+	db.publishCond.Broadcast()
+	db.publishMu.Unlock()
+}
+
+// finishGroup delivers the group outcome to the followers.
+func (db *DB) finishGroup(group []*writeRequest, err error) error {
+	for _, w := range group[1:] {
+		w.err = err
+		w.to(writerDone)
+	}
+	return err
+}
+
+// --- simulation model ---
+
+const (
+	// maxSimWriteGroup caps the modeled group size: queue depth cannot
+	// exceed the number of foreground vthreads, and RocksDB groups rarely
+	// grow past a handful of batches at db_bench batch sizes.
+	maxSimWriteGroup = 8
+	// simWriteWakeLatency is the modeled futex wake + scheduler delay paid
+	// by a queued writer that blocked instead of spinning.
+	simWriteWakeLatency = 5 * time.Microsecond
+)
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writeSim is the sim-mode write path. It runs under db.mu (the event loop
+// serializes foreground ops) and models the group-commit pipeline on the
+// virtual clock; see the file comment for the model.
+func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
+	// Stage CPU costs. Their sum matches the pre-pipeline write-path cost
+	// formula (calibrated against db_bench fillrandom on a warmed NVMe box,
+	// ~2-3 us/op before stall effects), split into the WAL-framing part and
+	// the memtable-insert part.
+	walCPU := 500*time.Nanosecond + time.Duration(batch.ApproximateSize()>>10)*200*time.Nanosecond
+	memCPU := 400*time.Nanosecond + time.Duration(batch.Count())*1100*time.Nanosecond
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	// The writer joins the queue now; everything from here until the WAL
+	// stage completes holds the serialized write slot. That includes the
+	// write controller (slowdown stalls block the whole queue, exactly as
+	// RocksDB's delayed writer does) and memtable switches.
+	arrival := db.sim.Now() + db.sim.AccruedOpCost()
+	serialStart := db.sim.AccruedOpCost()
+	if err := db.makeRoomForWriteLocked(batch.ApproximateSize()); err != nil {
+		return err
+	}
+	seq := db.vs.lastSeq + 1
+	batch.setSequence(seq)
+	db.vs.lastSeq += uint64(batch.Count())
+
+	// Group size: how many writers commit per leader pass. Derived from the
+	// vthread count, not wall-clock races, so runs are deterministic.
+	group := db.sim.ForegroundThreads()
+	if group > maxSimWriteGroup {
+		group = maxSimWriteGroup
+	}
+	if group < 1 {
+		group = 1
+	}
+	concurrent := db.opts.AllowConcurrentMemtableWrite && group > 1
+
+	pos := db.simWritePos
+	db.simWritePos++
+	isLeader := pos%uint64(group) == 0
+
+	// Serialized window: write-controller stalls, WAL framing + append
+	// (+ the leader's amortized sync) and, unless concurrent, the memtable
+	// insert. Measured from op-cost deltas so device latencies, stalls and
+	// CPU contention all flow into the virtual lock timeline.
+	db.sim.ChargeCPU(walCPU)
+	disableWAL := wo.DisableWAL || db.opts.DisableWAL
+	if !disableWAL {
+		if err := db.wal.addRecord(batch.rep); err != nil {
+			return err
+		}
+		if wo.Sync {
+			// The leader issues one sync on behalf of the whole group.
+			db.simSyncDebt++
+			if db.simSyncDebt >= group {
+				db.simSyncDebt = 0
+				if err := db.wal.sync(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if !concurrent {
+		db.sim.ChargeCPU(memCPU)
+	}
+	serialCost := db.sim.AccruedOpCost() - serialStart
+
+	if err := insertBatch(db.mem, batch); err != nil {
+		return err
+	}
+	db.publishedSeq.Store(db.vs.lastSeq)
+
+	if concurrent {
+		// The insert runs outside the serialized window, in parallel with
+		// the rest of the group; CAS retries and cache-line traffic make it
+		// slightly dearer than the exclusive path.
+		db.sim.ChargeCPU(memCPU * 115 / 100)
+	}
+
+	// Virtual write-lock timeline: writes occupy the pipeline stages for
+	// their serialized cost; arriving while a stage is busy costs the queue
+	// wait plus a handoff overhead set by the yield knobs.
+	var queueWait time.Duration
+	if db.opts.EnablePipelinedWrite {
+		// Two stages: this write's memtable stage overlaps the next write's
+		// WAL stage. With concurrent inserts the memtable stage leaves the
+		// serialized timeline entirely.
+		walShare := serialCost
+		var memShare time.Duration
+		if !concurrent {
+			walShare = serialCost / 2
+			memShare = serialCost - walShare
+		}
+		walStart := maxDuration(arrival, db.simWALFreeAt)
+		walEnd := walStart + walShare
+		db.simWALFreeAt = walEnd
+		queueWait = walStart - arrival
+		if !concurrent {
+			memStart := maxDuration(walEnd, db.simMemFreeAt)
+			db.simMemFreeAt = memStart + memShare
+			queueWait += memStart - walEnd
+		}
+	} else {
+		startAt := maxDuration(arrival, db.simWALFreeAt)
+		occupancy := serialCost
+		if concurrent {
+			// The leader holds the group open while G parallel inserts
+			// land; the critical path grows by about one slice.
+			occupancy += memCPU / time.Duration(group)
+		}
+		db.simWALFreeAt = startAt + occupancy
+		db.simMemFreeAt = db.simWALFreeAt
+		queueWait = startAt - arrival
+	}
+	if queueWait > 0 {
+		overhead := simWriteWakeLatency
+		if db.opts.EnableWriteThreadAdaptiveYield &&
+			queueWait <= time.Duration(db.opts.WriteThreadMaxYieldUsec)*time.Microsecond &&
+			!db.sim.Oversubscribed() {
+			// Spinning caught the handoff: cheaper than a block + wake.
+			// When background jobs oversubscribe the cores the yields come
+			// back slower than write_thread_slow_yield_usec and the writer
+			// gives up spinning and blocks (RocksDB's adaptive-yield abort),
+			// so compaction-heavy phases pay the full wake latency.
+			overhead = time.Duration(db.opts.WriteThreadSlowYieldUsec) * time.Microsecond
+		}
+		db.sim.ChargeLatency(queueWait + overhead)
+		db.hists.Record(HistWriteJoinMicros, queueWait+overhead)
+		// The handoff also delays the successor: the next writer cannot
+		// start its window until this one has been woken, so the overhead
+		// occupies the pipeline too (this is what makes the yield knobs an
+		// aggregate-throughput effect, not just a latency one).
+		db.simWALFreeAt += overhead
+		if !db.opts.EnablePipelinedWrite {
+			db.simMemFreeAt = db.simWALFreeAt
+		}
+	}
+
+	if isLeader {
+		db.stats.Add(TickerWriteDoneBySelf, 1)
+		db.hists.RecordValue(HistWriteGroupSize, int64(group))
+	} else {
+		db.stats.Add(TickerWriteDoneByOther, 1)
+	}
+	db.stats.Add(TickerBytesWritten, batch.ApproximateSize())
+	return nil
+}
