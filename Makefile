@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify clean
+.PHONY: build test vet race crashtest verify clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ vet:
 # goroutines; keep them honest under the race detector.
 race:
 	$(GO) test -race ./internal/lsm ./internal/core
+
+# Randomized crash-consistency harness: 20 crash/recover cycles per option
+# combination through the fault-injection env, under the race detector.
+crashtest:
+	$(GO) test -race -count=1 -run TestCrashConsistency ./internal/lsm -args -crashcycles=20
 
 verify: build vet test race
 

@@ -6,6 +6,8 @@
 //	ldb -db /path delete <key>
 //	ldb -db /path scan [from [to]]      (use -limit to bound output)
 //	ldb -db /path stats | levelstats | dump_options | compact
+//	ldb -db /path verify                (offline integrity check; DB must be closed)
+//	ldb -db /path repair                (rebuild manifest from surviving SSTables)
 //	ldb diff_options <OPTIONS-a> <OPTIONS-b>
 //	ldb list_options [filter]
 package main
@@ -46,6 +48,22 @@ func main() {
 			filter = args[1]
 		}
 		ldbtool.ListOptions(os.Stdout, filter)
+		return
+	case "verify":
+		if *dbPath == "" {
+			fatal(fmt.Errorf("-db is required for %q", cmd))
+		}
+		if err := ldbtool.Verify(*dbPath, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	case "repair":
+		if *dbPath == "" {
+			fatal(fmt.Errorf("-db is required for %q", cmd))
+		}
+		if err := ldbtool.Repair(*dbPath, os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -102,6 +120,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ldb [-db DIR] [-limit N] <command> [args]
 commands: get put delete scan stats levelstats dump_options compact
+          verify repair (offline; -db required)
           diff_options <A> <B>   list_options [filter]`)
 	os.Exit(2)
 }

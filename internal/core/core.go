@@ -192,6 +192,34 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	detNote := ""
 	stalled := 0
 
+	// llmFailure records an iteration whose LLM call ultimately failed:
+	// the session keeps the current best configuration, flags the miss to
+	// the model next round, and counts it against the stall limit.
+	// Returns true when the stall limit fires.
+	llmFailure := func(n int, llmDur time.Duration, err error) bool {
+		logf("iteration %d: LLM call failed: %v (keeping current configuration)", n, err)
+		deteriorated = true
+		detNote = "The previous LLM call failed; no changes were applied: " + err.Error()
+		res.Iterations = append(res.Iterations, Iteration{
+			Number:      n,
+			Kept:        false,
+			Options:     current.Clone(),
+			LLMDuration: llmDur,
+		})
+		if terr := tw.write(TraceRecord{
+			Kind:      "iteration",
+			Iteration: n,
+			Workload:  cfg.WorkloadName,
+			Reverted:  true,
+			Reason:    "LLM call failed: " + err.Error(),
+			LLMMillis: llmDur.Milliseconds(),
+		}); terr != nil {
+			logf("trace: %v", terr)
+		}
+		stalled++
+		return stalled >= cfg.StallLimit
+	}
+
 	for n := 1; n <= cfg.MaxIterations; n++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -214,7 +242,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		response, err := cfg.Client.Complete(ctx, msgs)
 		llmDur := time.Since(llmStart)
 		if err != nil {
-			return res, fmt.Errorf("core: LLM call failed at iteration %d: %w", n, err)
+			if cerr := ctx.Err(); cerr != nil {
+				return res, cerr
+			}
+			if llmFailure(n, llmDur, err) {
+				res.StoppedEarly = true
+				break
+			}
+			continue
 		}
 		parsed := parser.Parse(response)
 		if len(parsed.Changes) == 0 && !cfg.DisableFormatRetry {
@@ -225,7 +260,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				llm.User("Your reply contained no parseable option changes. Reply ONLY with lines of the form option_name=value."))
 			response, err = cfg.Client.Complete(ctx, msgs)
 			if err != nil {
-				return res, fmt.Errorf("core: LLM format retry failed at iteration %d: %w", n, err)
+				if cerr := ctx.Err(); cerr != nil {
+					return res, cerr
+				}
+				if llmFailure(n, llmDur, err) {
+					res.StoppedEarly = true
+					break
+				}
+				continue
 			}
 			parsed = parser.Parse(response)
 		}

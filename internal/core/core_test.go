@@ -192,18 +192,67 @@ func TestRunFormatRetry(t *testing.T) {
 }
 
 func TestRunLLMFailure(t *testing.T) {
+	// An LLM outage must not abort the session or lose the best config:
+	// the failed iteration is recorded as reverted and the loop continues.
+	calls := 0
 	client := &llm.FuncClient{Fn: func(context.Context, []llm.Message) (string, error) {
-		return "", fmt.Errorf("api down")
+		calls++
+		if calls == 1 {
+			return "", fmt.Errorf("api down")
+		}
+		return "max_background_jobs=4", nil
 	}}
-	_, err := core.Run(context.Background(), core.Config{
+	res, err := core.Run(context.Background(), core.Config{
 		Client:         client,
 		Runner:         quickRunner("fillrandom", 17),
 		InitialOptions: lsm.DBBenchDefaults(),
 		WorkloadName:   "fillrandom",
-		MaxIterations:  1,
+		MaxIterations:  2,
+		StallLimit:     10,
 	})
-	if err == nil || !strings.Contains(err.Error(), "api down") {
-		t.Fatalf("err = %v", err)
+	if err != nil {
+		t.Fatalf("transient LLM failure aborted the session: %v", err)
+	}
+	if len(res.Iterations) != 2 {
+		t.Fatalf("iterations = %d, want 2", len(res.Iterations))
+	}
+	failed := res.Iterations[0]
+	if failed.Kept {
+		t.Fatal("failed-LLM iteration marked kept")
+	}
+	if got := failed.Options.ToINI().String(); got != lsm.DBBenchDefaults().ToINI().String() {
+		t.Fatal("failed-LLM iteration did not keep the previous configuration")
+	}
+	if res.BestOptions == nil {
+		t.Fatal("best options lost")
+	}
+}
+
+func TestRunLLMFailurePersistentStops(t *testing.T) {
+	calls := 0
+	client := &llm.FuncClient{Fn: func(context.Context, []llm.Message) (string, error) {
+		calls++
+		return "", fmt.Errorf("api down")
+	}}
+	res, err := core.Run(context.Background(), core.Config{
+		Client:         client,
+		Runner:         quickRunner("fillrandom", 17),
+		InitialOptions: lsm.DBBenchDefaults(),
+		WorkloadName:   "fillrandom",
+		MaxIterations:  10,
+		StallLimit:     2,
+	})
+	if err != nil {
+		t.Fatalf("persistent LLM failure should stop, not error: %v", err)
+	}
+	if !res.StoppedEarly {
+		t.Fatal("stall limit did not fire")
+	}
+	if calls != 2 || len(res.Iterations) != 2 {
+		t.Fatalf("calls=%d iterations=%d, want 2/2 (stall limit 2)", calls, len(res.Iterations))
+	}
+	if got := res.BestOptions.ToINI().String(); got != lsm.DBBenchDefaults().ToINI().String() {
+		t.Fatal("best options drifted across failed iterations")
 	}
 }
 

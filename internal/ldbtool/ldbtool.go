@@ -125,6 +125,59 @@ func (t *Tool) Compact() error {
 	return nil
 }
 
+// Verify runs an offline integrity check of the (closed) database at dir:
+// manifest parse, full SSTable read-back, version invariants, WAL replay.
+// Returns an error when any check fails, after printing the full report.
+func Verify(dir string, out io.Writer) error {
+	rep, err := lsm.CheckDB(dir, nil)
+	if err != nil {
+		return fmt.Errorf("ldb: verify %s: %w", dir, err)
+	}
+	fmt.Fprintf(out, "manifest:    %s\n", rep.ManifestName)
+	fmt.Fprintf(out, "tables:      %d/%d ok\n", rep.TablesOK, rep.Tables)
+	fmt.Fprintf(out, "wal files:   %d (%d records", rep.WALs, rep.WALRecords)
+	if rep.WALDroppedBytes > 0 {
+		fmt.Fprintf(out, ", %d torn/corrupt tail bytes", rep.WALDroppedBytes)
+	}
+	fmt.Fprintln(out, ")")
+	for _, o := range rep.Orphans {
+		fmt.Fprintf(out, "orphan:      %s (on disk, not referenced)\n", o)
+	}
+	for _, is := range rep.Issues {
+		fmt.Fprintf(out, "ISSUE:       %s\n", is)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("ldb: verify %s: %d issue(s) found", dir, len(rep.Issues))
+	}
+	fmt.Fprintln(out, "OK")
+	return nil
+}
+
+// Repair rebuilds the manifest of the (closed) database at dir from the
+// surviving SSTables and reports every file salvaged or quarantined.
+func Repair(dir string, out io.Writer) error {
+	rep, err := lsm.RepairDB(dir, nil)
+	if err != nil {
+		return fmt.Errorf("ldb: repair %s: %w", dir, err)
+	}
+	for _, t := range rep.Tables {
+		if t.Err != nil {
+			fmt.Fprintf(out, "quarantined: %s -> %s.bad (%v)\n", t.OldName, t.OldName, t.Err)
+		} else {
+			fmt.Fprintf(out, "salvaged:    %s -> %s (%d entries, max seq %d)\n",
+				t.OldName, t.NewName, t.Entries, t.MaxSeq)
+		}
+	}
+	fmt.Fprintf(out, "manifest:    %s (last seq %d)\n", rep.NewManifest, rep.LastSeq)
+	fmt.Fprintf(out, "tables:      %d salvaged, %d quarantined\n", rep.Salvaged, rep.Quarantined)
+	if rep.WALs > 0 {
+		fmt.Fprintf(out, "wal files:   %d left in place (%d records replay on next open)\n",
+			rep.WALs, rep.WALRecords)
+	}
+	fmt.Fprintln(out, "OK")
+	return nil
+}
+
 // DiffOptions loads two OPTIONS files and prints their differing keys.
 func DiffOptions(out io.Writer, pathA, pathB string) error {
 	a, err := ini.Load(pathA)

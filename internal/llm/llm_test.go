@@ -186,3 +186,59 @@ func TestServeChatErrors(t *testing.T) {
 		t.Fatalf("bad json status = %d", r3.StatusCode)
 	}
 }
+
+func TestHTTPClientRetriesOn429(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":{"message":"rate limited"}}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"choices":[{"message":{"role":"assistant","content":"after-backoff"}}]}`)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "", "gpt-4")
+	c.MaxRetries = 3
+	got, err := c.Complete(context.Background(), []Message{User("hi")})
+	if err != nil || got != "after-backoff" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (429 is retryable)", calls.Load())
+	}
+}
+
+func TestHTTPClientGivesUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":{"message":"still down"}}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "", "gpt-4")
+	c.MaxRetries = 2 // bounds the real backoff sleeps this test pays
+	_, err := c.Complete(context.Background(), []Message{User("hi")})
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("err = %v, want attempt count in message", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want exactly MaxRetries", calls.Load())
+	}
+}
+
+func TestHTTPClientRetryHonorsContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"message":"flaky"}}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "", "gpt-4")
+	c.MaxRetries = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Complete(ctx, []Message{User("hi")}); err == nil {
+		t.Fatal("cancelled context not honored between retries")
+	}
+}

@@ -324,13 +324,19 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 		if err := outFile.Close(); err != nil {
 			return err
 		}
-		res.edit.newFiles = append(res.edit.newFiles, newFile{c.outputLevel, &FileMeta{
+		meta := &FileMeta{
 			Number:   outNum,
 			Size:     props.FileSize,
 			Entries:  props.NumEntries,
 			Smallest: append(internalKey(nil), builder.smallest()...),
 			Largest:  append(internalKey(nil), builder.largest()...),
-		}})
+		}
+		if db.opts.ParanoidFileChecks {
+			if err := verifyTableFile(db.env, tableFileName(db.dir, outNum), meta, db.bgIOClass()); err != nil {
+				return err
+			}
+		}
+		res.edit.newFiles = append(res.edit.newFiles, newFile{c.outputLevel, meta})
 		res.writeBytes += props.FileSize
 		res.outputs++
 		builder, outFile = nil, nil

@@ -101,6 +101,7 @@ type DB struct {
 	simJobs       []simJob
 	simJobSeq     uint64
 	bgErr         error
+	recovering    bool // auto-resume goroutine active
 	closed        bool
 	snapMu        sync.Mutex
 	snapshots     *list.List // live *Snapshot, oldest first
@@ -266,18 +267,31 @@ func (db *DB) replayWALsLocked() error {
 		return err
 	}
 	maxSeq := db.vs.lastSeq
-	for _, num := range logs {
-		err := walReplay(db.env, logFileName(db.dir, num), func(payload []byte) error {
-			return decodeBatch(payload, func(seq uint64, kind ValueKind, key, value []byte) error {
-				db.mem.add(seq, kind, key, value) // add copies
-				if seq > maxSeq {
-					maxSeq = seq
-				}
-				return nil
+	for i, num := range logs {
+		name := logFileName(db.dir, num)
+		info, err := walReplayMode(db.env, name, db.opts.WALRecoveryMode,
+			db.opts.ParanoidChecks, db.stats, func(payload []byte) error {
+				return decodeBatch(payload, func(seq uint64, kind ValueKind, key, value []byte) error {
+					db.mem.add(seq, kind, key, value) // add copies
+					if seq > maxSeq {
+						maxSeq = seq
+					}
+					return nil
+				})
 			})
-		})
 		if err != nil {
 			return err
+		}
+		if info.droppedBytes > 0 {
+			db.infoLog.logf("[wal] %s: replayed %d records, dropped %d bytes (%d corrupt records)",
+				name, info.records, info.droppedBytes, info.corruptRecords)
+		}
+		if db.opts.WALRecoveryMode == WALRecoverPointInTime && info.droppedBytes > 0 && i < len(logs)-1 {
+			// Point-in-time recovery: nothing after the first damage is
+			// replayed, including later log files.
+			db.infoLog.logf("[wal] point-in-time recovery stops at %s; ignoring %d later log(s)",
+				name, len(logs)-1-i)
+			break
 		}
 	}
 	db.vs.lastSeq = maxSeq
@@ -588,7 +602,8 @@ func (db *DB) installFlushLocked(mems []*memtable, res *compactionResult, err er
 		err = db.vs.logAndApply(res.edit)
 	}
 	if err != nil {
-		db.bgErr = err
+		// The memtables stay on db.imm: Resume re-schedules the flush.
+		db.setBGErrorLocked(err, "flush")
 		db.flushingCount -= len(mems)
 		db.notifyFlush(FlushInfo{MemtablesMerged: len(mems), Err: err})
 		return
@@ -717,7 +732,7 @@ func (db *DB) installCompactionLocked(c *compaction, res *compactionResult, err 
 		reason = "fifo"
 	}
 	if err != nil {
-		db.bgErr = err
+		db.setBGErrorLocked(err, "compaction")
 		db.recordCompactionLocked(c, res, reason, err)
 		return
 	}
@@ -948,23 +963,33 @@ func (db *DB) WaitForBackgroundIdle() error {
 }
 
 // Close flushes (unless avoid_flush_during_shutdown) and releases the DB.
+// Closing is tolerant of background errors: resources are released even when
+// the final flush cannot complete, and the first error encountered is
+// returned.
 func (db *DB) Close() error {
+	var firstErr error
 	if !db.opts.AvoidFlushDuringShutdown {
 		if err := db.Flush(); err != nil && !errors.Is(err, ErrClosed) {
-			return err
+			firstErr = err
 		}
 	}
-	if err := db.WaitForBackgroundIdle(); err != nil {
-		return err
+	if err := db.WaitForBackgroundIdle(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
-		return nil
+		return firstErr
 	}
 	db.closed = true
+	// Background workers always decrement their active counters and
+	// broadcast, even on failure; wait them out so teardown cannot race a
+	// running flush or compaction.
+	for db.flushActive > 0 || db.compactActive > 0 {
+		db.bgCond.Wait()
+	}
 	// RocksDB dumps statistics to LOG on a stats_dump_period_sec timer; we
 	// dump once at close (virtual clocks have no timers to hang one on).
 	if db.infoLog != nil {
@@ -977,7 +1002,10 @@ func (db *DB) Close() error {
 	if db.wal != nil {
 		db.wal.close()
 	}
-	return db.vs.close()
+	if err := db.vs.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Metrics is a point-in-time view of engine state for monitoring and for

@@ -94,6 +94,9 @@ type Env interface {
 	List(dir string) ([]string, error)
 	// MkdirAll ensures dir exists.
 	MkdirAll(dir string) error
+	// SyncDir makes directory entries (creates, renames, removals inside
+	// dir) durable. In-memory environments treat it as a no-op.
+	SyncDir(dir string) error
 
 	// Now returns the environment's notion of elapsed time since start.
 	Now() time.Duration
@@ -198,6 +201,21 @@ func (e *OSEnv) List(dir string) ([]string, error) {
 
 // MkdirAll implements Env.
 func (e *OSEnv) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements Env by fsyncing the directory fd, making renames and
+// unlinks inside it durable.
+func (e *OSEnv) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
 
 // Now implements Env (wall-clock time since construction).
 func (e *OSEnv) Now() time.Duration { return time.Since(e.start) }

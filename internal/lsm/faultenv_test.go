@@ -1,0 +1,174 @@
+package lsm
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// openFaultDB opens a DB on an OS env wrapped in a FaultInjectionEnv, with
+// small buffers so flushes happen readily. Returns the DB, the fault env
+// and the DB directory.
+func openFaultDB(t *testing.T, seed int64, tweak func(*Options)) (*DB, *FaultInjectionEnv, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	fenv := NewFaultInjectionEnv(NewOSEnv(), seed)
+	opts := DefaultOptions()
+	opts.Env = fenv
+	opts.WriteBufferSize = 64 << 10
+	opts.TargetFileSizeBase = 64 << 10
+	opts.MaxBytesForLevelBase = 256 << 10
+	opts.BlockSize = 1024
+	opts.BloomBitsPerKey = 10
+	opts.MaxBgErrorResumeCount = 0 // tests opt back in to auto-recovery
+	if tweak != nil {
+		tweak(opts)
+	}
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, fenv, dir
+}
+
+func TestFaultEnvDropUnsyncedData(t *testing.T) {
+	dir := t.TempDir()
+	fenv := NewFaultInjectionEnv(NewOSEnv(), 1)
+	name := filepath.Join(dir, "file")
+	f, err := fenv.NewWritableFile(name, IOForeground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("durable-")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fenv.UnsyncedBytes(name); got != 8 {
+		t.Fatalf("UnsyncedBytes = %d, want 8", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fenv.DropUnsyncedData(); err != nil {
+		t.Fatal(err)
+	}
+	size, err := fenv.FileSize(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 8 {
+		t.Fatalf("size after drop = %d, want 8 (synced prefix only)", size)
+	}
+}
+
+func TestFaultEnvCrashTruncatesAndDeactivates(t *testing.T) {
+	dir := t.TempDir()
+	fenv := NewFaultInjectionEnv(NewOSEnv(), 7)
+	name := filepath.Join(dir, "file")
+	f, err := fenv.NewWritableFile(name, IOForeground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Append([]byte("synced"))
+	f.Sync()
+	f.Append([]byte("maybe-torn-tail"))
+	if err := fenv.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// Outstanding handles and new operations fail while inactive.
+	if err := f.Append([]byte("x")); !errors.Is(err, errFSInactive) {
+		t.Fatalf("Append after crash = %v, want errFSInactive", err)
+	}
+	if _, err := fenv.NewWritableFile(filepath.Join(dir, "other"), IOForeground); !errors.Is(err, errFSInactive) {
+		t.Fatalf("NewWritableFile after crash = %v, want errFSInactive", err)
+	}
+	// The base env sees a prefix in [synced, full].
+	size, err := fenv.Base().FileSize(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size < 6 || size > 6+15 {
+		t.Fatalf("post-crash size = %d, want in [6, 21]", size)
+	}
+	fenv.SetFilesystemActive(true)
+	if _, err := fenv.NewWritableFile(filepath.Join(dir, "other"), IOForeground); err != nil {
+		t.Fatalf("NewWritableFile after reactivate: %v", err)
+	}
+}
+
+func TestFaultEnvRules(t *testing.T) {
+	dir := t.TempDir()
+	fenv := NewFaultInjectionEnv(NewOSEnv(), 3)
+	sst := filepath.Join(dir, "000001.sst")
+	log := filepath.Join(dir, "000002.log")
+
+	fenv.Inject(FaultRule{Op: FaultSync, Pattern: ".sst", OneShot: true, Transient: true})
+	fs, _ := fenv.NewWritableFile(sst, IOBackground)
+	fl, _ := fenv.NewWritableFile(log, IOForeground)
+	if err := fl.Sync(); err != nil {
+		t.Fatalf("log sync hit an .sst-scoped rule: %v", err)
+	}
+	err := fs.Sync()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("sst sync = %v, want ErrInjected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || !ie.Transient() || ie.Op != FaultSync {
+		t.Fatalf("injected error = %#v, want transient sync fault", err)
+	}
+	// OneShot: second sync succeeds.
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("second sst sync = %v, want nil (one-shot rule)", err)
+	}
+
+	// Torn write: only TruncateFrac of the buffer lands.
+	fenv.ClearFaults()
+	fenv.Inject(FaultRule{Op: FaultWrite, Pattern: ".log", OneShot: true, TruncateFrac: 0.5})
+	if err := fl.Append(make([]byte, 100)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn append = %v, want ErrInjected", err)
+	}
+	if got := fenv.UnsyncedBytes(log); got != 50 {
+		t.Fatalf("torn append kept %d bytes, want 50", got)
+	}
+
+	// Custom error override.
+	sentinel := errors.New("boom")
+	fenv.ClearFaults()
+	fenv.Inject(FaultRule{Op: FaultRename, Err: sentinel})
+	if err := fenv.Rename(sst, sst+".x"); !errors.Is(err, sentinel) {
+		t.Fatalf("rename = %v, want sentinel", err)
+	}
+}
+
+func TestFaultEnvCorruptSyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	fenv := NewFaultInjectionEnv(NewOSEnv(), 5)
+	name := filepath.Join(dir, "file")
+	f, _ := fenv.NewWritableFile(name, IOForeground)
+	f.Append([]byte("abcdef"))
+	f.Sync()
+	f.Close()
+	if err := fenv.CorruptSyncedBytes(name, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fenv.NewRandomAccessFile(name, IOForeground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	buf := make([]byte, 6)
+	if err := rf.ReadAt(buf, 0, HintRandom); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ab"+string([]byte{'c' ^ 1, 'd' ^ 1})+"ef" {
+		t.Fatalf("corrupted content = %q", buf)
+	}
+	if err := fenv.CorruptSyncedBytes(name, 4, 10); err == nil {
+		t.Fatal("out-of-range corrupt succeeded")
+	}
+}

@@ -71,13 +71,19 @@ func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
-	res.edit.newFiles = append(res.edit.newFiles, newFile{0, &FileMeta{
+	meta := &FileMeta{
 		Number:   num,
 		Size:     props.FileSize,
 		Entries:  props.NumEntries,
 		Smallest: append(internalKey(nil), builder.smallest()...),
 		Largest:  append(internalKey(nil), builder.largest()...),
-	}})
+	}
+	if db.opts.ParanoidFileChecks {
+		if err := verifyTableFile(db.env, tableFileName(db.dir, num), meta, db.bgIOClass()); err != nil {
+			return nil, err
+		}
+	}
+	res.edit.newFiles = append(res.edit.newFiles, newFile{0, meta})
 	res.writeBytes = props.FileSize
 	perEntry := 300 * time.Nanosecond
 	if db.opts.Compression != NoCompression {

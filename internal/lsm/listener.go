@@ -83,6 +83,29 @@ type WALSyncInfo struct {
 	Duration time.Duration
 }
 
+// BackgroundErrorInfo describes the engine entering a background error
+// state: new writes fail with ErrBackgroundError until DB.Resume (or
+// automatic recovery) clears it.
+type BackgroundErrorInfo struct {
+	// Reason names the failed operation ("flush", "compaction", "wal").
+	Reason string
+	// Severity classifies how recoverable the error is.
+	Severity ErrorSeverity
+	// Err is the underlying failure.
+	Err error
+}
+
+// ErrorRecoveryInfo describes a successful background-error recovery.
+type ErrorRecoveryInfo struct {
+	// PriorErr is the background error that was cleared.
+	PriorErr error
+	// Auto reports whether the automatic retry loop (rather than a manual
+	// DB.Resume call) performed the recovery.
+	Auto bool
+	// Attempts counts resume attempts, including the successful one.
+	Attempts int
+}
+
 // EventListener receives engine lifecycle callbacks, in the spirit of
 // rocksdb::EventListener. Callbacks may fire from background goroutines and
 // may hold internal engine locks: implementations must be fast and must not
@@ -92,6 +115,8 @@ type EventListener interface {
 	OnCompactionCompleted(CompactionInfo)
 	OnStallConditionChanged(StallInfo)
 	OnWALSync(WALSyncInfo)
+	OnBackgroundError(BackgroundErrorInfo)
+	OnErrorRecovery(ErrorRecoveryInfo)
 }
 
 // ListenerFuncs adapts optional funcs to EventListener; nil fields are
@@ -101,6 +126,8 @@ type ListenerFuncs struct {
 	CompactionCompleted   func(CompactionInfo)
 	StallConditionChanged func(StallInfo)
 	WALSync               func(WALSyncInfo)
+	BackgroundError       func(BackgroundErrorInfo)
+	ErrorRecovery         func(ErrorRecoveryInfo)
 }
 
 // OnFlushCompleted implements EventListener.
@@ -128,6 +155,20 @@ func (l *ListenerFuncs) OnStallConditionChanged(info StallInfo) {
 func (l *ListenerFuncs) OnWALSync(info WALSyncInfo) {
 	if l.WALSync != nil {
 		l.WALSync(info)
+	}
+}
+
+// OnBackgroundError implements EventListener.
+func (l *ListenerFuncs) OnBackgroundError(info BackgroundErrorInfo) {
+	if l.BackgroundError != nil {
+		l.BackgroundError(info)
+	}
+}
+
+// OnErrorRecovery implements EventListener.
+func (l *ListenerFuncs) OnErrorRecovery(info ErrorRecoveryInfo) {
+	if l.ErrorRecovery != nil {
+		l.ErrorRecovery(info)
 	}
 }
 
@@ -225,6 +266,20 @@ func (l *logListener) OnStallConditionChanged(info StallInfo) {
 // counted in statistics but not logged line-by-line.
 func (l *logListener) OnWALSync(WALSyncInfo) {}
 
+// OnBackgroundError implements EventListener.
+func (l *logListener) OnBackgroundError(info BackgroundErrorInfo) {
+	l.logf("[bg_error] %s severity=%s: %v", info.Reason, info.Severity, info.Err)
+}
+
+// OnErrorRecovery implements EventListener.
+func (l *logListener) OnErrorRecovery(info ErrorRecoveryInfo) {
+	mode := "manual"
+	if info.Auto {
+		mode = "auto"
+	}
+	l.logf("[recovery] %s attempts=%d cleared: %v", mode, info.Attempts, info.PriorErr)
+}
+
 // notifyFlush dispatches a flush completion to every listener.
 func (db *DB) notifyFlush(info FlushInfo) {
 	for _, l := range db.listeners {
@@ -254,6 +309,20 @@ func (db *DB) setStallConditionLocked(cond StallCondition, l0 int, pending int64
 	db.stallCond = cond
 	for _, l := range db.listeners {
 		l.OnStallConditionChanged(info)
+	}
+}
+
+// notifyBackgroundError dispatches the error-state transition to listeners.
+func (db *DB) notifyBackgroundError(info BackgroundErrorInfo) {
+	for _, l := range db.listeners {
+		l.OnBackgroundError(info)
+	}
+}
+
+// notifyErrorRecovery dispatches a successful recovery to listeners.
+func (db *DB) notifyErrorRecovery(info ErrorRecoveryInfo) {
+	for _, l := range db.listeners {
+		l.OnErrorRecovery(info)
 	}
 }
 

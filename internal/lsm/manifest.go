@@ -310,6 +310,11 @@ func (vs *versionSet) logAndApply(e *versionEdit) error {
 	if err := vs.manifest.addRecord(e.encode()); err != nil {
 		return err
 	}
+	// Sync every edit: obsolete-file deletion runs right after logAndApply,
+	// so an unsynced edit could orphan data a crash later cannot recover.
+	if err := vs.manifest.sync(); err != nil {
+		return err
+	}
 	vs.current = v
 	return nil
 }
@@ -325,12 +330,12 @@ func (vs *versionSet) createNew() error {
 	}
 	vs.manifest = newWALWriter(f, vs.opts)
 	vs.manifest.stats = nil // manifest appends are not WAL traffic
-	// Snapshot edit describing the (empty) state.
+	// Snapshot edit describing the (empty) state. logAndApply syncs it.
 	e := &versionEdit{hasLogNumber: true, logNumber: vs.logNumber}
 	if err := vs.logAndApply(e); err != nil {
 		return err
 	}
-	if err := vs.manifest.sync(); err != nil {
+	if err := vs.env.SyncDir(vs.dir); err != nil {
 		return err
 	}
 	return vs.setCurrent()
@@ -355,7 +360,12 @@ func (vs *versionSet) setCurrent() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return vs.env.Rename(tmp, currentFileName(vs.dir))
+	if err := vs.env.Rename(tmp, currentFileName(vs.dir)); err != nil {
+		return err
+	}
+	// Persist the rename (and the manifest's directory entry) before
+	// acknowledging: CURRENT must never name a manifest the directory lost.
+	return vs.env.SyncDir(vs.dir)
 }
 
 // recover loads the version state named by CURRENT.
@@ -410,7 +420,7 @@ func (vs *versionSet) recover() error {
 	if err := vs.logAndApply(snapshot); err != nil {
 		return err
 	}
-	if err := vs.manifest.sync(); err != nil {
+	if err := vs.env.SyncDir(vs.dir); err != nil {
 		return err
 	}
 	return vs.setCurrent()

@@ -45,6 +45,53 @@ func (c CompactionStyle) String() string {
 	}
 }
 
+// WALRecoveryMode controls how WAL corruption is handled at recovery, after
+// rocksdb::WALRecoveryMode.
+type WALRecoveryMode int
+
+const (
+	// WALRecoverTolerateCorruptedTailRecords (default) drops the corrupted
+	// tail of the newest WAL — the expected shape of a torn write after
+	// power loss — but still surfaces mid-file corruption under
+	// paranoid_checks.
+	WALRecoverTolerateCorruptedTailRecords WALRecoveryMode = iota
+	// WALRecoverAbsoluteConsistency fails recovery on any corrupt or torn
+	// record, even a clean tail.
+	WALRecoverAbsoluteConsistency
+	// WALRecoverPointInTime stops replaying at the first corruption and
+	// ignores everything after it (later WALs included), yielding a
+	// consistent point-in-time view.
+	WALRecoverPointInTime
+)
+
+// ParseWALRecoveryMode maps RocksDB names.
+func ParseWALRecoveryMode(s string) (WALRecoveryMode, error) {
+	switch s {
+	case "kTolerateCorruptedTailRecords", "tolerate_corrupted_tail_records":
+		return WALRecoverTolerateCorruptedTailRecords, nil
+	case "kAbsoluteConsistency", "absolute_consistency":
+		return WALRecoverAbsoluteConsistency, nil
+	case "kPointInTimeRecovery", "point_in_time":
+		return WALRecoverPointInTime, nil
+	default:
+		return WALRecoverTolerateCorruptedTailRecords, fmt.Errorf("lsm: unknown wal_recovery_mode %q", s)
+	}
+}
+
+// String renders the RocksDB-style name.
+func (m WALRecoveryMode) String() string {
+	switch m {
+	case WALRecoverTolerateCorruptedTailRecords:
+		return "kTolerateCorruptedTailRecords"
+	case WALRecoverAbsoluteConsistency:
+		return "kAbsoluteConsistency"
+	case WALRecoverPointInTime:
+		return "kPointInTimeRecovery"
+	default:
+		return fmt.Sprintf("WALRecoveryMode(%d)", int(m))
+	}
+}
+
 // Options configures a DB. Field names follow RocksDB's option names (see
 // registry.go for the string-keyed surface the tuning framework uses).
 // The zero value is not usable; start from DefaultOptions.
@@ -67,6 +114,18 @@ type Options struct {
 	CreateIfMissing bool
 	ErrorIfExists   bool
 	ParanoidChecks  bool
+	// ParanoidFileChecks reads back and verifies every SSTable immediately
+	// after flush or compaction writes it (checksums, ordering, entry count)
+	// before it is installed in the version.
+	ParanoidFileChecks bool
+	// WALRecoveryMode controls how WAL corruption is treated at open.
+	WALRecoveryMode WALRecoveryMode
+	// MaxBgErrorResumeCount bounds automatic background-error recovery
+	// attempts for recoverable (transient) errors; 0 disables auto-resume.
+	MaxBgErrorResumeCount int
+	// BgErrorResumeRetryInterval is the base delay in microseconds between
+	// automatic resume attempts (doubled per attempt, capped at 10x).
+	BgErrorResumeRetryInterval int64
 	// MaxBackgroundJobs bounds flushes+compactions together; RocksDB splits
 	// it 1/4 flushes, 3/4 compactions when the specific limits are -1.
 	MaxBackgroundJobs        int
@@ -155,6 +214,9 @@ type Options struct {
 func DefaultOptions() *Options {
 	return &Options{
 		CreateIfMissing:                true,
+		WALRecoveryMode:                WALRecoverTolerateCorruptedTailRecords,
+		MaxBgErrorResumeCount:          2147483647,
+		BgErrorResumeRetryInterval:     1000000,
 		MaxBackgroundJobs:              2,
 		MaxBackgroundCompactions:       -1,
 		MaxBackgroundFlushes:           -1,

@@ -97,7 +97,7 @@ var optionSpecs = []OptionSpec{
 	spec("atomic_flush", SectionDB, TypeBool, "false", false, "flush CFs atomically"),
 	spec("avoid_flush_during_recovery", SectionDB, TypeBool, "false", false, "skip flush while recovering"),
 	spec("avoid_unnecessary_blocking_io", SectionDB, TypeBool, "false", false, "defer blocking IO to background"),
-	specB("bgerror_resume_retry_interval", SectionDB, TypeInt, "1000000", 0, 1<<40, false, "microseconds between auto-resume retries"),
+	specB("bgerror_resume_retry_interval", SectionDB, TypeInt, "1000000", 0, 1<<40, true, "microseconds between auto-resume retries"),
 	spec("best_efforts_recovery", SectionDB, TypeBool, "false", false, "recover as much data as possible"),
 	specB("compaction_job_stats_dump_period_sec", SectionDB, TypeInt, "0", 0, 1<<32, false, "compaction stats dump period"),
 	specB("delete_obsolete_files_period_micros", SectionDB, TypeInt, "21600000000", 0, 1<<50, false, "obsolete file GC period"),
@@ -110,11 +110,11 @@ var optionSpecs = []OptionSpec{
 	specB("log_file_time_to_roll", SectionDB, TypeInt, "0", 0, 1<<40, false, "seconds before rolling LOG"),
 	specB("log_readahead_size", SectionDB, TypeInt, "0", 0, 1<<32, false, "readahead when replaying logs"),
 	spec("info_log_level", SectionDB, TypeEnum, "INFO_LEVEL", false, "LOG verbosity"),
-	specB("max_bgerror_resume_count", SectionDB, TypeInt, "2147483647", 0, 1<<40, false, "auto-resume attempts after bg error"),
+	specB("max_bgerror_resume_count", SectionDB, TypeInt, "2147483647", 0, 1<<40, true, "auto-resume attempts after bg error"),
 	specB("max_file_opening_threads", SectionDB, TypeInt, "16", 1, 512, false, "threads opening files at startup"),
 	specB("max_log_file_size", SectionDB, TypeInt, "0", 0, 1<<40, false, "info LOG size before rolling"),
 	specB("max_manifest_file_size", SectionDB, TypeInt, "1073741824", 1<<10, 1<<50, false, "MANIFEST rollover size"),
-	spec("paranoid_file_checks", SectionDB, TypeBool, "false", false, "verify files after writes"),
+	spec("paranoid_file_checks", SectionDB, TypeBool, "false", true, "read back and verify every SST after writing it"),
 	spec("persist_stats_to_disk", SectionDB, TypeBool, "false", false, "persist statistics"),
 	specB("random_access_max_buffer_size", SectionDB, TypeInt, "1048576", 0, 1<<32, false, "windows random buffer max"),
 	specB("recycle_log_file_num", SectionDB, TypeInt, "0", 0, 1<<20, false, "reuse WAL files"),
@@ -125,7 +125,10 @@ var optionSpecs = []OptionSpec{
 	spec("unordered_write", SectionDB, TypeBool, "false", false, "relax write ordering for throughput"),
 	spec("use_adaptive_mutex", SectionDB, TypeBool, "false", false, "adaptive mutexes"),
 
-	specB("wal_recovery_mode", SectionDB, TypeEnum, "kPointInTimeRecovery", 0, 0, false, "WAL recovery strictness"),
+	{Name: "wal_recovery_mode", Section: SectionDB, Type: TypeEnum, Default: "kTolerateCorruptedTailRecords",
+		Enum: []string{"kTolerateCorruptedTailRecords", "kAbsoluteConsistency", "kPointInTimeRecovery",
+			"tolerate_corrupted_tail_records", "absolute_consistency", "point_in_time"},
+		Honored: true, Help: "WAL recovery strictness"},
 	specB("wal_size_limit_mb", SectionDB, TypeInt, "0", 0, 1<<40, false, "archived WAL size limit"),
 	specB("wal_ttl_seconds", SectionDB, TypeInt, "0", 0, 1<<40, false, "archived WAL TTL"),
 	specB("writable_file_max_buffer_size", SectionDB, TypeInt, "1048576", 0, 1<<32, false, "write buffer for file appends"),
@@ -381,6 +384,18 @@ func (o *Options) applyHonored(name, v string) error {
 		o.ErrorIfExists = atob(v)
 	case "paranoid_checks":
 		o.ParanoidChecks = atob(v)
+	case "paranoid_file_checks":
+		o.ParanoidFileChecks = atob(v)
+	case "wal_recovery_mode":
+		m, err := ParseWALRecoveryMode(v)
+		if err != nil {
+			return err
+		}
+		o.WALRecoveryMode = m
+	case "max_bgerror_resume_count":
+		o.MaxBgErrorResumeCount = atoiInt(v)
+	case "bgerror_resume_retry_interval":
+		o.BgErrorResumeRetryInterval = atoi64(v)
 	case "max_background_jobs":
 		o.MaxBackgroundJobs = atoiInt(v)
 	case "max_background_compactions":
@@ -551,6 +566,14 @@ func (o *Options) GetByName(name string) (string, error) {
 		return strconv.FormatBool(o.ErrorIfExists), nil
 	case "paranoid_checks":
 		return strconv.FormatBool(o.ParanoidChecks), nil
+	case "paranoid_file_checks":
+		return strconv.FormatBool(o.ParanoidFileChecks), nil
+	case "wal_recovery_mode":
+		return o.WALRecoveryMode.String(), nil
+	case "max_bgerror_resume_count":
+		return strconv.Itoa(o.MaxBgErrorResumeCount), nil
+	case "bgerror_resume_retry_interval":
+		return strconv.FormatInt(o.BgErrorResumeRetryInterval, 10), nil
 	case "max_background_jobs":
 		return strconv.Itoa(o.MaxBackgroundJobs), nil
 	case "max_background_compactions":

@@ -693,6 +693,10 @@ func (e *SimEnv) List(dir string) ([]string, error) {
 	return names, nil
 }
 
+// SyncDir implements Env. The in-memory filesystem's metadata operations are
+// immediately durable, so this is a no-op.
+func (e *SimEnv) SyncDir(string) error { return nil }
+
 // MkdirAll implements Env.
 func (e *SimEnv) MkdirAll(dir string) error {
 	e.mu.Lock()

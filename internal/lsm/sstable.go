@@ -323,7 +323,7 @@ func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *S
 	}
 	if size < footerSize {
 		f.Close()
-		return nil, fmt.Errorf("lsm: table %s too small (%d bytes)", name, size)
+		return nil, fmt.Errorf("%w: table %s too small (%d bytes)", ErrCorruption, name, size)
 	}
 	footer := make([]byte, footerSize)
 	if err := f.ReadAt(footer, size-footerSize, HintRandom); err != nil {
@@ -332,7 +332,7 @@ func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *S
 	}
 	if got := binary.LittleEndian.Uint64(footer[footerSize-8:]); got != tableMagic {
 		f.Close()
-		return nil, fmt.Errorf("lsm: bad table magic %#x in %s", got, name)
+		return nil, fmt.Errorf("%w: bad table magic %#x in %s", ErrCorruption, got, name)
 	}
 	filterHandle, n, err := decodeBlockHandle(footer)
 	if err != nil {
@@ -384,7 +384,7 @@ func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint) ([]byte, erro
 	crc := crc32.ChecksumIEEE(payload)
 	crc = crc32.Update(crc, crc32.IEEETable, []byte{ctype})
 	if crc != wantCRC {
-		return nil, fmt.Errorf("lsm: block checksum mismatch at offset %d (file %d)", h.offset, t.fileNum)
+		return nil, fmt.Errorf("%w: block checksum mismatch at offset %d (file %d)", ErrCorruption, h.offset, t.fileNum)
 	}
 	switch ctype {
 	case 0:
@@ -607,3 +607,64 @@ func (it *tableIter) Value() []byte { return it.data.Value() }
 
 // Err returns the first error encountered.
 func (it *tableIter) Err() error { return it.err }
+
+// verifyTableFile reads a table back end to end: footer and per-block
+// checksums, strict internal-key ordering, and (when meta is non-nil) the
+// entry count, key range and file size of the metadata about to be
+// installed. It is the paranoid_file_checks read-back pass and the core of
+// `ldb verify`. All mismatches wrap ErrCorruption.
+func verifyTableFile(env Env, name string, meta *FileMeta, class IOClass) error {
+	var num uint64
+	if meta != nil {
+		num = meta.Number
+	}
+	t, err := openTable(env, name, num, nil, nil, class)
+	if err != nil {
+		return err
+	}
+	defer t.close()
+	it := t.iterator(HintSequential)
+	var prev internalKey
+	var entries int64
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k := it.Key()
+		if prev != nil && compareInternal(prev, k) >= 0 {
+			return fmt.Errorf("%w: keys out of order in %s (entry %d)", ErrCorruption, name, entries)
+		}
+		prev = append(prev[:0], k...)
+		entries++
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("lsm: verify %s: %w", name, err)
+	}
+	if meta == nil {
+		return nil
+	}
+	if entries != meta.Entries {
+		return fmt.Errorf("%w: %s holds %d entries, metadata says %d", ErrCorruption, name, entries, meta.Entries)
+	}
+	if size, err := env.FileSize(name); err != nil {
+		return err
+	} else if size != meta.Size {
+		return fmt.Errorf("%w: %s is %d bytes, metadata says %d", ErrCorruption, name, size, meta.Size)
+	}
+	if entries > 0 {
+		if len(meta.Smallest) > 0 && compareInternal(t.smallestKey(), meta.Smallest) != 0 {
+			return fmt.Errorf("%w: %s smallest key differs from metadata", ErrCorruption, name)
+		}
+		if len(meta.Largest) > 0 && compareInternal(prev, meta.Largest) != 0 {
+			return fmt.Errorf("%w: %s largest key differs from metadata", ErrCorruption, name)
+		}
+	}
+	return nil
+}
+
+// smallestKey returns the first internal key in the table (nil when empty).
+func (t *tableReader) smallestKey() internalKey {
+	it := t.iterator(HintSequential)
+	it.SeekToFirst()
+	if !it.Valid() {
+		return nil
+	}
+	return append(internalKey(nil), it.Key()...)
+}

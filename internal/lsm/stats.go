@@ -38,40 +38,46 @@ const (
 	TickerTableCacheMiss
 	TickerBlockCacheAdd
 	TickerBlockCacheEvict
-	TickerWriteDoneBySelf  // writes committed as a group leader
-	TickerWriteDoneByOther // writes committed by another thread's group
+	TickerWriteDoneBySelf    // writes committed as a group leader
+	TickerWriteDoneByOther   // writes committed by another thread's group
+	TickerBgError            // background errors raised (flush/compaction/WAL)
+	TickerErrorRecoveryCount // successful background-error recoveries
+	TickerWALCorruptRecords  // WAL records dropped as corrupt during replay
 	numTickers
 )
 
 var tickerNames = map[Ticker]string{
-	TickerBlockCacheHit:     "rocksdb.block.cache.hit",
-	TickerBlockCacheMiss:    "rocksdb.block.cache.miss",
-	TickerBloomChecked:      "rocksdb.bloom.filter.checked",
-	TickerBloomUseful:       "rocksdb.bloom.filter.useful",
-	TickerMemtableHit:       "rocksdb.memtable.hit",
-	TickerMemtableMiss:      "rocksdb.memtable.miss",
-	TickerGetHit:            "rocksdb.get.hit",
-	TickerGetMiss:           "rocksdb.get.miss",
-	TickerBytesWritten:      "rocksdb.bytes.written",
-	TickerBytesRead:         "rocksdb.bytes.read",
-	TickerWALBytes:          "rocksdb.wal.bytes",
-	TickerWALSyncs:          "rocksdb.wal.synced",
-	TickerFlushCount:        "rocksdb.flush.count",
-	TickerFlushBytes:        "rocksdb.flush.write.bytes",
-	TickerCompactCount:      "rocksdb.compaction.count",
-	TickerCompactReadBytes:  "rocksdb.compact.read.bytes",
-	TickerCompactWriteBytes: "rocksdb.compact.write.bytes",
-	TickerStallMicros:       "rocksdb.stall.micros",
-	TickerSlowdownWrites:    "rocksdb.stall.slowdown.writes",
-	TickerStoppedWrites:     "rocksdb.stall.stopped.writes",
-	TickerSeekCount:         "rocksdb.number.db.seek",
-	TickerNextCount:         "rocksdb.number.db.next",
-	TickerTableCacheHit:     "rocksdb.table.cache.hit",
-	TickerTableCacheMiss:    "rocksdb.table.cache.miss",
-	TickerBlockCacheAdd:     "rocksdb.block.cache.add",
-	TickerBlockCacheEvict:   "rocksdb.block.cache.evict",
-	TickerWriteDoneBySelf:   "rocksdb.write.self",
-	TickerWriteDoneByOther:  "rocksdb.write.other",
+	TickerBlockCacheHit:      "rocksdb.block.cache.hit",
+	TickerBlockCacheMiss:     "rocksdb.block.cache.miss",
+	TickerBloomChecked:       "rocksdb.bloom.filter.checked",
+	TickerBloomUseful:        "rocksdb.bloom.filter.useful",
+	TickerMemtableHit:        "rocksdb.memtable.hit",
+	TickerMemtableMiss:       "rocksdb.memtable.miss",
+	TickerGetHit:             "rocksdb.get.hit",
+	TickerGetMiss:            "rocksdb.get.miss",
+	TickerBytesWritten:       "rocksdb.bytes.written",
+	TickerBytesRead:          "rocksdb.bytes.read",
+	TickerWALBytes:           "rocksdb.wal.bytes",
+	TickerWALSyncs:           "rocksdb.wal.synced",
+	TickerFlushCount:         "rocksdb.flush.count",
+	TickerFlushBytes:         "rocksdb.flush.write.bytes",
+	TickerCompactCount:       "rocksdb.compaction.count",
+	TickerCompactReadBytes:   "rocksdb.compact.read.bytes",
+	TickerCompactWriteBytes:  "rocksdb.compact.write.bytes",
+	TickerStallMicros:        "rocksdb.stall.micros",
+	TickerSlowdownWrites:     "rocksdb.stall.slowdown.writes",
+	TickerStoppedWrites:      "rocksdb.stall.stopped.writes",
+	TickerSeekCount:          "rocksdb.number.db.seek",
+	TickerNextCount:          "rocksdb.number.db.next",
+	TickerTableCacheHit:      "rocksdb.table.cache.hit",
+	TickerTableCacheMiss:     "rocksdb.table.cache.miss",
+	TickerBlockCacheAdd:      "rocksdb.block.cache.add",
+	TickerBlockCacheEvict:    "rocksdb.block.cache.evict",
+	TickerWriteDoneBySelf:    "rocksdb.write.self",
+	TickerWriteDoneByOther:   "rocksdb.write.other",
+	TickerBgError:            "rocksdb.bg.error",
+	TickerErrorRecoveryCount: "rocksdb.error.recovery.count",
+	TickerWALCorruptRecords:  "rocksdb.wal.corrupt.records",
 }
 
 // String returns the RocksDB-style ticker name.

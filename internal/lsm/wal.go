@@ -9,8 +9,8 @@ import (
 )
 
 // WAL record framing: length(4, LE) crc32(4, LE over payload) payload.
-// A truncated or corrupt tail ends replay without error (point-in-time
-// recovery semantics), matching RocksDB's kPointInTimeRecovery default.
+// How a truncated or corrupt tail is handled at replay is governed by
+// Options.WALRecoveryMode (see walReplayMode).
 const walHeaderSize = 8
 
 // walWriter appends framed records to a log file, implementing the
@@ -141,44 +141,119 @@ func (w *walWriter) size() int64 { return w.bytesWritten }
 // close closes the underlying file.
 func (w *walWriter) close() error { return w.f.Close() }
 
+// walReplayInfo summarizes one log file's replay.
+type walReplayInfo struct {
+	records        int   // records delivered to fn
+	validBytes     int64 // length of the replayed prefix
+	droppedBytes   int64 // bytes past the stop point (torn or corrupt)
+	corruptRecords int   // records dropped with a failing checksum
+	midFile        bool  // corruption had valid records after it (bit rot, not a torn tail)
+}
+
 // walReplay streams records from a log file, stopping cleanly at a corrupt
-// or truncated tail. fn receives each payload.
+// or truncated tail (tolerate-mode semantics). fn receives each payload.
 func walReplay(env Env, name string, fn func(payload []byte) error) error {
+	_, err := walReplayMode(env, name, WALRecoverTolerateCorruptedTailRecords, false, nil, fn)
+	return err
+}
+
+// walReplayMode streams records from a log file under the given recovery
+// mode. A record whose extent runs past end-of-file is a torn write;
+// a record whose checksum fails is corruption, classified as mid-file when
+// valid records parse after it. kAbsoluteConsistency errors on either;
+// the tolerant modes stop replaying at the damage, and paranoid upgrades
+// mid-file corruption (which a torn tail cannot explain) to an error.
+// Dropped corrupt records are counted into stats as wal.corrupt.records.
+func walReplayMode(env Env, name string, mode WALRecoveryMode, paranoid bool, stats *Statistics, fn func(payload []byte) error) (walReplayInfo, error) {
+	var info walReplayInfo
 	f, err := env.NewRandomAccessFile(name, IOBackground)
 	if err != nil {
-		return err
+		return info, err
 	}
 	defer f.Close()
 	size, err := f.Size()
 	if err != nil {
-		return err
+		return info, err
+	}
+	torn := func(off int64, what string) (walReplayInfo, error) {
+		info.droppedBytes = size - off
+		if mode == WALRecoverAbsoluteConsistency {
+			return info, fmt.Errorf("lsm: %w: %s at offset %d of %s (wal_recovery_mode=kAbsoluteConsistency)",
+				ErrCorruption, what, off, name)
+		}
+		return info, nil
 	}
 	var off int64
 	var hdr [walHeaderSize]byte
 	for off+walHeaderSize <= size {
 		if err := f.ReadAt(hdr[:], off, HintSequential); err != nil {
-			return nil // torn header: end of valid log
+			return torn(off, "torn record header")
 		}
 		n := int64(binary.LittleEndian.Uint32(hdr[0:]))
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
 		if off+walHeaderSize+n > size {
-			return nil // torn record
+			return torn(off, "torn record")
 		}
 		payload := make([]byte, n)
 		if n > 0 {
 			if err := f.ReadAt(payload, off+walHeaderSize, HintSequential); err != nil {
-				return nil
+				return torn(off, "unreadable record")
 			}
 		}
 		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return nil // corrupt tail
+			info.corruptRecords++
+			stats.Add(TickerWALCorruptRecords, 1)
+			info.droppedBytes = size - off
+			info.midFile = walValidRecordAt(f, off+walHeaderSize+n, size)
+			switch {
+			case mode == WALRecoverAbsoluteConsistency:
+				return info, fmt.Errorf("lsm: %w: checksum mismatch at offset %d of %s (wal_recovery_mode=kAbsoluteConsistency)",
+					ErrCorruption, off, name)
+			case info.midFile && paranoid:
+				return info, fmt.Errorf("lsm: %w: mid-file checksum mismatch at offset %d of %s (valid records follow; paranoid_checks)",
+					ErrCorruption, off, name)
+			}
+			return info, nil
 		}
 		if err := fn(payload); err != nil {
-			return err
+			return info, err
 		}
+		info.records++
 		off += walHeaderSize + n
+		info.validBytes = off
 	}
-	return nil
+	if off < size {
+		info.droppedBytes = size - off
+		if mode == WALRecoverAbsoluteConsistency {
+			return info, fmt.Errorf("lsm: %w: %d trailing bytes at offset %d of %s (wal_recovery_mode=kAbsoluteConsistency)",
+				ErrCorruption, size-off, off, name)
+		}
+	}
+	return info, nil
+}
+
+// walValidRecordAt reports whether a well-formed record (header in bounds,
+// extent in bounds, checksum passing) starts at off — evidence that damage
+// before off is mid-file corruption rather than a torn tail.
+func walValidRecordAt(f RandomAccessFile, off, size int64) bool {
+	var hdr [walHeaderSize]byte
+	if off+walHeaderSize > size {
+		return false
+	}
+	if err := f.ReadAt(hdr[:], off, HintSequential); err != nil {
+		return false
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:]))
+	if off+walHeaderSize+n > size {
+		return false
+	}
+	payload := make([]byte, n)
+	if n > 0 {
+		if err := f.ReadAt(payload, off+walHeaderSize, HintSequential); err != nil {
+			return false
+		}
+	}
+	return crc32.ChecksumIEEE(payload) == binary.LittleEndian.Uint32(hdr[4:])
 }
 
 // WriteBatch collects updates applied atomically by DB.Write. Encoding:

@@ -256,6 +256,14 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 		if err == nil && needSync {
 			err = wal.sync()
 		}
+		if err != nil {
+			// A failed WAL append or sync leaves the log's durable extent
+			// unknown; make the error sticky so later writes cannot commit
+			// past a hole in the log. Resume re-syncs the WAL.
+			db.mu.Lock()
+			db.setBGErrorLocked(err, "wal")
+			db.mu.Unlock()
+		}
 	}
 	db.commitMu.Unlock()
 
@@ -397,6 +405,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	disableWAL := wo.DisableWAL || db.opts.DisableWAL
 	if !disableWAL {
 		if err := db.wal.addRecord(batch.rep); err != nil {
+			db.setBGErrorLocked(err, "wal")
 			return err
 		}
 		if wo.Sync {
@@ -405,6 +414,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 			if db.simSyncDebt >= group {
 				db.simSyncDebt = 0
 				if err := db.wal.sync(); err != nil {
+					db.setBGErrorLocked(err, "wal")
 					return err
 				}
 			}
