@@ -12,14 +12,16 @@ vet:
 	$(GO) vet ./...
 
 # The engine histograms and the tuning-loop trace are written from multiple
-# goroutines; keep them honest under the race detector.
+# goroutines; keep them honest under the race detector. The core tuning
+# sessions run ~20x slower under -race, past go test's default 10m limit.
 race:
-	$(GO) test -race ./internal/lsm ./internal/core
+	$(GO) test -race -timeout 30m ./internal/lsm ./internal/core
 
 # Randomized crash-consistency harness: 20 crash/recover cycles per option
-# combination through the fault-injection env, under the race detector.
+# combination (single- and multi-CF) through the fault-injection env, under
+# the race detector.
 crashtest:
-	$(GO) test -race -count=1 -run TestCrashConsistency ./internal/lsm -args -crashcycles=20
+	$(GO) test -race -count=1 -timeout 30m -run TestCrashConsistency ./internal/lsm -args -crashcycles=20
 
 verify: build vet test race
 

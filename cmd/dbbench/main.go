@@ -7,6 +7,7 @@
 //	dbbench -benchmarks fillrandom -num 100000 -db /tmp/bench-db
 //	dbbench -benchmarks mixgraph -num 500000 -sim nvme -profile 4+4 -scale 40
 //	dbbench -benchmarks readrandom -num 100000 -sim hdd -options OPTIONS.ini
+//	dbbench -benchmarks readrandomwriterandom -num 200000 -column_family default,hot
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -34,7 +36,8 @@ func main() {
 		profile    = flag.String("profile", "4+8", "simulated hardware profile: 2+4, 2+8, 4+4, 4+8")
 		scale      = flag.Int64("scale", 1, "simulation scale divisor for memory and byte-valued options")
 		seed       = flag.Int64("seed", 42, "workload seed")
-		optsFile   = flag.String("options", "", "load an OPTIONS ini file instead of db_bench defaults")
+		optsFile   = flag.String("options", "", "load an OPTIONS ini file (incl. CFOptions sections) instead of db_bench defaults")
+		cfList     = flag.String("column_family", "", "comma-separated column families to spread workload traffic across (created if missing)")
 		stats      = flag.Bool("statistics", false, "print engine statistics after the run")
 		traceOut   = flag.String("trace_out", "", "synthesize the workload into a trace file and exit (no benchmark)")
 		traceIn    = flag.String("trace_in", "", "replay a trace file instead of running -benchmarks")
@@ -54,20 +57,20 @@ func main() {
 		traceFile = f
 	}
 
-	opts := lsm.DBBenchDefaults()
+	cfg := lsm.NewConfigSet(lsm.DBBenchDefaults())
 	if *optsFile != "" {
 		doc, err := ini.Load(*optsFile)
 		if err != nil {
 			fatal(err)
 		}
-		loaded, unknown, err := lsm.FromINI(doc)
+		loaded, unknown, err := lsm.ConfigSetFromINI(doc)
 		if err != nil {
 			fatal(err)
 		}
 		for _, u := range unknown {
 			fmt.Fprintf(os.Stderr, "warning: unknown option %q ignored\n", u)
 		}
-		opts = loaded
+		cfg = loaded
 	}
 
 	dir := *dbPath
@@ -81,8 +84,8 @@ func main() {
 			fatal(err)
 		}
 		env := lsm.NewScaledSimEnv(dev, prof, *scale, *seed)
-		opts = opts.Scaled(*scale)
-		opts.Env = env
+		cfg = cfg.Scaled(*scale)
+		cfg.Default.Env = env
 		dir = "/dbbench"
 		fmt.Fprintf(os.Stderr, "simulating %s on %s (scale 1/%d)\n", prof.Name, dev.Kind, *scale)
 	}
@@ -107,7 +110,7 @@ func main() {
 		return
 	}
 
-	db, err := lsm.Open(dir, opts)
+	db, err := lsm.OpenConfig(dir, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -136,6 +139,9 @@ func main() {
 		spec, err := bench.WorkloadByName(*benchmarks, *num, *valueSize, *seed)
 		if err != nil {
 			fatal(err)
+		}
+		if *cfList != "" {
+			spec.ColumnFamilies = strings.Split(*cfList, ",")
 		}
 		rep, err = (&bench.Runner{DB: db, Spec: spec}).Run()
 		if err != nil {

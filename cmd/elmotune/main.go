@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -43,8 +44,13 @@ func main() {
 		model    = flag.String("model", "gpt-4", "model name for -llm")
 		metricsA = flag.String("metrics_addr", "", "serve Prometheus /metrics for the live iteration's engine (e.g. :9090)")
 		traceF   = flag.String("trace", "", "write the tuning-loop JSONL trace (one record per iteration) to this file")
+		cfList   = flag.String("column_family", "", "comma-separated column families to benchmark and tune alongside \"default\"")
 	)
 	flag.Parse()
+	var cfNames []string
+	if *cfList != "" {
+		cfNames = strings.Split(*cfList, ",")
+	}
 
 	dev, err := device.ByName(*sim)
 	if err != nil {
@@ -55,9 +61,10 @@ func main() {
 		fatal(err)
 	}
 	cfg := experiments.Config{
-		Scale:         *scale,
-		Seed:          *seed,
-		MaxIterations: *iters,
+		Scale:          *scale,
+		Seed:           *seed,
+		MaxIterations:  *iters,
+		ColumnFamilies: cfNames,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -99,18 +106,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ELMo-Tune: %s on the REAL filesystem under %s, up to %d iterations, model %s\n",
 			*workload, base, *iters, cfg.Client.Name())
-		runner := &experiments.OSRunner{BaseDir: base, Workload: *workload, Ops: *num, Seed: *seed, OnDB: cfg.OnDB}
+		runner := &experiments.OSRunner{BaseDir: base, Workload: *workload, Ops: *num, Seed: *seed, OnDB: cfg.OnDB, ColumnFamilies: cfNames}
+		initial := lsm.NewConfigSet(lsm.DBBenchDefaults())
+		for _, name := range cfNames {
+			if name != "" && name != lsm.DefaultColumnFamilyName {
+				initial.CF(name)
+			}
+		}
 		var err error
 		res, err = core.Run(context.Background(), core.Config{
-			Client:         cfg.Client,
-			Runner:         runner,
-			Monitor:        sysmon.NewOSMonitor(),
-			InitialOptions: lsm.DBBenchDefaults(),
-			WorkloadName:   *workload,
-			MaxIterations:  *iters,
-			StallLimit:     *iters + 1,
-			Logf:           cfg.Logf,
-			Trace:          cfg.Trace,
+			Client:        cfg.Client,
+			Runner:        runner,
+			Monitor:       sysmon.NewOSMonitor(),
+			InitialConfig: initial,
+			WorkloadName:  *workload,
+			MaxIterations: *iters,
+			StallLimit:    *iters + 1,
+			Logf:          cfg.Logf,
+			Trace:         cfg.Trace,
 		})
 		if err != nil {
 			fatal(err)
@@ -140,7 +153,7 @@ func main() {
 		fmt.Printf("  iteration %d: %.0f ops/sec (%s, %d changes applied)\n",
 			it.Number, it.Metrics.Throughput, status, len(it.AppliedDiff))
 	}
-	finalOpts := res.BestOptions
+	finalCfg := res.BestConfig.Clone()
 	if *fine && *real {
 		fmt.Fprintln(os.Stderr, "-finetune with -real is not wired; skipping the hill climb")
 	}
@@ -160,9 +173,11 @@ func main() {
 		}
 		fmt.Printf("fine-tuned: %.0f ops/sec after %d extra trials (%.2fx over baseline)\n",
 			ft.BestMetrics.Throughput, ft.Trials, ft.ImprovementOver(res.BaselineMetrics))
-		finalOpts = ft.Best
+		// The hill climb works on the default family; named-family sections
+		// keep the LLM session's best values.
+		finalCfg.Default = ft.Best.Clone()
 	}
-	if err := finalOpts.ToINI().Save(*out); err != nil {
+	if err := finalCfg.ToINI().Save(*out); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote tuned configuration to %s\n", *out)

@@ -5,11 +5,15 @@
 //	ldb -db /path put <key> <value>
 //	ldb -db /path delete <key>
 //	ldb -db /path scan [from [to]]      (use -limit to bound output)
+//	ldb -db /path listcfs               (list column families)
 //	ldb -db /path stats | levelstats | dump_options | compact
 //	ldb -db /path verify                (offline integrity check; DB must be closed)
 //	ldb -db /path repair                (rebuild manifest from surviving SSTables)
 //	ldb diff_options <OPTIONS-a> <OPTIONS-b>
 //	ldb list_options [filter]
+//
+// get/put/delete/scan/verify accept -column_family <name> to operate on a
+// named family; repair -column_family salvages tables into that family.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	var (
 		dbPath = flag.String("db", "", "database directory")
 		limit  = flag.Int("limit", 0, "max entries for scan (0 = unlimited)")
+		cf     = flag.String("column_family", "", "column family to operate on (default: \"default\")")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -53,7 +58,7 @@ func main() {
 		if *dbPath == "" {
 			fatal(fmt.Errorf("-db is required for %q", cmd))
 		}
-		if err := ldbtool.Verify(*dbPath, os.Stdout); err != nil {
+		if err := ldbtool.Verify(*dbPath, os.Stdout, *cf); err != nil {
 			fatal(err)
 		}
 		return
@@ -61,7 +66,7 @@ func main() {
 		if *dbPath == "" {
 			fatal(fmt.Errorf("-db is required for %q", cmd))
 		}
-		if err := ldbtool.Repair(*dbPath, os.Stdout); err != nil {
+		if err := ldbtool.Repair(*dbPath, os.Stdout, *cf); err != nil {
 			fatal(err)
 		}
 		return
@@ -75,6 +80,9 @@ func main() {
 		fatal(err)
 	}
 	defer tool.Close()
+	if err := tool.UseColumnFamily(*cf); err != nil {
+		fatal(err)
+	}
 
 	switch cmd {
 	case "get":
@@ -101,6 +109,8 @@ func main() {
 			to = args[2]
 		}
 		_, err = tool.Scan(from, to, *limit)
+	case "listcfs":
+		err = tool.ListCFs()
 	case "stats":
 		err = tool.Stats()
 	case "levelstats":
@@ -118,9 +128,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ldb [-db DIR] [-limit N] <command> [args]
-commands: get put delete scan stats levelstats dump_options compact
-          verify repair (offline; -db required)
+	fmt.Fprintln(os.Stderr, `usage: ldb [-db DIR] [-limit N] [-column_family CF] <command> [args]
+commands: get put delete scan listcfs stats levelstats dump_options compact
+          verify repair (offline; -db required; honor -column_family)
           diff_options <A> <B>   list_options [filter]`)
 	os.Exit(2)
 }

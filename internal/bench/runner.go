@@ -30,6 +30,41 @@ type Runner struct {
 	Monitor func(Progress) bool
 
 	realElapsed time.Duration // wall duration of an OS-mode run
+	// cfs are the resolved column-family handles traffic is split across
+	// (nil entry = default family). Populated from Spec.ColumnFamilies at
+	// Run start; len 1 with a nil handle for single-family workloads.
+	cfs []*lsm.ColumnFamilyHandle
+}
+
+// resolveCFs maps Spec.ColumnFamilies onto handles, creating families the
+// database does not have yet (matching db_bench, which creates its
+// -num_column_families on first use).
+func (r *Runner) resolveCFs() error {
+	names := r.Spec.ColumnFamilies
+	if len(names) == 0 {
+		r.cfs = []*lsm.ColumnFamilyHandle{nil}
+		return nil
+	}
+	r.cfs = make([]*lsm.ColumnFamilyHandle, 0, len(names))
+	for _, name := range names {
+		if name == "" || name == lsm.DefaultColumnFamilyName {
+			r.cfs = append(r.cfs, nil)
+			continue
+		}
+		h, err := r.DB.GetColumnFamily(name)
+		if err != nil {
+			if h, err = r.DB.CreateColumnFamily(name, nil); err != nil {
+				return err
+			}
+		}
+		r.cfs = append(r.cfs, h)
+	}
+	return nil
+}
+
+// handleFor picks the family a key id belongs to.
+func (r *Runner) handleFor(id uint64) *lsm.ColumnFamilyHandle {
+	return r.cfs[id%uint64(len(r.cfs))]
 }
 
 // vthread is one virtual workload thread.
@@ -61,6 +96,9 @@ func (r *Runner) Run() (*Report, error) {
 	if sim != nil {
 		sim.SetForegroundThreads(r.Spec.Threads)
 		defer sim.SetForegroundThreads(1)
+	}
+	if err := r.resolveCFs(); err != nil {
+		return nil, err
 	}
 	if r.Spec.Preload > 0 {
 		if err := r.preload(sim); err != nil {
@@ -143,7 +181,7 @@ func (r *Runner) preload(sim *lsm.SimEnv) error {
 	// fillrandom.
 	perm := rng.Perm(int(r.Spec.Preload))
 	for i, id := range perm {
-		batch.Put(keys.Key(uint64(id)), values.Value(r.Spec.ValueSize))
+		batch.PutCF(r.handleFor(uint64(id)), keys.Key(uint64(id)), values.Value(r.Spec.ValueSize))
 		if batch.Count() >= batchSize || i == len(perm)-1 {
 			if err := r.DB.Write(wo, batch); err != nil {
 				return err
@@ -223,8 +261,9 @@ func (r *Runner) execOp(t *vthread) {
 	}
 	id := t.dist.Next(t.rng)
 	key := t.keys.Key(id)
+	cf := r.handleFor(id)
 	if isScan {
-		it := r.DB.NewIterator(nil)
+		it := r.DB.NewIteratorCF(nil, cf)
 		it.Seek(key)
 		for n := 0; n < r.Spec.ScanLength && it.Valid(); n++ {
 			t.bytes += int64(len(it.Key()) + len(it.Value()))
@@ -235,7 +274,7 @@ func (r *Runner) execOp(t *vthread) {
 		return
 	}
 	if isRead {
-		_, err := r.DB.Get(nil, key)
+		_, err := r.DB.GetCF(nil, cf, key)
 		if err == lsm.ErrNotFound {
 			t.readMiss++
 		}
@@ -247,7 +286,7 @@ func (r *Runner) execOp(t *vthread) {
 			n = paretoValueSize(t.rng, r.Spec.ValueSize)
 		}
 		val := t.values.Value(n)
-		_ = r.DB.Put(nil, key, val)
+		_ = r.DB.PutCF(nil, cf, key, val)
 		t.pendingRead = false
 		t.bytes += int64(len(key) + len(val))
 	}

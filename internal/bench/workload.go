@@ -38,6 +38,12 @@ type Spec struct {
 	WriterThreads int
 	// Seed drives all workload randomness.
 	Seed int64
+	// ColumnFamilies routes traffic across named families: each key id maps
+	// deterministically onto one of the listed families (id mod len), like
+	// db_bench's -num_column_families. Empty (or "default"/"") entries mean
+	// the default family; an empty list is the single-family workload.
+	// Families missing from the DB are created at run start.
+	ColumnFamilies []string
 }
 
 // Validate checks the spec.

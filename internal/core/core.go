@@ -37,6 +37,30 @@ func (f BenchRunnerFunc) RunBenchmark(opts *lsm.Options, monitor func(bench.Prog
 	return f(opts, monitor)
 }
 
+// ConfigRunner is the optional multi-family extension of BenchRunner: a
+// runner that can open every column family in the configuration and drive
+// traffic to all of them. When the Runner implements it, the loop passes the
+// whole ConfigSet; otherwise only the default family's options reach the
+// benchmark (named-family changes still tune the configuration the session
+// outputs).
+type ConfigRunner interface {
+	RunBenchmarkConfig(cfg *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error)
+}
+
+// ConfigRunnerFunc adapts a function to ConfigRunner (and BenchRunner).
+type ConfigRunnerFunc func(cfg *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error)
+
+// RunBenchmarkConfig implements ConfigRunner.
+func (f ConfigRunnerFunc) RunBenchmarkConfig(cfg *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error) {
+	return f(cfg, monitor)
+}
+
+// RunBenchmark implements BenchRunner by wrapping the options in a
+// single-family configuration.
+func (f ConfigRunnerFunc) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error) {
+	return f(lsm.NewConfigSet(opts), monitor)
+}
+
 // Config wires one tuning session.
 type Config struct {
 	// Client is the LLM (GPT-4 API or the mock expert).
@@ -48,6 +72,10 @@ type Config struct {
 	// InitialOptions is iteration 0's configuration (db_bench defaults in
 	// the paper). Cloned; never mutated.
 	InitialOptions *lsm.Options
+	// InitialConfig, when set, takes precedence over InitialOptions and
+	// seeds the loop with a multi-family configuration: the LLM sees every
+	// [CFOptions "<name>"] section and may tune families independently.
+	InitialConfig *lsm.ConfigSet
 	// WorkloadName is the db_bench benchmark name (appears in prompts).
 	WorkloadName string
 	// WorkloadDescription is the user's expected-workload statement — the
@@ -101,8 +129,11 @@ type Iteration struct {
 	Metrics      flagger.Metrics
 	Kept         bool
 	EarlyStopped bool
-	// Options is the configuration measured this iteration.
+	// Options is the default family's configuration measured this iteration.
 	Options *lsm.Options
+	// Config is the full multi-family configuration measured this iteration
+	// (Config.Default == Options).
+	Config *lsm.ConfigSet
 	// LLMDuration is the (wall) time of the LLM call.
 	LLMDuration time.Duration
 }
@@ -112,8 +143,12 @@ type Result struct {
 	Baseline        *bench.Report
 	BaselineMetrics flagger.Metrics
 	Iterations      []Iteration
-	// BestOptions is the best configuration found (what ELMo-Tune outputs).
+	// BestOptions is the best default-family configuration found (what
+	// ELMo-Tune outputs for single-family sessions).
 	BestOptions *lsm.Options
+	// BestConfig is the best full multi-family configuration found
+	// (BestConfig.Default == BestOptions).
+	BestConfig  *lsm.ConfigSet
 	BestMetrics flagger.Metrics
 	// StoppedEarly reports the stall criterion fired before MaxIterations.
 	StoppedEarly bool
@@ -129,8 +164,23 @@ func (r *Result) ImprovementFactor() float64 {
 
 // Run executes the feedback loop.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	if cfg.Client == nil || cfg.Runner == nil || cfg.InitialOptions == nil {
-		return nil, fmt.Errorf("core: Client, Runner and InitialOptions are required")
+	if cfg.Client == nil || cfg.Runner == nil || (cfg.InitialOptions == nil && cfg.InitialConfig == nil) {
+		return nil, fmt.Errorf("core: Client, Runner and InitialOptions (or InitialConfig) are required")
+	}
+	initial := cfg.InitialConfig
+	if initial == nil {
+		initial = lsm.NewConfigSet(cfg.InitialOptions)
+	}
+	if err := initial.Validate(); err != nil {
+		return nil, fmt.Errorf("core: initial configuration: %w", err)
+	}
+	// runBench routes the whole configuration to runners that understand
+	// column families and the default family's options to those that don't.
+	runBench := func(cs *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error) {
+		if cr, ok := cfg.Runner.(ConfigRunner); ok {
+			return cr.RunBenchmarkConfig(cs.Clone(), monitor)
+		}
+		return cfg.Runner.RunBenchmark(cs.Default.Clone(), monitor)
 	}
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 7
@@ -159,7 +209,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Iteration 0: the out-of-box baseline.
 	logf("iteration 0: measuring baseline (%s)", cfg.WorkloadName)
-	baseline, err := cfg.Runner.RunBenchmark(cfg.InitialOptions.Clone(), nil)
+	baseline, err := runBench(initial, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline benchmark: %w", err)
 	}
@@ -179,10 +229,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		Baseline:        baseline,
 		BaselineMetrics: baseMetrics,
-		BestOptions:     cfg.InitialOptions.Clone(),
+		BestOptions:     initial.Default.Clone(),
+		BestConfig:      initial.Clone(),
 		BestMetrics:     baseMetrics,
 	}
-	current := cfg.InitialOptions.Clone()
+	current := initial.Clone()
 	lastReport := baseline.Format()
 	lastStatsDump := baseline.StatsDump
 	lastHistograms := baseline.HistogramDump
@@ -203,7 +254,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.Iterations = append(res.Iterations, Iteration{
 			Number:      n,
 			Kept:        false,
-			Options:     current.Clone(),
+			Options:     current.Default.Clone(),
+			Config:      current.Clone(),
 			LLMDuration: llmDur,
 		})
 		if terr := tw.write(TraceRecord{
@@ -229,7 +281,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			WorkloadName:        cfg.WorkloadName,
 			WorkloadDescription: cfg.WorkloadDescription,
 			Host:                host,
-			Options:             current,
+			Config:              current,
 			LastReport:          lastReport,
 			StatsDump:           lastStatsDump,
 			Histograms:          lastHistograms,
@@ -273,14 +325,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 
 		it := Iteration{Number: n, Response: response, Parsed: parsed, LLMDuration: llmDur}
-		decisions := enforcer.Vet(current, parsed.Changes)
+		decisions := enforcer.VetConfig(current, parsed.Changes)
 		it.Decisions = decisions
 		for _, d := range decisions {
 			if d.Verdict != safeguard.Accepted {
-				logf("iteration %d: %s %s=%s (%s)", n, d.Verdict, d.Change.Name, d.Change.Value, d.Reason)
+				scope := ""
+				if d.Change.CF != "" {
+					scope = fmt.Sprintf(" [%s]", d.Change.CF)
+				}
+				logf("iteration %d: %s%s %s=%s (%s)", n, d.Verdict, scope, d.Change.Name, d.Change.Value, d.Reason)
 			}
 		}
-		next, _, err := safeguard.Apply(current, decisions)
+		next, _, err := safeguard.ApplyConfig(current, decisions)
 		if err != nil {
 			// Combined changes are inconsistent: skip the iteration, tell
 			// the model next round.
@@ -288,7 +344,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			deteriorated = true
 			detNote = "The proposed combination was rejected by validation: " + err.Error()
 			it.Kept = false
-			it.Options = current.Clone()
+			it.Options = current.Default.Clone()
+			it.Config = current.Clone()
 			res.Iterations = append(res.Iterations, it)
 			if terr := tw.write(TraceRecord{
 				Kind:      "iteration",
@@ -304,7 +361,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			continue
 		}
 		it.AppliedDiff = ini.Diff(current.ToINI(), next.ToINI())
-		it.Options = next.Clone()
+		it.Options = next.Default.Clone()
+		it.Config = next.Clone()
 
 		var monitor func(bench.Progress) bool
 		var earlyStopped bool
@@ -321,7 +379,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				return ok
 			}
 		}
-		report, err := cfg.Runner.RunBenchmark(next.Clone(), monitor)
+		report, err := runBench(next, monitor)
 		if err != nil {
 			return res, fmt.Errorf("core: benchmark at iteration %d: %w", n, err)
 		}
@@ -343,7 +401,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				improvement = it.Metrics.Throughput/res.BestMetrics.Throughput - 1
 			}
 			current = next
-			res.BestOptions = next.Clone()
+			res.BestOptions = next.Default.Clone()
+			res.BestConfig = next.Clone()
 			res.BestMetrics = it.Metrics
 			deteriorated = false
 			detNote = ""
@@ -391,7 +450,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // WriteOptionsFile persists the session's best configuration as a RocksDB
-// OPTIONS file — the framework's final output.
+// OPTIONS file — the framework's final output. Multi-family sessions emit
+// one CFOptions/TableOptions section pair per column family.
 func (r *Result) WriteOptionsFile(path string) error {
+	if r.BestConfig != nil {
+		return r.BestConfig.ToINI().Save(path)
+	}
 	return r.BestOptions.ToINI().Save(path)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -500,4 +501,143 @@ func TestSimRunnerFreshPerIteration(t *testing.T) {
 		t.Fatalf("runs differ in op count: %d vs %d", rep1.Ops, rep2.Ops)
 	}
 	_ = bench.Progress{}
+}
+
+// TestRunTunesOneColumnFamilyIndependently is the multi-family acceptance
+// check: a CF-scoped suggestion must change only that family's options, the
+// other families (including default) must be untouched, and the full
+// configuration must flow to a ConfigRunner and into the saved OPTIONS file.
+func TestRunTunesOneColumnFamilyIndependently(t *testing.T) {
+	initial := lsm.NewConfigSet(lsm.DBBenchDefaults())
+	initial.CF("hot")
+	defaultWBS := initial.Default.WriteBufferSize
+
+	runs := 0
+	var lastCfg *lsm.ConfigSet
+	runner := core.ConfigRunnerFunc(func(cfg *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error) {
+		runs++
+		lastCfg = cfg
+		return &bench.Report{
+			Workload:   "fillrandom",
+			Ops:        1000,
+			Elapsed:    time.Second,
+			Throughput: 100_000 + float64(runs)*10_000, // always improving
+			Read:       bench.NewHistogram(),
+			Write:      bench.NewHistogram(),
+		}, nil
+	})
+	var prompts []string
+	client := &llm.FuncClient{Fn: func(_ context.Context, msgs []llm.Message) (string, error) {
+		prompts = append(prompts, msgs[len(msgs)-1].Content)
+		return "[CFOptions \"hot\"]\nwrite_buffer_size=134217728\n", nil
+	}}
+	res, err := core.Run(context.Background(), core.Config{
+		Client:           client,
+		Runner:           runner,
+		InitialConfig:    initial,
+		WorkloadName:     "fillrandom",
+		MaxIterations:    1,
+		StallLimit:       10,
+		DisableEarlyStop: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 1 || !res.Iterations[0].Kept {
+		t.Fatalf("iterations = %+v", res.Iterations)
+	}
+
+	// The prompt presented both families' sections.
+	if !strings.Contains(prompts[0], `[CFOptions "hot"]`) || !strings.Contains(prompts[0], `[CFOptions "default"]`) {
+		t.Fatalf("prompt missing per-family sections:\n%s", prompts[0])
+	}
+
+	// Only the hot family moved.
+	best := res.BestConfig
+	if got := best.Lookup("hot").WriteBufferSize; got != 134217728 {
+		t.Fatalf("hot write_buffer_size = %d, want 134217728", got)
+	}
+	if got := best.Default.WriteBufferSize; got != defaultWBS {
+		t.Fatalf("default write_buffer_size leaked to %d (was %d)", got, defaultWBS)
+	}
+	if got := res.BestOptions.WriteBufferSize; got != defaultWBS {
+		t.Fatalf("BestOptions.WriteBufferSize = %d, want untouched %d", got, defaultWBS)
+	}
+	// The input configuration was not mutated in place.
+	if got := initial.Lookup("hot").WriteBufferSize; got != defaultWBS {
+		t.Fatalf("initial config mutated: hot = %d", got)
+	}
+
+	// The full multi-family configuration reached the benchmark.
+	if lastCfg == nil || lastCfg.Lookup("hot") == nil {
+		t.Fatal("ConfigRunner never saw the hot family")
+	}
+	if got := lastCfg.Lookup("hot").WriteBufferSize; got != 134217728 {
+		t.Fatalf("benchmark ran hot with write_buffer_size %d", got)
+	}
+
+	// And the saved OPTIONS file keeps both sections with distinct values.
+	path := filepath.Join(t.TempDir(), "OPTIONS")
+	if err := res.WriteOptionsFile(path); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ini.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Section(`CFOptions "hot"`).Get("write_buffer_size"); v != "134217728" {
+		t.Fatalf("saved hot write_buffer_size = %q", v)
+	}
+	if v, _ := doc.Section(`CFOptions "default"`).Get("write_buffer_size"); v != fmt.Sprint(defaultWBS) {
+		t.Fatalf("saved default write_buffer_size = %q", v)
+	}
+}
+
+// TestRunRejectsHallucinatedColumnFamily: a suggestion scoped to a family
+// the configuration does not define is flagged as a hallucination and never
+// applied.
+func TestRunRejectsHallucinatedColumnFamily(t *testing.T) {
+	runs := 0
+	runner := core.ConfigRunnerFunc(func(cfg *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error) {
+		runs++
+		return &bench.Report{
+			Workload:   "fillrandom",
+			Ops:        1000,
+			Elapsed:    time.Second,
+			Throughput: 100_000,
+			Read:       bench.NewHistogram(),
+			Write:      bench.NewHistogram(),
+		}, nil
+	})
+	client := &llm.FuncClient{Fn: func(_ context.Context, msgs []llm.Message) (string, error) {
+		return "[CFOptions \"ghost\"]\nwrite_buffer_size=268435456\n", nil
+	}}
+	res, err := core.Run(context.Background(), core.Config{
+		Client:           client,
+		Runner:           runner,
+		InitialConfig:    lsm.NewConfigSet(lsm.DBBenchDefaults()),
+		WorkloadName:     "fillrandom",
+		MaxIterations:    1,
+		StallLimit:       10,
+		DisableEarlyStop: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Iterations[0]
+	var ghost *safeguard.Decision
+	for i := range it.Decisions {
+		if it.Decisions[i].Change.CF == "ghost" {
+			ghost = &it.Decisions[i]
+		}
+	}
+	if ghost == nil || ghost.Verdict != safeguard.Hallucinated {
+		t.Fatalf("ghost decision = %+v", ghost)
+	}
+	if len(it.AppliedDiff) != 0 {
+		t.Fatalf("hallucinated change applied: %v", it.AppliedDiff)
+	}
+	if res.BestConfig.Lookup("ghost") != nil {
+		t.Fatal("ghost family materialized in the best configuration")
+	}
 }

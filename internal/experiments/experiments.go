@@ -42,6 +42,11 @@ type Config struct {
 	// Trace, when set, receives the tuning loop's JSONL trace (one
 	// core.TraceRecord per iteration).
 	Trace io.Writer
+	// ColumnFamilies, when non-empty, opens every session database with
+	// these named families (beyond "default"), spreads workload traffic
+	// across them, and lets the tuner adjust each family's CFOptions
+	// independently.
+	ColumnFamilies []string
 }
 
 // withDefaults fills zero fields.
@@ -121,13 +126,20 @@ type SimRunner struct {
 
 // RunBenchmark implements core.BenchRunner.
 func (s *SimRunner) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error) {
+	return s.RunBenchmarkConfig(lsm.NewConfigSet(opts), monitor)
+}
+
+// RunBenchmarkConfig implements core.ConfigRunner: the whole multi-family
+// configuration is opened (named families and their per-family options
+// included) and the workload spreads traffic across Cfg.ColumnFamilies.
+func (s *SimRunner) RunBenchmarkConfig(cfg *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error) {
 	s.runs++
 	env := lsm.NewScaledSimEnv(s.Device, s.Profile, s.Cfg.Scale, s.Cfg.Seed+int64(s.runs))
-	o := opts.Scaled(s.Cfg.Scale)
-	o.Env = env
-	o.Stats = lsm.NewStatistics()
-	o.Seed = s.Cfg.Seed
-	db, err := lsm.Open("/bench-db", o)
+	c := cfg.Scaled(s.Cfg.Scale)
+	c.Default.Env = env
+	c.Default.Stats = lsm.NewStatistics()
+	c.Default.Seed = s.Cfg.Seed
+	db, err := lsm.OpenConfig("/bench-db", c)
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +151,7 @@ func (s *SimRunner) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress)
 	if err != nil {
 		return nil, err
 	}
+	spec.ColumnFamilies = s.Cfg.ColumnFamilies
 	r := &bench.Runner{DB: db, Spec: spec, Monitor: monitor}
 	return r.Run()
 }
@@ -191,11 +204,19 @@ func RunSession(ctx context.Context, dev *device.Model, prof device.Profile, wor
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	runner := &SimRunner{Device: dev, Profile: prof, Workload: workload, Cfg: cfg}
+	// Seed the session with one CFOptions entry per requested family so the
+	// LLM sees (and may tune) each of them from iteration 1.
+	initial := lsm.NewConfigSet(lsm.DBBenchDefaults())
+	for _, name := range cfg.ColumnFamilies {
+		if name != "" && name != lsm.DefaultColumnFamilyName {
+			initial.CF(name)
+		}
+	}
 	res, err := core.Run(ctx, core.Config{
 		Client:              cfg.Client,
 		Runner:              runner,
 		Monitor:             &HostMonitor{Device: dev, Profile: prof},
-		InitialOptions:      lsm.DBBenchDefaults(),
+		InitialConfig:       initial,
 		WorkloadName:        workload,
 		WorkloadDescription: workloadDescription(workload),
 		MaxIterations:       cfg.MaxIterations,

@@ -26,21 +26,31 @@ type OSRunner struct {
 	// OnDB, when set, is called with each freshly opened database before its
 	// benchmark runs (used to repoint a live /metrics exporter).
 	OnDB func(*lsm.DB)
+	// ColumnFamilies, when non-empty, spreads workload traffic across these
+	// named families (created on open if missing).
+	ColumnFamilies []string
 
 	runs int
 }
 
 // RunBenchmark implements core.BenchRunner on real files.
 func (r *OSRunner) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) bool) (*bench.Report, error) {
+	return r.RunBenchmarkConfig(lsm.NewConfigSet(opts), monitor)
+}
+
+// RunBenchmarkConfig implements core.ConfigRunner: the whole multi-family
+// configuration is opened on real files and traffic spreads across
+// ColumnFamilies.
+func (r *OSRunner) RunBenchmarkConfig(cfg *lsm.ConfigSet, monitor func(bench.Progress) bool) (*bench.Report, error) {
 	r.runs++
 	dir := filepath.Join(r.BaseDir, fmt.Sprintf("run-%03d", r.runs))
 	if err := os.RemoveAll(dir); err != nil {
 		return nil, err
 	}
-	o := opts.Clone()
-	o.Env = lsm.NewOSEnv()
-	o.Stats = lsm.NewStatistics()
-	db, err := lsm.Open(dir, o)
+	c := cfg.Clone()
+	c.Default.Env = lsm.NewOSEnv()
+	c.Default.Stats = lsm.NewStatistics()
+	db, err := lsm.OpenConfig(dir, c)
 	if err != nil {
 		return nil, err
 	}
@@ -63,5 +73,6 @@ func (r *OSRunner) RunBenchmark(opts *lsm.Options, monitor func(bench.Progress) 
 	if err != nil {
 		return nil, err
 	}
+	spec.ColumnFamilies = r.ColumnFamilies
 	return (&bench.Runner{DB: db, Spec: spec, Monitor: monitor}).Run()
 }

@@ -1,6 +1,7 @@
 package ini
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -190,5 +191,71 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestQuotedSectionNames(t *testing.T) {
+	src := `[DBOptions]
+max_background_jobs = 2
+[CFOptions "default"]
+write_buffer_size = 1048576
+[CFOptions "cold keys"]
+write_buffer_size = 4194304
+[TableOptions/BlockBasedTable "cold keys"]
+block_size = 8192
+`
+	f, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"DBOptions", `CFOptions "default"`, `CFOptions "cold keys"`, `TableOptions/BlockBasedTable "cold keys"`}
+	if got := f.SectionNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SectionNames = %q, want %q", got, want)
+	}
+	if v, _ := f.Section(`CFOptions "cold keys"`).Get("write_buffer_size"); v != "4194304" {
+		t.Fatalf(`cold keys write_buffer_size = %q`, v)
+	}
+	if v, _ := f.Section(`TableOptions/BlockBasedTable "cold keys"`).Get("block_size"); v != "8192" {
+		t.Fatalf("cold keys block_size = %q", v)
+	}
+}
+
+func TestMultipleCFSections(t *testing.T) {
+	// Several CFOptions sections with the same key must stay distinct: the
+	// section name (incl. its quoted family) is the identity.
+	src := `[CFOptions "default"]
+write_buffer_size = 1
+[CFOptions "hot"]
+write_buffer_size = 2
+[CFOptions "warm"]
+write_buffer_size = 3
+`
+	f, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"default", "hot", "warm"} {
+		sec := f.Section(`CFOptions "` + name + `"`)
+		if v, _ := sec.Get("write_buffer_size"); v != fmt.Sprint(i+1) {
+			t.Fatalf("%s write_buffer_size = %q, want %d", name, v, i+1)
+		}
+	}
+}
+
+func TestQuotedSectionWriteParseStable(t *testing.T) {
+	// write -> parse -> write must be byte-stable for multi-CF documents.
+	f := NewFile()
+	f.Section("DBOptions").Set("max_open_files", "500")
+	f.Section(`CFOptions "default"`).Set("write_buffer_size", "1048576")
+	f.Section(`CFOptions "hot tier"`).Set("write_buffer_size", "8388608")
+	f.Section(`CFOptions "hot tier"`).Set("level0_file_num_compaction_trigger", "2")
+	first := f.String()
+	g, err := ParseString(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := g.String()
+	if first != second {
+		t.Fatalf("write/parse/write differs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
 	}
 }

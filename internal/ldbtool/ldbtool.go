@@ -19,6 +19,9 @@ import (
 type Tool struct {
 	DB  *lsm.DB
 	Out io.Writer
+	// cf is the column family commands operate on (nil = default family);
+	// set with UseColumnFamily.
+	cf *lsm.ColumnFamilyHandle
 }
 
 // Open opens the database at dir (must exist) for administration.
@@ -35,9 +38,33 @@ func Open(dir string, out io.Writer) (*Tool, error) {
 // Close releases the database.
 func (t *Tool) Close() error { return t.DB.Close() }
 
+// UseColumnFamily points subsequent get/put/delete/scan commands at a named
+// family ("" or "default" resets to the default family).
+func (t *Tool) UseColumnFamily(name string) error {
+	if name == "" || name == lsm.DefaultColumnFamilyName {
+		t.cf = nil
+		return nil
+	}
+	h, err := t.DB.GetColumnFamily(name)
+	if err != nil {
+		return fmt.Errorf("ldb: column family %q not found (have: %s)",
+			name, strings.Join(t.DB.ListColumnFamilies(), ", "))
+	}
+	t.cf = h
+	return nil
+}
+
+// ListCFs prints the database's column families, one per line.
+func (t *Tool) ListCFs() error {
+	for _, name := range t.DB.ListColumnFamilies() {
+		fmt.Fprintln(t.Out, name)
+	}
+	return nil
+}
+
 // Get prints the value for key, or reports absence.
 func (t *Tool) Get(key string) error {
-	v, err := t.DB.Get(nil, []byte(key))
+	v, err := t.DB.GetCF(nil, t.cf, []byte(key))
 	if errors.Is(err, lsm.ErrNotFound) {
 		return fmt.Errorf("ldb: key %q not found", key)
 	}
@@ -50,7 +77,7 @@ func (t *Tool) Get(key string) error {
 
 // Put writes key=value.
 func (t *Tool) Put(key, value string) error {
-	if err := t.DB.Put(nil, []byte(key), []byte(value)); err != nil {
+	if err := t.DB.PutCF(nil, t.cf, []byte(key), []byte(value)); err != nil {
 		return err
 	}
 	fmt.Fprintln(t.Out, "OK")
@@ -59,7 +86,7 @@ func (t *Tool) Put(key, value string) error {
 
 // Delete removes key.
 func (t *Tool) Delete(key string) error {
-	if err := t.DB.Delete(nil, []byte(key)); err != nil {
+	if err := t.DB.DeleteCF(nil, t.cf, []byte(key)); err != nil {
 		return err
 	}
 	fmt.Fprintln(t.Out, "OK")
@@ -72,7 +99,7 @@ func (t *Tool) Scan(from, to string, limit int) (int, error) {
 	if limit <= 0 {
 		limit = 1 << 30
 	}
-	it := t.DB.NewIterator(nil)
+	it := t.DB.NewIteratorCF(nil, t.cf)
 	defer it.Close()
 	if from == "" {
 		it.SeekToFirst()
@@ -110,9 +137,10 @@ func (t *Tool) LevelStats() error {
 	return nil
 }
 
-// DumpOptions prints the database's effective OPTIONS file.
+// DumpOptions prints the database's effective OPTIONS file, including one
+// CFOptions/TableOptions section pair per live column family.
 func (t *Tool) DumpOptions() error {
-	fmt.Fprint(t.Out, t.DB.Options().ToINI().String())
+	fmt.Fprint(t.Out, t.DB.Config().ToINI().String())
 	return nil
 }
 
@@ -127,9 +155,10 @@ func (t *Tool) Compact() error {
 
 // Verify runs an offline integrity check of the (closed) database at dir:
 // manifest parse, full SSTable read-back, version invariants, WAL replay.
+// A non-empty cf restricts the table/invariant checks to that column family.
 // Returns an error when any check fails, after printing the full report.
-func Verify(dir string, out io.Writer) error {
-	rep, err := lsm.CheckDB(dir, nil)
+func Verify(dir string, out io.Writer, cf string) error {
+	rep, err := lsm.CheckDBColumnFamily(dir, nil, cf)
 	if err != nil {
 		return fmt.Errorf("ldb: verify %s: %w", dir, err)
 	}
@@ -154,9 +183,11 @@ func Verify(dir string, out io.Writer) error {
 }
 
 // Repair rebuilds the manifest of the (closed) database at dir from the
-// surviving SSTables and reports every file salvaged or quarantined.
-func Repair(dir string, out io.Writer) error {
-	rep, err := lsm.RepairDB(dir, nil)
+// surviving SSTables and reports every file salvaged or quarantined. A
+// non-empty cf salvages the tables into that (re-created) column family
+// instead of the default one.
+func Repair(dir string, out io.Writer, cf string) error {
+	rep, err := lsm.RepairDBColumnFamily(dir, nil, cf)
 	if err != nil {
 		return fmt.Errorf("ldb: repair %s: %w", dir, err)
 	}

@@ -110,6 +110,179 @@ func TestToolStatsAndOptions(t *testing.T) {
 	}
 }
 
+// newMultiCFToolDB builds a database with a "hot" family holding its own
+// keys and opens a Tool on it.
+func newMultiCFToolDB(t *testing.T) (*Tool, *strings.Builder) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := lsm.Open(dir, lsm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := db.CreateColumnFamily("hot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo := lsm.DefaultWriteOptions()
+	db.Put(wo, []byte("apple"), []byte("red"))
+	db.PutCF(wo, hot, []byte("apple"), []byte("scorching"))
+	db.PutCF(wo, hot, []byte("pepper"), []byte("habanero"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	tool, err := Open(dir, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tool.Close() })
+	return tool, &out
+}
+
+func TestToolColumnFamilies(t *testing.T) {
+	tool, out := newMultiCFToolDB(t)
+	if err := tool.ListCFs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "default\nhot\n" {
+		t.Fatalf("listcfs output: %q", got)
+	}
+
+	// Same key, different value per family.
+	out.Reset()
+	if err := tool.Get("apple"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "red") {
+		t.Fatalf("default get: %q", out.String())
+	}
+	if err := tool.UseColumnFamily("hot"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := tool.Get("apple"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scorching") {
+		t.Fatalf("hot get: %q", out.String())
+	}
+
+	// Scan sees only the selected family.
+	out.Reset()
+	if n, err := tool.Scan("", "", 0); err != nil || n != 2 {
+		t.Fatalf("hot scan = %d, %v", n, err)
+	}
+	if strings.Contains(out.String(), "red") {
+		t.Fatalf("default-family entry leaked into hot scan: %q", out.String())
+	}
+
+	// Writes land in the selected family.
+	if err := tool.Put("chili", "serrano"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.UseColumnFamily("default"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Get("chili"); err == nil {
+		t.Fatal("hot-family write visible in default family")
+	}
+
+	// Unknown family is an error naming the live ones.
+	if err := tool.UseColumnFamily("nope"); err == nil || !strings.Contains(err.Error(), "hot") {
+		t.Fatalf("unknown family error = %v", err)
+	}
+
+	// dump_options covers every family.
+	out.Reset()
+	if err := tool.DumpOptions(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[CFOptions \"hot\"]") {
+		t.Fatalf("dump_options missing hot family:\n%s", out.String())
+	}
+}
+
+func TestVerifyScopedToColumnFamily(t *testing.T) {
+	dir := t.TempDir()
+	db, err := lsm.Open(dir, lsm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := db.CreateColumnFamily("hot", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo := lsm.DefaultWriteOptions()
+	db.Put(wo, []byte("a"), []byte("1"))
+	db.PutCF(wo, hot, []byte("b"), []byte("2"))
+	if err := db.FlushCF(hot); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := Verify(dir, &out, "hot"); err != nil {
+		t.Fatalf("verify hot: %v\n%s", err, out.String())
+	}
+	if err := Verify(dir, &out, "nope"); err == nil {
+		t.Fatal("verify accepted an unknown column family")
+	}
+}
+
+func TestRepairIntoColumnFamily(t *testing.T) {
+	dir := t.TempDir()
+	db, err := lsm.Open(dir, lsm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo := lsm.DefaultWriteOptions()
+	if err := db.Put(wo, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Lose the manifest, then salvage the table into a named family.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == "CURRENT" || strings.HasPrefix(e.Name(), "MANIFEST-") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var out strings.Builder
+	if err := Repair(dir, &out, "salvage"); err != nil {
+		t.Fatalf("repair: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := Verify(dir, &out, "salvage"); err != nil {
+		t.Fatalf("verify after repair: %v\n%s", err, out.String())
+	}
+	opts := lsm.DefaultOptions()
+	opts.CreateIfMissing = false
+	db2, err := lsm.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	h, err := db2.GetColumnFamily("salvage")
+	if err != nil {
+		t.Fatalf("salvage family missing after repair: %v (have %v)", err, db2.ListColumnFamilies())
+	}
+	got, err := db2.GetCF(nil, h, []byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("GetCF(salvage, k) = %q, %v", got, err)
+	}
+}
+
 func TestOpenMissing(t *testing.T) {
 	if _, err := Open(filepath.Join(t.TempDir(), "nope"), os.Stderr); err == nil {
 		t.Fatal("opened a missing database")
@@ -184,7 +357,7 @@ func TestVerifyAndRepair(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := Verify(dir, &out); err != nil {
+	if err := Verify(dir, &out, ""); err != nil {
 		t.Fatalf("verify clean DB: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "OK") {
@@ -203,18 +376,18 @@ func TestVerifyAndRepair(t *testing.T) {
 			}
 		}
 	}
-	if err := Verify(dir, &out); err == nil {
+	if err := Verify(dir, &out, ""); err == nil {
 		t.Fatal("verify succeeded with CURRENT deleted")
 	}
 	out.Reset()
-	if err := Repair(dir, &out); err != nil {
+	if err := Repair(dir, &out, ""); err != nil {
 		t.Fatalf("repair: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "salvaged") {
 		t.Fatalf("repair output: %q", out.String())
 	}
 	out.Reset()
-	if err := Verify(dir, &out); err != nil {
+	if err := Verify(dir, &out, ""); err != nil {
 		t.Fatalf("verify after repair: %v\n%s", err, out.String())
 	}
 

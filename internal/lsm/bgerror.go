@@ -148,15 +148,16 @@ func (db *DB) resume(auto bool, attempts int) error {
 			return db.bgErrSnapshot()
 		}
 	}
-	// Failed flushes left their memtables on db.imm; re-run them.
-	db.maybeScheduleFlushLocked(len(db.imm) > 0)
+	// Failed flushes left their memtables on the families' imm lists; re-run
+	// them.
+	db.maybeScheduleFlushLocked(db.anyImmLocked())
 	db.maybeScheduleCompactionLocked()
 	db.mu.Unlock()
 	db.commitMu.Unlock()
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for len(db.imm) > 0 && db.bgErr == nil && !db.closed {
+	for db.anyImmLocked() && db.bgErr == nil && !db.closed {
 		if err := db.waitForBackgroundLocked(); err != nil {
 			return err
 		}

@@ -1,0 +1,415 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DefaultColumnFamilyName is the name of the family every DB always has,
+// and the one the single-CF API (Put/Get/Delete/NewIterator) targets.
+const DefaultColumnFamilyName = "default"
+
+// ErrColumnFamilyNotFound is returned when a handle or name does not
+// resolve to a live column family.
+var ErrColumnFamilyNotFound = errors.New("lsm: column family not found")
+
+// columnFamily holds all per-keyspace state: the active memtable and its
+// frozen predecessors, flush bookkeeping, per-level I/O accounting, and the
+// family's effective options. The version (level shape) lives in the shared
+// versionSet keyed by id. All fields below opts are guarded by DB.mu.
+type columnFamily struct {
+	id   uint32
+	name string
+	// opts carries this family's effective options. CF-scoped knobs
+	// (write_buffer_size, triggers, compaction style, table options, ...)
+	// are read from here; DB-scoped knobs (WAL sync policy, background
+	// slots, stall rates, ...) are always read from DB.opts.
+	opts *Options
+
+	mem           *memtable
+	imm           []*memtable // oldest first
+	flushingCount int         // prefix of imm currently being flushed
+	levelIO       []levelIOStats
+}
+
+// ColumnFamilyHandle names a column family to the public API. A nil handle
+// everywhere means the default family.
+type ColumnFamilyHandle struct {
+	db   *DB
+	id   uint32
+	name string
+}
+
+// Name returns the family's name.
+func (h *ColumnFamilyHandle) Name() string {
+	if h == nil {
+		return DefaultColumnFamilyName
+	}
+	return h.name
+}
+
+// ID returns the family's numeric id (0 = default).
+func (h *ColumnFamilyHandle) ID() uint32 {
+	if h == nil {
+		return 0
+	}
+	return h.id
+}
+
+// cfHandleID maps a handle (possibly nil) to its family id.
+func cfHandleID(h *ColumnFamilyHandle) uint32 {
+	if h == nil {
+		return 0
+	}
+	return h.id
+}
+
+// resolveCFLocked maps a handle to the live columnFamily. Callers hold db.mu.
+func (db *DB) resolveCFLocked(h *ColumnFamilyHandle) (*columnFamily, error) {
+	if h == nil {
+		return db.defaultCF, nil
+	}
+	if h.db != db {
+		return nil, fmt.Errorf("lsm: column family handle %q belongs to another DB", h.name)
+	}
+	cf := db.cfs[h.id]
+	if cf == nil {
+		return nil, fmt.Errorf("%w: %q (dropped?)", ErrColumnFamilyNotFound, h.name)
+	}
+	return cf, nil
+}
+
+// registerCFLocked installs a family into the DB-side lookup structures and
+// refreshes the lock-free snapshot used by engineMemory.
+func (db *DB) registerCFLocked(cf *columnFamily) {
+	db.cfs[cf.id] = cf
+	db.cfNames[cf.name] = cf
+	db.cfOrder = append(db.cfOrder, cf)
+	sort.Slice(db.cfOrder, func(i, j int) bool { return db.cfOrder[i].id < db.cfOrder[j].id })
+	db.refreshCFSnapshotLocked()
+}
+
+// unregisterCFLocked removes a dropped family from the lookup structures.
+func (db *DB) unregisterCFLocked(cf *columnFamily) {
+	delete(db.cfs, cf.id)
+	delete(db.cfNames, cf.name)
+	order := db.cfOrder[:0]
+	for _, c := range db.cfOrder {
+		if c != cf {
+			order = append(order, c)
+		}
+	}
+	db.cfOrder = order
+	db.refreshCFSnapshotLocked()
+}
+
+// refreshCFSnapshotLocked publishes the family list for lock-free readers.
+func (db *DB) refreshCFSnapshotLocked() {
+	snap := append([]*columnFamily(nil), db.cfOrder...)
+	db.cfSnap.Store(&snap)
+}
+
+// anyImmLocked reports whether any family has frozen memtables waiting.
+func (db *DB) anyImmLocked() bool {
+	for _, cf := range db.cfOrder {
+		if len(cf.imm) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultColumnFamily returns the handle of the always-present family.
+func (db *DB) DefaultColumnFamily() *ColumnFamilyHandle {
+	return &ColumnFamilyHandle{db: db, id: 0, name: DefaultColumnFamilyName}
+}
+
+// GetColumnFamily resolves a family by name.
+func (db *DB) GetColumnFamily(name string) (*ColumnFamilyHandle, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cf := db.cfNames[name]
+	if cf == nil {
+		return nil, fmt.Errorf("%w: %q", ErrColumnFamilyNotFound, name)
+	}
+	return &ColumnFamilyHandle{db: db, id: cf.id, name: cf.name}, nil
+}
+
+// ListColumnFamilies returns live family names in id order (default first).
+func (db *DB) ListColumnFamilies() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.cfOrder))
+	for _, cf := range db.cfOrder {
+		names = append(names, cf.name)
+	}
+	return names
+}
+
+// CreateColumnFamily creates a new family with its own options (nil opts
+// clones the DB's). The creation is durable once the method returns: the
+// manifest edit carrying it is synced.
+func (db *DB) CreateColumnFamily(name string, opts *Options) (*ColumnFamilyHandle, error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if db.bgErr != nil {
+		return nil, db.bgErr
+	}
+	return db.createColumnFamilyLocked(name, opts)
+}
+
+// createColumnFamilyLocked is the locked core of CreateColumnFamily, also
+// used at open for families the config names but the manifest lacks.
+func (db *DB) createColumnFamilyLocked(name string, opts *Options) (*ColumnFamilyHandle, error) {
+	if name == "" {
+		return nil, fmt.Errorf("lsm: empty column family name")
+	}
+	if opts == nil {
+		opts = db.opts
+	}
+	opts = opts.Clone()
+	opts.Env = db.env
+	opts.Stats = db.stats
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if _, taken := db.cfNames[name]; taken {
+		return nil, fmt.Errorf("lsm: column family %q already exists", name)
+	}
+	id := db.vs.maxCF + 1
+	edit := &versionEdit{
+		cfID:         id,
+		addCFs:       []addCF{{id: id, name: name, numLevels: opts.NumLevels}},
+		hasLogNumber: true,
+		logNumber:    db.walNum, // nothing older than the live WAL belongs to it
+	}
+	if err := db.vs.logAndApply(edit); err != nil {
+		return nil, err
+	}
+	cf := &columnFamily{
+		id:      id,
+		name:    name,
+		opts:    opts,
+		levelIO: make([]levelIOStats, opts.NumLevels),
+	}
+	db.memSeed++
+	cf.mem = newMemtable(db.memSeed, db.walNum)
+	db.registerCFLocked(cf)
+	// Keep the effective multi-family config in sync for OPTIONS persistence.
+	if db.cfg != nil && db.cfg.Lookup(name) == nil {
+		db.cfg.Others = append(db.cfg.Others, CFConfig{Name: name, Options: opts})
+	}
+	db.infoLog.logf("[cf] created column family %q (id=%d write_buffer_size=%d)", name, id, opts.WriteBufferSize)
+	return &ColumnFamilyHandle{db: db, id: id, name: name}, nil
+}
+
+// DropColumnFamily removes a family. Its keys become unreadable immediately
+// and its SSTables are reclaimed (on the spot, or at the next reopen). The
+// default family cannot be dropped.
+func (db *DB) DropColumnFamily(h *ColumnFamilyHandle) error {
+	if h == nil || h.id == 0 {
+		return fmt.Errorf("lsm: cannot drop the default column family")
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	cf, err := db.resolveCFLocked(h)
+	if err != nil {
+		return err
+	}
+	// Wait out in-flight background work so no flush/compaction installs an
+	// edit for the family after the drop.
+	for db.flushActive > 0 || db.compactActive > 0 || len(db.simJobs) > 0 {
+		if err := db.waitForBackgroundLocked(); err != nil {
+			return err
+		}
+	}
+	edit := &versionEdit{cfID: cf.id, dropCFs: []uint32{cf.id}}
+	if err := db.vs.logAndApply(edit); err != nil {
+		return err
+	}
+	db.unregisterCFLocked(cf)
+	if db.cfg != nil {
+		others := db.cfg.Others[:0]
+		for _, c := range db.cfg.Others {
+			if c.Name != cf.name {
+				others = append(others, c)
+			}
+		}
+		db.cfg.Others = others
+	}
+	db.deleteObsoleteFilesLocked()
+	db.infoLog.logf("[cf] dropped column family %q (id=%d)", cf.name, cf.id)
+	return nil
+}
+
+// PutCF inserts or overwrites a key in the given family.
+func (db *DB) PutCF(wo *WriteOptions, h *ColumnFamilyHandle, key, value []byte) error {
+	b := NewWriteBatch()
+	b.PutCF(h, key, value)
+	return db.Write(wo, b)
+}
+
+// DeleteCF removes a key from the given family.
+func (db *DB) DeleteCF(wo *WriteOptions, h *ColumnFamilyHandle, key []byte) error {
+	b := NewWriteBatch()
+	b.DeleteCF(h, key)
+	return db.Write(wo, b)
+}
+
+// readState is a consistent capture of one family's read inputs: the
+// memtable chain and head version at a single moment, plus the visibility
+// sequence. Captured once per Get and once per MultiGet batch.
+type readState struct {
+	mem  *memtable
+	imms []*memtable
+	v    *Version
+	seq  uint64
+}
+
+// captureReadState snapshots a family's read inputs under db.mu.
+func (db *DB) captureReadState(h *ColumnFamilyHandle, ro *ReadOptions) (readState, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return readState{}, ErrClosed
+	}
+	db.drainSimLocked()
+	cf, err := db.resolveCFLocked(h)
+	if err != nil {
+		return readState{}, err
+	}
+	st := readState{
+		mem:  cf.mem,
+		imms: append([]*memtable(nil), cf.imm...),
+		v:    db.vs.head(cf.id),
+		// Read at the published sequence: entries whose group has not
+		// finished its memtable inserts are not yet visible.
+		seq: db.publishedSeq.Load(),
+	}
+	if ro.Snapshot != nil {
+		st.seq = ro.Snapshot.seq
+	}
+	return st, nil
+}
+
+// lookupInState performs one key lookup against a captured read state:
+// memtable, then frozen memtables newest first, then SSTables by level.
+func (db *DB) lookupInState(st readState, key []byte) ([]byte, error) {
+	if val, found, deleted := st.mem.get(key, st.seq); found {
+		db.stats.Add(TickerMemtableHit, 1)
+		if deleted {
+			db.stats.Add(TickerGetMiss, 1)
+			return nil, ErrNotFound
+		}
+		db.stats.Add(TickerGetHit, 1)
+		db.stats.Add(TickerBytesRead, int64(len(val)))
+		return append([]byte(nil), val...), nil
+	}
+	for i := len(st.imms) - 1; i >= 0; i-- {
+		if val, found, deleted := st.imms[i].get(key, st.seq); found {
+			db.stats.Add(TickerMemtableHit, 1)
+			if deleted {
+				db.stats.Add(TickerGetMiss, 1)
+				return nil, ErrNotFound
+			}
+			db.stats.Add(TickerGetHit, 1)
+			db.stats.Add(TickerBytesRead, int64(len(val)))
+			return append([]byte(nil), val...), nil
+		}
+	}
+	db.stats.Add(TickerMemtableMiss, 1)
+
+	lookup := makeInternalKey(nil, key, st.seq, KindValue)
+	for _, files := range st.v.filesForGet(key) {
+		for _, fm := range files {
+			r, err := db.tcache.get(fm.Number)
+			if err != nil {
+				return nil, err
+			}
+			val, found, deleted, err := r.get(lookup)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				if deleted {
+					db.stats.Add(TickerGetMiss, 1)
+					return nil, ErrNotFound
+				}
+				db.stats.Add(TickerGetHit, 1)
+				db.stats.Add(TickerBytesRead, int64(len(val)))
+				// val is already a private copy (tableReader.get copies out
+				// of the block), so the caller may mutate it freely without
+				// corrupting cached block bytes.
+				return val, nil
+			}
+		}
+	}
+	db.stats.Add(TickerGetMiss, 1)
+	return nil, ErrNotFound
+}
+
+// GetCF returns the value stored for key in the given family.
+func (db *DB) GetCF(ro *ReadOptions, h *ColumnFamilyHandle, key []byte) ([]byte, error) {
+	if ro == nil {
+		ro = DefaultReadOptions()
+	}
+	defer func(start time.Time) {
+		db.hists.Record(HistGetMicros, time.Since(start))
+	}(time.Now())
+	db.env.ChargeCPU(1300 * time.Nanosecond)
+	st, err := db.captureReadState(h, ro)
+	if err != nil {
+		return nil, err
+	}
+	return db.lookupInState(st, key)
+}
+
+// MultiGet looks up a batch of keys in the default family. See MultiGetCF.
+func (db *DB) MultiGet(ro *ReadOptions, keys [][]byte) ([][]byte, []error) {
+	return db.MultiGetCF(ro, nil, keys)
+}
+
+// MultiGetCF looks up a batch of keys against one consistent capture of the
+// family's memtables and version: the whole batch reads the same state, and
+// the per-capture locking cost is paid once instead of once per key. Each
+// key probes the table cache individually. Results are positional; missing
+// keys get a nil value and ErrNotFound in errs.
+func (db *DB) MultiGetCF(ro *ReadOptions, h *ColumnFamilyHandle, keys [][]byte) ([][]byte, []error) {
+	if ro == nil {
+		ro = DefaultReadOptions()
+	}
+	vals := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	db.stats.Add(TickerMultiGetCalls, 1)
+	db.stats.Add(TickerMultiGetKeysRead, int64(len(keys)))
+	if len(keys) == 0 {
+		return vals, errs
+	}
+	db.env.ChargeCPU(time.Duration(len(keys)) * 1100 * time.Nanosecond)
+	st, err := db.captureReadState(h, ro)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return vals, errs
+	}
+	var bytesRead int64
+	for i, key := range keys {
+		vals[i], errs[i] = db.lookupInState(st, key)
+		bytesRead += int64(len(vals[i]))
+	}
+	db.stats.Add(TickerMultiGetBytesRead, bytesRead)
+	return vals, errs
+}

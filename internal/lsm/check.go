@@ -42,6 +42,15 @@ func (r *CheckReport) OK() bool { return len(r.Issues) == 0 }
 // tolerates them); mid-file WAL corruption is an issue. The database must
 // not be open in another process.
 func CheckDB(dir string, opts *Options) (*CheckReport, error) {
+	return CheckDBColumnFamily(dir, opts, "")
+}
+
+// CheckDBColumnFamily is CheckDB restricted to one column family: version
+// invariants and table read-back run only for cfName's version (orphan
+// detection and WAL structure checks are inherently whole-database and
+// always run). An empty cfName checks every family; a name the manifest does
+// not know is an error.
+func CheckDBColumnFamily(dir string, opts *Options, cfName string) (*CheckReport, error) {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
@@ -50,8 +59,7 @@ func CheckDB(dir string, opts *Options) (*CheckReport, error) {
 		env = NewOSEnv()
 	}
 	rep := &CheckReport{}
-	vs := &versionSet{env: env, dir: dir, opts: opts}
-	vs.current = newVersion(opts.NumLevels)
+	vs := newVersionSet(env, dir, opts)
 
 	// CURRENT -> manifest name.
 	cur, err := readCurrentFile(env, dir)
@@ -60,37 +68,56 @@ func CheckDB(dir string, opts *Options) (*CheckReport, error) {
 	}
 	rep.ManifestName = cur
 
-	// Replay the manifest.
+	// Replay the manifest (all column families).
 	err = walReplay(env, filepath.Join(dir, cur), func(payload []byte) error {
 		e, err := decodeVersionEdit(payload)
 		if err != nil {
 			return err
 		}
-		v, err := vs.apply(e)
-		if err != nil {
-			return err
-		}
-		vs.current = v
-		return nil
+		_, err = vs.apply(e)
+		return err
 	})
 	if err != nil {
 		rep.Issues = append(rep.Issues, CheckIssue{cur, err})
 		return rep, nil
 	}
-	if err := vs.current.checkInvariants(); err != nil {
-		rep.Issues = append(rep.Issues, CheckIssue{cur, err})
+	// Resolve the requested scope: all families, or just one.
+	scope := vs.cfIDsInOrder()
+	if cfName != "" && cfName != DefaultColumnFamilyName {
+		scope = nil
+		for _, id := range vs.cfIDsInOrder() {
+			if vs.cfs[id].name == cfName {
+				scope = []uint32{id}
+				break
+			}
+		}
+		if scope == nil {
+			return rep, fmt.Errorf("lsm: check %s: %w: %q", dir, ErrColumnFamilyNotFound, cfName)
+		}
+	} else if cfName == DefaultColumnFamilyName {
+		scope = []uint32{0}
+	}
+	for _, id := range scope {
+		if err := vs.cfs[id].current.checkInvariants(); err != nil {
+			rep.Issues = append(rep.Issues, CheckIssue{cur,
+				fmt.Errorf("column family %q: %w", vs.cfs[id].name, err)})
+		}
 	}
 
-	// Full read-back of every referenced table.
+	// Full read-back of every table each in-scope family references. Orphan
+	// detection below still uses the whole-database live set: a table owned
+	// by an out-of-scope family is not an orphan.
 	live := vs.liveFileNumbers()
-	for _, files := range vs.current.levels {
-		for _, f := range files {
-			rep.Tables++
-			name := tableFileName(dir, f.Number)
-			if err := verifyTableFile(env, name, f, IOBackground); err != nil {
-				rep.Issues = append(rep.Issues, CheckIssue{filepath.Base(name), err})
-			} else {
-				rep.TablesOK++
+	for _, id := range scope {
+		for _, files := range vs.cfs[id].current.levels {
+			for _, f := range files {
+				rep.Tables++
+				name := tableFileName(dir, f.Number)
+				if err := verifyTableFile(env, name, f, IOBackground); err != nil {
+					rep.Issues = append(rep.Issues, CheckIssue{filepath.Base(name), err})
+				} else {
+					rep.TablesOK++
+				}
 			}
 		}
 	}
@@ -104,7 +131,7 @@ func CheckDB(dir string, opts *Options) (*CheckReport, error) {
 	for _, name := range names {
 		switch kind, num := parseFileName(name); kind {
 		case fileKindLog:
-			if num >= vs.logNumber {
+			if num >= vs.minLogNumber() {
 				logs = append(logs, num)
 			}
 		case fileKindTable:
@@ -119,7 +146,7 @@ func CheckDB(dir string, opts *Options) (*CheckReport, error) {
 		name := logFileName(dir, num)
 		info, err := walReplayMode(env, name, WALRecoverTolerateCorruptedTailRecords, false, nil,
 			func(payload []byte) error {
-				return decodeBatch(payload, func(uint64, ValueKind, []byte, []byte) error { return nil })
+				return decodeBatch(payload, func(uint64, uint32, ValueKind, []byte, []byte) error { return nil })
 			})
 		rep.WALRecords += info.records
 		rep.WALDroppedBytes += info.droppedBytes
@@ -185,6 +212,17 @@ type RepairReport struct {
 // left in place — the next Open replays their readable prefix. The database
 // must not be open in another process.
 func RepairDB(dir string, opts *Options) (*RepairReport, error) {
+	return RepairDBColumnFamily(dir, opts, "")
+}
+
+// RepairDBColumnFamily is RepairDB with an explicit salvage destination:
+// cfName "" (or "default") installs every surviving table into the default
+// family; any other name re-creates that column family in the fresh manifest
+// and attaches the tables there. With the manifest lost, per-table family
+// ownership is unrecoverable — the operator names the family the data
+// belonged to (e.g. after a single-family DB was migrated into a named
+// family), matching RocksDB's repair limitation.
+func RepairDBColumnFamily(dir string, opts *Options, cfName string) (*RepairReport, error) {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
@@ -279,11 +317,13 @@ func RepairDB(dir string, opts *Options) (*RepairReport, error) {
 		}
 	}
 
-	// Fresh version set: snapshot manifest + CURRENT swap.
-	vs := &versionSet{env: env, dir: dir, opts: opts}
-	vs.current = newVersion(opts.NumLevels)
+	// Fresh version set: snapshot manifest + CURRENT swap. Column-family
+	// ownership lives only in the manifest, so with the manifest lost every
+	// salvaged table lands in one family — the default, or the cfName the
+	// operator designated (see RepairDBColumnFamily).
+	vs := newVersionSet(env, dir, opts)
 	vs.lastSeq = rep.LastSeq
-	vs.logNumber = minLog
+	vs.cfs[0].logNumber = minLog
 	vs.nextFileNum.Store(next)
 	vs.manifestNum = vs.newFileNumber()
 	mf, err := env.NewWritableFile(manifestFileName(dir, vs.manifestNum), IOBackground)
@@ -293,6 +333,13 @@ func RepairDB(dir string, opts *Options) (*RepairReport, error) {
 	vs.manifest = newWALWriter(mf, opts)
 	vs.manifest.stats = nil
 	edit := &versionEdit{hasLogNumber: true, logNumber: minLog}
+	if cfName != "" && cfName != DefaultColumnFamilyName {
+		// Re-create the named family and make it the target of the file and
+		// log-number fields; apply() resolves the base version from the
+		// edit's own addCF entry, so one edit does both.
+		edit.cfID = 1
+		edit.addCFs = []addCF{{id: 1, name: cfName, numLevels: opts.NumLevels}}
+	}
 	for _, s := range survivors {
 		edit.newFiles = append(edit.newFiles, newFile{0, s.meta})
 	}

@@ -6,9 +6,11 @@ import (
 	"time"
 )
 
-// compaction describes one unit of background merging work.
+// compaction describes one unit of background merging work within one
+// column family.
 type compaction struct {
-	level       int // input level
+	cf          *columnFamily // owning family (set by the scheduler)
+	level       int           // input level
 	outputLevel int
 	inputs      [2][]*FileMeta // [0]=level inputs, [1]=outputLevel inputs
 	// fifoDrop marks FIFO-style deletions (no merge, no outputs).
@@ -300,8 +302,12 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 	merged := newMergeIter(iters)
 	merged.SeekToFirst()
 
+	cfOpts := db.opts
+	if c.cf != nil {
+		cfOpts = c.cf.opts
+	}
 	smallestSnapshot := db.smallestSnapshot()
-	outSize := targetFileSize(db.opts, c.outputLevel)
+	outSize := targetFileSize(cfOpts, c.outputLevel)
 	var builder *tableBuilder
 	var outFile WritableFile
 	var outNum uint64
@@ -331,7 +337,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 			Smallest: append(internalKey(nil), builder.smallest()...),
 			Largest:  append(internalKey(nil), builder.largest()...),
 		}
-		if db.opts.ParanoidFileChecks {
+		if cfOpts.ParanoidFileChecks {
 			if err := verifyTableFile(db.env, tableFileName(db.dir, outNum), meta, db.bgIOClass()); err != nil {
 				return err
 			}
@@ -377,7 +383,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 				return nil, err
 			}
 			outFile = f
-			builder = newTableBuilder(f, db.opts)
+			builder = newTableBuilder(f, cfOpts)
 		}
 		if err := builder.add(ik, merged.Value()); err != nil {
 			return nil, err
@@ -396,7 +402,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 	}
 	// CPU cost model: comparisons + copies per entry, plus compression.
 	perEntry := 350 * time.Nanosecond
-	if db.opts.Compression != NoCompression {
+	if cfOpts.Compression != NoCompression {
 		perEntry += 500 * time.Nanosecond
 	}
 	res.cpu = time.Duration(entries) * perEntry

@@ -27,8 +27,8 @@ func TestCompactionDropsTombstones(t *testing.T) {
 	// (nearly) empty — tombstones dropped at the bottom level.
 	var entries int64
 	db.mu.Lock()
-	for l := 0; l < db.vs.current.NumLevels(); l++ {
-		for _, f := range db.vs.current.LevelFiles(l) {
+	for l := 0; l < db.vs.head(0).NumLevels(); l++ {
+		for _, f := range db.vs.head(0).LevelFiles(l) {
 			entries += f.Entries
 		}
 	}
@@ -60,8 +60,8 @@ func TestCompactionKeepsNewestVersion(t *testing.T) {
 	// Space reclaimed: 5 rounds compacted to ~1 version per key.
 	var entries int64
 	db.mu.Lock()
-	for l := 0; l < db.vs.current.NumLevels(); l++ {
-		for _, f := range db.vs.current.LevelFiles(l) {
+	for l := 0; l < db.vs.head(0).NumLevels(); l++ {
+		for _, f := range db.vs.head(0).LevelFiles(l) {
 			entries += f.Entries
 		}
 	}

@@ -58,9 +58,13 @@ type levelIOStats struct {
 	duration   time.Duration
 }
 
-// DB is a log-structured merge-tree key-value store.
+// DB is a log-structured merge-tree key-value store. Per-keyspace state
+// (memtables, levels, flush/compaction bookkeeping, effective options) lives
+// in columnFamily structs; the DB owns what is genuinely shared: the WAL (one
+// log, records tagged with CF ids), the write thread, the block/table caches,
+// and the manifest.
 type DB struct {
-	opts      *Options
+	opts      *Options // default family's options; DB-scoped knobs read here
 	env       Env
 	sim       *SimEnv // non-nil when env is a simulation
 	dir       string
@@ -84,19 +88,25 @@ type DB struct {
 
 	mu      sync.Mutex
 	bgCond  *sync.Cond
-	mem     *memtable
-	imm     []*memtable // oldest first
-	wal     *walWriter
+	wal     *walWriter // shared WAL: batches tagged with CF ids
+	walNum  uint64     // file number of the live WAL
 	vs      *versionSet
 	bcache  *blockCache
 	tcache  *tableCache
 	memSeed int64
 
-	flushingCount int // prefix of imm currently being flushed
+	// Column families. cfs/cfNames/cfOrder are guarded by mu; cfSnap is a
+	// lock-free snapshot of cfOrder for engineMemory.
+	cfs       map[uint32]*columnFamily
+	cfNames   map[string]*columnFamily
+	cfOrder   []*columnFamily // ascending id; defaultCF first
+	defaultCF *columnFamily
+	cfSnap    atomic.Pointer[[]*columnFamily]
+	cfg       *ConfigSet // effective multi-family configuration
+
 	flushActive   int
 	compactActive int
 	stallCond     StallCondition
-	levelIO       []levelIOStats
 	busyFiles     map[uint64]bool
 	simJobs       []simJob
 	simJobSeq     uint64
@@ -117,24 +127,47 @@ type DB struct {
 	manualWaiters int
 }
 
-// Open opens (creating if allowed) the database in dir.
+// Open opens (creating if allowed) the database in dir with a single set of
+// options shared by the default family. Families already in the manifest are
+// adopted with a clone of opts; use OpenConfig to give them their own.
 func Open(dir string, opts *Options) (*DB, error) {
-	if opts == nil {
-		opts = DefaultOptions()
+	var cfg *ConfigSet
+	if opts != nil {
+		cfg = NewConfigSet(opts.Clone())
 	}
-	opts = opts.Clone()
+	return OpenConfig(dir, cfg)
+}
+
+// OpenConfig opens the database with a full multi-family configuration:
+// cfg.Default carries the DB-scoped knobs and the default family's options;
+// each entry in cfg.Others names another family with its own effective
+// options. Families named in cfg that do not exist yet are created; families
+// in the manifest but absent from cfg are adopted with a clone of the default
+// options (unlike RocksDB, which refuses to open them).
+func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
+	if cfg == nil {
+		cfg = NewConfigSet(nil)
+	}
+	cfg = cfg.Clone()
+	opts := cfg.Default
 	if opts.Env == nil {
 		opts.Env = NewOSEnv()
 	}
 	if opts.Stats == nil {
 		opts.Stats = NewStatistics()
 	}
-	if err := opts.Validate(); err != nil {
+	// Every family shares the DB's env and stats sink.
+	for _, c := range cfg.Others {
+		c.Options.Env = opts.Env
+		c.Options.Stats = opts.Stats
+	}
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	env := opts.Env
 	db := &DB{
 		opts:      opts,
+		cfg:       cfg,
 		env:       env,
 		dir:       dir,
 		stats:     opts.Stats,
@@ -142,7 +175,8 @@ func Open(dir string, opts *Options) (*DB, error) {
 		listeners: append([]EventListener(nil), opts.Listeners...),
 		busyFiles: make(map[uint64]bool),
 		memSeed:   opts.Seed + 1,
-		levelIO:   make([]levelIOStats, opts.NumLevels),
+		cfs:       make(map[uint32]*columnFamily),
+		cfNames:   make(map[string]*columnFamily),
 	}
 	if se, ok := env.(*SimEnv); ok {
 		db.sim = se
@@ -167,7 +201,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		}
 	}
 	db.tcache = newTableCache(env, dir, db.bcache, db.stats, opts.MaxOpenFiles)
-	db.vs = &versionSet{env: env, dir: dir, opts: opts}
+	db.vs = newVersionSet(env, dir, opts)
 
 	exists := env.FileExists(currentFileName(dir))
 	switch {
@@ -183,6 +217,25 @@ func Open(dir string, opts *Options) (*DB, error) {
 		if err := db.vs.recover(); err != nil {
 			return nil, err
 		}
+		// Materialize a columnFamily for every family the manifest holds.
+		for _, id := range db.vs.cfIDsInOrder() {
+			st := db.vs.cfs[id]
+			cfOpts := cfg.Lookup(st.name)
+			if cfOpts == nil {
+				cfOpts = opts.Clone()
+				cfg.Others = append(cfg.Others, CFConfig{Name: st.name, Options: cfOpts})
+			}
+			cf := &columnFamily{
+				id:      id,
+				name:    st.name,
+				opts:    cfOpts,
+				levelIO: make([]levelIOStats, st.current.NumLevels()),
+			}
+			if id == 0 {
+				db.defaultCF = cf
+			}
+			db.registerCFLocked(cf)
+		}
 		if err := db.replayWALsLocked(); err != nil {
 			return nil, err
 		}
@@ -190,19 +243,36 @@ func Open(dir string, opts *Options) (*DB, error) {
 		if err := db.vs.createNew(); err != nil {
 			return nil, err
 		}
-	}
-	if db.mem == nil {
-		if err := db.newMemtableLocked(); err != nil {
+		cf := &columnFamily{
+			id:      0,
+			name:    DefaultColumnFamilyName,
+			opts:    opts,
+			levelIO: make([]levelIOStats, opts.NumLevels),
+		}
+		db.defaultCF = cf
+		db.registerCFLocked(cf)
+		if err := db.rotateWALLocked(); err != nil {
 			return nil, err
+		}
+		db.newMemtableLocked(cf)
+	}
+	// Families requested in cfg but not on disk yet: create them now so an
+	// OPTIONS file with several CFOptions sections fully describes the DB.
+	for _, c := range cfg.Others {
+		if db.cfNames[c.Name] == nil {
+			if _, err := db.createColumnFamilyLocked(c.Name, c.Options); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if db.sim != nil {
 		db.sim.SetEngineMemCallback(db.engineMemory)
 	}
 	db.publishedSeq.Store(db.vs.lastSeq)
-	// Persist the effective options, RocksDB-style.
+	// Persist the effective options, RocksDB-style: one CFOptions section per
+	// family.
 	optNum := db.vs.newFileNumber()
-	f := db.opts.ToINI()
+	f := db.cfg.ToINI()
 	if w, err := env.NewWritableFile(optionsFileName(dir, optNum), IOBackground); err == nil {
 		data := f.String()
 		if err := w.Append([]byte(data)); err == nil {
@@ -212,8 +282,8 @@ func Open(dir string, opts *Options) (*DB, error) {
 		}
 	}
 	db.deleteObsoleteFilesLocked()
-	db.infoLog.logf("[db] open %s (write_buffer_size=%d block_cache_size=%d compaction_style=%s num_levels=%d)",
-		dir, opts.WriteBufferSize, cacheSize, opts.CompactionStyle, opts.NumLevels)
+	db.infoLog.logf("[db] open %s (families=%d write_buffer_size=%d block_cache_size=%d compaction_style=%s num_levels=%d)",
+		dir, len(db.cfOrder), opts.WriteBufferSize, cacheSize, opts.CompactionStyle, opts.NumLevels)
 	return db, nil
 }
 
@@ -231,12 +301,21 @@ func (db *DB) bgIOClass() IOClass {
 func (db *DB) engineMemory() int64 {
 	// Called from the env under db operations; avoid taking db.mu (the
 	// caller may hold it). Reads are racy-but-monotonic estimates.
-	live := 1 + len(db.imm)
-	return db.opts.engineMemoryBytes(live)
+	var m int64
+	if snap := db.cfSnap.Load(); snap != nil {
+		for _, cf := range *snap {
+			m += int64(1+len(cf.imm)) * cf.opts.WriteBufferSize
+		}
+	}
+	if !db.opts.NoBlockCache {
+		m += db.opts.BlockCacheSize
+	}
+	return m
 }
 
-// newMemtableLocked installs a fresh memtable with its own WAL.
-func (db *DB) newMemtableLocked() error {
+// rotateWALLocked starts a fresh shared WAL file; every family's new
+// memtables log there from now on. The caller retires the old writer.
+func (db *DB) rotateWALLocked() error {
 	logNum := db.vs.newFileNumber()
 	f, err := db.env.NewWritableFile(logFileName(db.dir, logNum), IOForeground)
 	if err != nil {
@@ -244,38 +323,59 @@ func (db *DB) newMemtableLocked() error {
 	}
 	db.wal = newWALWriter(f, db.opts)
 	db.wal.onSync = db.notifyWALSync
-	db.memSeed++
-	db.mem = newMemtable(db.memSeed, logNum)
+	db.walNum = logNum
 	return nil
 }
 
-// replayWALsLocked replays live WAL files into a fresh memtable at open.
+// newMemtableLocked installs a fresh memtable for the family, backed by the
+// live shared WAL.
+func (db *DB) newMemtableLocked(cf *columnFamily) {
+	db.memSeed++
+	cf.mem = newMemtable(db.memSeed, db.walNum)
+}
+
+// replayWALsLocked replays live WAL files into fresh per-family memtables at
+// open, routing each record to the family its batch entry names. Records for
+// families whose WAL floor is above the log (already flushed) or that no
+// longer exist (dropped) are skipped.
 func (db *DB) replayWALsLocked() error {
 	names, err := db.env.List(db.dir)
 	if err != nil {
 		return err
 	}
+	minLog := db.vs.minLogNumber()
 	var logs []uint64
 	for _, name := range names {
 		kind, num := parseFileName(name)
-		if kind == fileKindLog && num >= db.vs.logNumber {
+		if kind == fileKindLog && num >= minLog {
 			logs = append(logs, num)
 		}
 	}
 	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
-	if err := db.newMemtableLocked(); err != nil {
+	if err := db.rotateWALLocked(); err != nil {
 		return err
+	}
+	for _, cf := range db.cfOrder {
+		db.newMemtableLocked(cf)
 	}
 	maxSeq := db.vs.lastSeq
 	for i, num := range logs {
+		logNum := num
 		name := logFileName(db.dir, num)
 		info, err := walReplayMode(db.env, name, db.opts.WALRecoveryMode,
 			db.opts.ParanoidChecks, db.stats, func(payload []byte) error {
-				return decodeBatch(payload, func(seq uint64, kind ValueKind, key, value []byte) error {
-					db.mem.add(seq, kind, key, value) // add copies
+				return decodeBatch(payload, func(seq uint64, cfID uint32, kind ValueKind, key, value []byte) error {
 					if seq > maxSeq {
 						maxSeq = seq
 					}
+					cf := db.cfs[cfID]
+					if cf == nil {
+						return nil // dropped family's residue
+					}
+					if st := db.vs.cfs[cfID]; st != nil && logNum < st.logNumber {
+						return nil // already flushed for this family
+					}
+					cf.mem.add(seq, kind, key, value) // add copies
 					return nil
 				})
 			})
@@ -295,42 +395,45 @@ func (db *DB) replayWALsLocked() error {
 		}
 	}
 	db.vs.lastSeq = maxSeq
-	if !db.mem.empty() {
-		// Flush the recovered memtable synchronously so the old WALs can
-		// be retired.
-		mems := []*memtable{db.mem}
-		res, err := db.runFlush(mems)
-		if err != nil {
-			return err
-		}
-		res.edit.hasLogNumber = true
-		res.edit.logNumber = db.mem.logNum
-		if err := db.vs.logAndApply(res.edit); err != nil {
-			return err
-		}
-		db.stats.Add(TickerFlushCount, 1)
-		db.stats.Add(TickerFlushBytes, res.writeBytes)
-		db.recordFlushLocked(res, 1)
-		if err := db.newMemtableLocked(); err != nil {
-			return err
-		}
-		// Mark the new (empty) memtable's log as the recovery floor.
-		edit := &versionEdit{hasLogNumber: true, logNumber: db.mem.logNum}
-		if err := db.vs.logAndApply(edit); err != nil {
-			return err
+	for _, cf := range db.cfOrder {
+		if !cf.mem.empty() {
+			// Flush the recovered memtable synchronously so the old WALs can
+			// be retired.
+			mems := []*memtable{cf.mem}
+			res, err := db.runFlush(cf, mems)
+			if err != nil {
+				return err
+			}
+			res.edit.cfID = cf.id
+			res.edit.hasLogNumber = true
+			res.edit.logNumber = db.walNum
+			if err := db.vs.logAndApply(res.edit); err != nil {
+				return err
+			}
+			db.stats.Add(TickerFlushCount, 1)
+			db.stats.Add(TickerFlushBytes, res.writeBytes)
+			db.recordFlushLocked(cf, res, 1)
+			db.newMemtableLocked(cf)
+		} else if db.vs.cfs[cf.id] != nil && db.vs.cfs[cf.id].logNumber < db.walNum {
+			// Nothing to replay for this family: advance its floor so the old
+			// WALs do not stay pinned.
+			edit := &versionEdit{cfID: cf.id, hasLogNumber: true, logNumber: db.walNum}
+			if err := db.vs.logAndApply(edit); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Put inserts or overwrites a key.
+// Put inserts or overwrites a key in the default column family.
 func (db *DB) Put(wo *WriteOptions, key, value []byte) error {
 	b := NewWriteBatch()
 	b.Put(key, value)
 	return db.Write(wo, b)
 }
 
-// Delete removes a key (writing a tombstone).
+// Delete removes a key (writing a tombstone) in the default column family.
 func (db *DB) Delete(wo *WriteOptions, key []byte) error {
 	b := NewWriteBatch()
 	b.Delete(key)
@@ -340,7 +443,8 @@ func (db *DB) Delete(wo *WriteOptions, key []byte) error {
 // Write applies a batch atomically through the group-commit write pipeline
 // (writethread.go): in OS mode concurrent writers form groups behind a
 // leader; in simulation the same pipeline is modeled deterministically on
-// the virtual clock.
+// the virtual clock. A batch may span column families; the whole batch
+// commits atomically through the shared WAL.
 func (db *DB) Write(wo *WriteOptions, batch *WriteBatch) error {
 	if wo == nil {
 		wo = DefaultWriteOptions()
@@ -357,103 +461,33 @@ func (db *DB) Write(wo *WriteOptions, batch *WriteBatch) error {
 	return db.writeOS(wo, batch)
 }
 
-// Get returns the value stored for key, or ErrNotFound.
+// Get returns the value stored for key in the default column family, or
+// ErrNotFound.
 func (db *DB) Get(ro *ReadOptions, key []byte) ([]byte, error) {
-	if ro == nil {
-		ro = DefaultReadOptions()
-	}
-	defer func(start time.Time) {
-		db.hists.Record(HistGetMicros, time.Since(start))
-	}(time.Now())
-	db.env.ChargeCPU(1300 * time.Nanosecond)
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil, ErrClosed
-	}
-	db.drainSimLocked()
-	mem := db.mem
-	imms := append([]*memtable(nil), db.imm...)
-	v := db.vs.current
-	// Read at the published sequence: entries whose group has not finished
-	// its memtable inserts are not yet visible.
-	seq := db.publishedSeq.Load()
-	if ro.Snapshot != nil {
-		seq = ro.Snapshot.seq
-	}
-	db.mu.Unlock()
-
-	// Memtable, newest first.
-	if val, found, deleted := mem.get(key, seq); found {
-		db.stats.Add(TickerMemtableHit, 1)
-		if deleted {
-			db.stats.Add(TickerGetMiss, 1)
-			return nil, ErrNotFound
-		}
-		db.stats.Add(TickerGetHit, 1)
-		db.stats.Add(TickerBytesRead, int64(len(val)))
-		return append([]byte(nil), val...), nil
-	}
-	for i := len(imms) - 1; i >= 0; i-- {
-		if val, found, deleted := imms[i].get(key, seq); found {
-			db.stats.Add(TickerMemtableHit, 1)
-			if deleted {
-				db.stats.Add(TickerGetMiss, 1)
-				return nil, ErrNotFound
-			}
-			db.stats.Add(TickerGetHit, 1)
-			db.stats.Add(TickerBytesRead, int64(len(val)))
-			return append([]byte(nil), val...), nil
-		}
-	}
-	db.stats.Add(TickerMemtableMiss, 1)
-
-	lookup := makeInternalKey(nil, key, seq, KindValue)
-	for _, files := range v.filesForGet(key) {
-		for _, fm := range files {
-			r, err := db.tcache.get(fm.Number)
-			if err != nil {
-				return nil, err
-			}
-			val, found, deleted, err := r.get(lookup)
-			if err != nil {
-				return nil, err
-			}
-			if found {
-				if deleted {
-					db.stats.Add(TickerGetMiss, 1)
-					return nil, ErrNotFound
-				}
-				db.stats.Add(TickerGetHit, 1)
-				db.stats.Add(TickerBytesRead, int64(len(val)))
-				// val is already a private copy (tableReader.get copies out
-				// of the block), so the caller may mutate it freely without
-				// corrupting cached block bytes.
-				return val, nil
-			}
-		}
-	}
-	db.stats.Add(TickerGetMiss, 1)
-	return nil, ErrNotFound
+	return db.GetCF(ro, nil, key)
 }
 
-// makeRoomForWriteLocked enforces the write controller: memtable switching,
-// slowdowns (delayed write rate) and stops (L0 / pending compaction debt).
-func (db *DB) makeRoomForWriteLocked(batchBytes int64) error {
+// makeRoomForWriteLocked enforces the write controller for one family:
+// memtable switching, slowdowns (delayed write rate) and stops (L0 / pending
+// compaction debt), all judged against the family's own options and version.
+func (db *DB) makeRoomForWriteLocked(cf *columnFamily, batchBytes int64) error {
 	delayed := false
 	for {
 		db.drainSimLocked()
 		if db.bgErr != nil {
 			return db.bgErr
 		}
-		v := db.vs.current
+		v := db.vs.head(cf.id)
+		if v == nil {
+			return fmt.Errorf("%w: id %d", ErrColumnFamilyNotFound, cf.id)
+		}
 		l0 := v.NumLevelFiles(0)
-		pending := v.pendingCompactionBytes(db.opts)
-		auto := !db.opts.DisableAutoCompactions
+		pending := v.pendingCompactionBytes(cf.opts)
+		auto := !cf.opts.DisableAutoCompactions
 
 		// Hard stops.
-		if auto && (l0 >= db.opts.Level0StopWritesTrigger ||
-			(db.opts.HardPendingCompactionBytesLimit > 0 && pending >= db.opts.HardPendingCompactionBytesLimit)) {
+		if auto && (l0 >= cf.opts.Level0StopWritesTrigger ||
+			(cf.opts.HardPendingCompactionBytesLimit > 0 && pending >= cf.opts.HardPendingCompactionBytesLimit)) {
 			db.setStallConditionLocked(StallStopped, l0, pending)
 			db.stats.Add(TickerStoppedWrites, 1)
 			if err := db.waitForBackgroundLocked(); err != nil {
@@ -463,8 +497,8 @@ func (db *DB) makeRoomForWriteLocked(batchBytes int64) error {
 		}
 		// Slowdown: writes proceed at delayed_write_rate (applied once).
 		if auto && !delayed &&
-			(l0 >= db.opts.Level0SlowdownWritesTrigger ||
-				(db.opts.SoftPendingCompactionBytesLimit > 0 && pending >= db.opts.SoftPendingCompactionBytesLimit)) {
+			(l0 >= cf.opts.Level0SlowdownWritesTrigger ||
+				(cf.opts.SoftPendingCompactionBytesLimit > 0 && pending >= cf.opts.SoftPendingCompactionBytesLimit)) {
 			db.setStallConditionLocked(StallDelayed, l0, pending)
 			delay := time.Duration(float64(batchBytes) / float64(db.opts.delayedWriteRate()) * 1e9)
 			if delay < 50*time.Microsecond {
@@ -476,12 +510,13 @@ func (db *DB) makeRoomForWriteLocked(batchBytes int64) error {
 			delayed = true
 			continue
 		}
-		if db.mem.approximateBytes() < db.opts.WriteBufferSize && db.wal.size() < db.opts.maxTotalWALSize() {
+		if cf.mem.approximateBytes() < cf.opts.WriteBufferSize && db.wal.size() < db.opts.maxTotalWALSize() {
 			db.setStallConditionLocked(StallNormal, l0, pending)
 			return nil
 		}
-		// Memtable full: switch, unless the buffer count limit stalls us.
-		if len(db.imm)+1 >= db.opts.MaxWriteBufferNumber {
+		// Memtable full (or the shared WAL outgrew its cap): switch, unless
+		// the buffer count limit stalls us.
+		if len(cf.imm)+1 >= cf.opts.MaxWriteBufferNumber {
 			db.setStallConditionLocked(StallStopped, l0, pending)
 			db.stats.Add(TickerStoppedWrites, 1)
 			db.maybeScheduleFlushLocked(true)
@@ -490,7 +525,7 @@ func (db *DB) makeRoomForWriteLocked(batchBytes int64) error {
 			}
 			continue
 		}
-		if err := db.switchMemtableLocked(); err != nil {
+		if err := db.switchMemtableLocked(cf); err != nil {
 			return err
 		}
 		db.maybeScheduleFlushLocked(false)
@@ -502,23 +537,26 @@ func (db *DB) chargeStall(d time.Duration) {
 	db.env.ChargeStall(d)
 }
 
-// switchMemtableLocked freezes the active memtable and starts a new one.
-func (db *DB) switchMemtableLocked() error {
+// switchMemtableLocked freezes the family's active memtable, rotates the
+// shared WAL (every family starts logging to the new file; floors advance as
+// families flush), and starts a fresh memtable.
+func (db *DB) switchMemtableLocked(cf *columnFamily) error {
 	old := db.wal
-	db.imm = append(db.imm, db.mem)
-	if err := db.newMemtableLocked(); err != nil {
+	cf.imm = append(cf.imm, cf.mem)
+	if err := db.rotateWALLocked(); err != nil {
 		return err
 	}
-	// The frozen memtable's WAL is retired when its flush installs; close
-	// the writer now (contents are complete).
+	db.newMemtableLocked(cf)
+	// The old WAL is retired once every family's floor passes it; close the
+	// writer now (contents are complete).
 	return old.close()
 }
 
 // effectiveMinMerge bounds min_write_buffer_number_to_merge so a flush can
 // always eventually run.
-func (db *DB) effectiveMinMerge() int {
-	min := db.opts.MinWriteBufferNumberToMerge
-	if cap := db.opts.MaxWriteBufferNumber - 1; min > cap && cap >= 1 {
+func effectiveMinMerge(o *Options) int {
+	min := o.MinWriteBufferNumberToMerge
+	if cap := o.MaxWriteBufferNumber - 1; min > cap && cap >= 1 {
 		min = cap
 	}
 	if min < 1 {
@@ -527,37 +565,39 @@ func (db *DB) effectiveMinMerge() int {
 	return min
 }
 
-// maybeScheduleFlushLocked starts a flush when enough immutable memtables
-// are waiting (or force is set) and a slot is free.
+// maybeScheduleFlushLocked starts flushes for families with enough immutable
+// memtables waiting (or any, when force is set) while slots are free.
 func (db *DB) maybeScheduleFlushLocked(force bool) {
 	if db.bgErr != nil || db.closed {
 		return
 	}
-	if db.flushActive >= db.opts.backgroundFlushSlots() {
-		return
-	}
-	avail := len(db.imm) - db.flushingCount
-	need := db.effectiveMinMerge()
-	if force {
-		need = 1
-	}
-	if avail < need {
-		return
-	}
-	mems := db.imm[db.flushingCount : db.flushingCount+avail]
-	db.flushingCount += avail
-	db.flushActive++
-	if db.sim != nil {
-		db.runFlushSimLocked(mems)
-	} else {
-		go db.flushWorker(mems)
+	for _, cf := range db.cfOrder {
+		if db.flushActive >= db.opts.backgroundFlushSlots() {
+			return
+		}
+		avail := len(cf.imm) - cf.flushingCount
+		need := effectiveMinMerge(cf.opts)
+		if force {
+			need = 1
+		}
+		if avail < need {
+			continue
+		}
+		mems := cf.imm[cf.flushingCount : cf.flushingCount+avail]
+		cf.flushingCount += avail
+		db.flushActive++
+		if db.sim != nil {
+			db.runFlushSimLocked(cf, mems)
+		} else {
+			go db.flushWorker(cf, mems)
+		}
 	}
 }
 
 // runFlushSimLocked executes the flush now and schedules its completion on
 // the virtual clock.
-func (db *DB) runFlushSimLocked(mems []*memtable) {
-	res, err := db.runFlush(mems)
+func (db *DB) runFlushSimLocked(cf *columnFamily, mems []*memtable) {
+	res, err := db.runFlush(cf, mems)
 	var end time.Duration
 	if err == nil {
 		end = db.sim.ScheduleBackgroundIO(0, res.writeBytes, 0,
@@ -566,7 +606,7 @@ func (db *DB) runFlushSimLocked(mems []*memtable) {
 	} else {
 		end = db.env.Now()
 	}
-	db.pushSimJobLocked(end, func() { db.installFlushLocked(mems, res, err) })
+	db.pushSimJobLocked(end, func() { db.installFlushLocked(cf, mems, res, err) })
 }
 
 // rateFloor returns the minimum job duration under the background rate
@@ -579,53 +619,54 @@ func (db *DB) rateFloor(bytes int64) time.Duration {
 }
 
 // flushWorker is the OS-mode background flush goroutine.
-func (db *DB) flushWorker(mems []*memtable) {
-	res, err := db.runFlush(mems)
+func (db *DB) flushWorker(cf *columnFamily, mems []*memtable) {
+	res, err := db.runFlush(cf, mems)
 	db.mu.Lock()
-	db.installFlushLocked(mems, res, err)
+	db.installFlushLocked(cf, mems, res, err)
 	db.mu.Unlock()
 }
 
-// installFlushLocked applies a completed flush: version edit, WAL retire,
-// memtable release, follow-up scheduling.
-func (db *DB) installFlushLocked(mems []*memtable, res *compactionResult, err error) {
+// installFlushLocked applies a completed flush: version edit, WAL-floor
+// advance, memtable release, follow-up scheduling.
+func (db *DB) installFlushLocked(cf *columnFamily, mems []*memtable, res *compactionResult, err error) {
 	db.flushActive--
 	defer db.bgCond.Broadcast()
 	if err == nil {
-		// Retire WALs below the oldest surviving memtable.
-		oldest := db.mem.logNum
-		if len(db.imm) > len(mems) {
-			oldest = db.imm[len(mems)].logNum
+		// Advance the family's WAL floor to the oldest surviving memtable.
+		oldest := cf.mem.logNum
+		if len(cf.imm) > len(mems) {
+			oldest = cf.imm[len(mems)].logNum
 		}
+		res.edit.cfID = cf.id
 		res.edit.hasLogNumber = true
 		res.edit.logNumber = oldest
 		err = db.vs.logAndApply(res.edit)
 	}
 	if err != nil {
-		// The memtables stay on db.imm: Resume re-schedules the flush.
+		// The memtables stay on cf.imm: Resume re-schedules the flush.
 		db.setBGErrorLocked(err, "flush")
-		db.flushingCount -= len(mems)
-		db.notifyFlush(FlushInfo{MemtablesMerged: len(mems), Err: err})
+		cf.flushingCount -= len(mems)
+		db.notifyFlush(FlushInfo{ColumnFamily: cf.name, MemtablesMerged: len(mems), Err: err})
 		return
 	}
-	db.imm = db.imm[len(mems):]
-	db.flushingCount -= len(mems)
+	cf.imm = cf.imm[len(mems):]
+	cf.flushingCount -= len(mems)
 	db.stats.Add(TickerFlushCount, 1)
 	db.stats.Add(TickerFlushBytes, res.writeBytes)
-	db.recordFlushLocked(res, len(mems))
+	db.recordFlushLocked(cf, res, len(mems))
 	db.deleteObsoleteFilesLocked()
 	db.maybeScheduleFlushLocked(false)
 	db.maybeScheduleCompactionLocked()
 }
 
-// recordFlushLocked books a successful flush into the per-level I/O stats,
-// the flush histogram and the event listeners.
-func (db *DB) recordFlushLocked(res *compactionResult, memsMerged int) {
-	db.levelIO[0].writeBytes += res.writeBytes
-	db.levelIO[0].count++
-	db.levelIO[0].duration += res.dur
+// recordFlushLocked books a successful flush into the family's per-level I/O
+// stats, the flush histogram and the event listeners.
+func (db *DB) recordFlushLocked(cf *columnFamily, res *compactionResult, memsMerged int) {
+	cf.levelIO[0].writeBytes += res.writeBytes
+	cf.levelIO[0].count++
+	cf.levelIO[0].duration += res.dur
 	db.hists.Record(HistFlushMicros, res.dur)
-	info := FlushInfo{Bytes: res.writeBytes, MemtablesMerged: memsMerged, Duration: res.dur}
+	info := FlushInfo{ColumnFamily: cf.name, Bytes: res.writeBytes, MemtablesMerged: memsMerged, Duration: res.dur}
 	if len(res.edit.newFiles) > 0 {
 		info.OutputFileNumber = res.edit.newFiles[0].meta.Number
 	}
@@ -633,58 +674,75 @@ func (db *DB) recordFlushLocked(res *compactionResult, memsMerged int) {
 }
 
 // recordCompactionLocked books a completed compaction (auto, manual or
-// fifo) into the per-level I/O stats, the compaction histogram and the event
-// listeners.
-func (db *DB) recordCompactionLocked(c *compaction, res *compactionResult, reason string, err error) {
+// fifo) into the family's per-level I/O stats, the compaction histogram and
+// the event listeners.
+func (db *DB) recordCompactionLocked(cf *columnFamily, c *compaction, res *compactionResult, reason string, err error) {
 	if err != nil {
 		db.notifyCompaction(CompactionInfo{
-			InputLevel:  c.level,
-			OutputLevel: c.outputLevel,
-			InputFiles:  len(c.allInputs()),
-			Reason:      reason,
-			Err:         err,
+			ColumnFamily: cf.name,
+			InputLevel:   c.level,
+			OutputLevel:  c.outputLevel,
+			InputFiles:   len(c.allInputs()),
+			Reason:       reason,
+			Err:          err,
 		})
 		return
 	}
 	out := c.outputLevel
-	if out >= 0 && out < len(db.levelIO) {
-		db.levelIO[out].readBytes += res.readBytes
-		db.levelIO[out].writeBytes += res.writeBytes
-		db.levelIO[out].count++
-		db.levelIO[out].duration += res.dur
+	if out >= 0 && out < len(cf.levelIO) {
+		cf.levelIO[out].readBytes += res.readBytes
+		cf.levelIO[out].writeBytes += res.writeBytes
+		cf.levelIO[out].count++
+		cf.levelIO[out].duration += res.dur
 	}
 	db.hists.Record(HistCompactionMicros, res.dur)
 	db.notifyCompaction(CompactionInfo{
-		InputLevel:  c.level,
-		OutputLevel: c.outputLevel,
-		InputFiles:  len(c.allInputs()),
-		OutputFiles: res.outputs,
-		ReadBytes:   res.readBytes,
-		WriteBytes:  res.writeBytes,
-		Duration:    res.dur,
-		Reason:      reason,
+		ColumnFamily: cf.name,
+		InputLevel:   c.level,
+		OutputLevel:  c.outputLevel,
+		InputFiles:   len(c.allInputs()),
+		OutputFiles:  res.outputs,
+		ReadBytes:    res.readBytes,
+		WriteBytes:   res.writeBytes,
+		Duration:     res.dur,
+		Reason:       reason,
 	})
 }
 
 // maybeScheduleCompactionLocked starts compactions while slots and work
-// remain.
+// remain, visiting families round-robin so one hot family cannot starve the
+// rest.
 func (db *DB) maybeScheduleCompactionLocked() {
-	if db.bgErr != nil || db.closed || db.opts.DisableAutoCompactions {
+	if db.bgErr != nil || db.closed {
 		return
 	}
 	for db.compactActive < db.opts.backgroundCompactionSlots() {
-		c := pickCompaction(db.vs.current, db.opts, db.busyFiles)
-		if c == nil {
+		progress := false
+		for _, cf := range db.cfOrder {
+			if db.compactActive >= db.opts.backgroundCompactionSlots() {
+				return
+			}
+			if cf.opts.DisableAutoCompactions {
+				continue
+			}
+			c := pickCompaction(db.vs.head(cf.id), cf.opts, db.busyFiles)
+			if c == nil {
+				continue
+			}
+			c.cf = cf
+			for _, f := range c.allInputs() {
+				db.busyFiles[f.Number] = true
+			}
+			db.compactActive++
+			progress = true
+			if db.sim != nil {
+				db.runCompactionSimLocked(c)
+			} else {
+				go db.compactionWorker(c)
+			}
+		}
+		if !progress {
 			return
-		}
-		for _, f := range c.allInputs() {
-			db.busyFiles[f.Number] = true
-		}
-		db.compactActive++
-		if db.sim != nil {
-			db.runCompactionSimLocked(c)
-		} else {
-			go db.compactionWorker(c)
 		}
 	}
 }
@@ -692,7 +750,7 @@ func (db *DB) maybeScheduleCompactionLocked() {
 // runCompactionSimLocked executes a compaction now and schedules its
 // completion on the virtual clock.
 func (db *DB) runCompactionSimLocked(c *compaction) {
-	v := db.vs.current
+	v := db.vs.head(c.cf.id)
 	res, err := db.runCompaction(c, v)
 	var end time.Duration
 	if err == nil {
@@ -709,7 +767,7 @@ func (db *DB) runCompactionSimLocked(c *compaction) {
 // compactionWorker is the OS-mode background compaction goroutine.
 func (db *DB) compactionWorker(c *compaction) {
 	db.mu.Lock()
-	v := db.vs.current
+	v := db.vs.head(c.cf.id)
 	db.mu.Unlock()
 	res, err := db.runCompaction(c, v)
 	db.mu.Lock()
@@ -725,6 +783,7 @@ func (db *DB) installCompactionLocked(c *compaction, res *compactionResult, err 
 	}
 	defer db.bgCond.Broadcast()
 	if err == nil {
+		res.edit.cfID = c.cf.id
 		err = db.vs.logAndApply(res.edit)
 	}
 	reason := "auto"
@@ -733,13 +792,13 @@ func (db *DB) installCompactionLocked(c *compaction, res *compactionResult, err 
 	}
 	if err != nil {
 		db.setBGErrorLocked(err, "compaction")
-		db.recordCompactionLocked(c, res, reason, err)
+		db.recordCompactionLocked(c.cf, c, res, reason, err)
 		return
 	}
 	db.stats.Add(TickerCompactCount, 1)
 	db.stats.Add(TickerCompactReadBytes, res.readBytes)
 	db.stats.Add(TickerCompactWriteBytes, res.writeBytes)
-	db.recordCompactionLocked(c, res, reason, nil)
+	db.recordCompactionLocked(c.cf, c, res, reason, nil)
 	db.deleteObsoleteFilesLocked()
 	db.maybeScheduleCompactionLocked()
 }
@@ -805,39 +864,29 @@ func (db *DB) waitForBackgroundLocked() error {
 	return db.bgErr
 }
 
-// deleteObsoleteFilesLocked removes table and WAL files no longer
-// referenced.
+// deleteObsoleteFilesLocked removes table and WAL files no longer referenced
+// by any live column family.
 func (db *DB) deleteObsoleteFilesLocked() {
 	names, err := db.env.List(db.dir)
 	if err != nil {
 		return
 	}
 	live := db.vs.liveFileNumbers()
-	for _, f := range db.busyFiles {
-		_ = f // busy inputs are still in live (deleted only on install)
-	}
-	// Outputs under construction are not yet in the version; track via
-	// pending sim jobs is unnecessary because builders hold no names we
-	// would delete: files are named with fresh numbers >= nextFileNum
-	// only after allocation, and they are installed before the next
-	// deleteObsoleteFiles call in the same critical section. To stay safe
-	// we never delete tables newer than the version's max.
-	var maxLive uint64
-	for n := range live {
-		if n > maxLive {
-			maxLive = n
-		}
-	}
+	minLog := db.vs.minLogNumber()
 	for _, name := range names {
 		kind, num := parseFileName(name)
 		switch kind {
 		case fileKindTable:
-			if !live[num] && num <= maxLive && !db.busyFiles[num] && !db.pendingOutputLocked(num) {
+			// pendingOutputLocked is conservative: while any background job is
+			// in flight nothing unreferenced is deleted, so in-construction
+			// outputs are safe. Once quiescent, every non-live table —
+			// including a dropped family's — is reclaimable.
+			if !live[num] && !db.busyFiles[num] && !db.pendingOutputLocked(num) {
 				db.tcache.evict(num)
 				db.env.Remove(tableFileName(db.dir, num))
 			}
 		case fileKindLog:
-			if num < db.vs.logNumber {
+			if num < minLog && num != db.walNum {
 				db.env.Remove(logFileName(db.dir, num))
 			}
 		case fileKindManifest:
@@ -848,20 +897,30 @@ func (db *DB) deleteObsoleteFilesLocked() {
 	}
 }
 
-// pendingOutputLocked reports whether a table number belongs to a scheduled
-// but uninstalled sim job's output (those files exist on "disk" already).
+// pendingOutputLocked reports whether a table number may belong to a
+// scheduled but uninstalled background job's output.
 func (db *DB) pendingOutputLocked(num uint64) bool {
-	// Sim jobs carry closures, not metadata; conservatively treat any
-	// in-flight background work as pinning unknown numbers. Since flush
-	// and compaction results install atomically before the next obsolete
-	// scan from drainSimLocked, only files not yet in any version but
-	// present on disk can be pending outputs.
+	// Jobs carry closures, not metadata; conservatively treat any in-flight
+	// background work as pinning unknown numbers. Flush and compaction
+	// results install atomically before the next obsolete scan in the same
+	// critical section, so with no job in flight no uninstalled output
+	// exists.
 	return len(db.simJobs) > 0 || db.flushActive > 0 || db.compactActive > 0
 }
 
-// Flush forces the active memtable to disk and waits for it. The memtable
-// switch takes commitMu so it cannot race a write group's WAL stage.
-func (db *DB) Flush() error {
+// Flush forces every family's active memtable to disk and waits. The
+// memtable switches take commitMu so they cannot race a write group's WAL
+// stage.
+func (db *DB) Flush() error { return db.flush(nil) }
+
+// FlushCF flushes one family's active memtable and waits for it.
+func (db *DB) FlushCF(h *ColumnFamilyHandle) error { return db.flush(h) }
+
+// flush is the shared all-family / one-family flush path. h == nil with the
+// receiver on Flush means every family (note: the public single-family API
+// maps nil handles to the default family via resolveCFLocked, so FlushCF(nil)
+// flushes "default"; Flush() passes a sentinel instead).
+func (db *DB) flush(h *ColumnFamilyHandle) error {
 	db.commitMu.Lock()
 	db.mu.Lock()
 	if db.closed {
@@ -870,16 +929,19 @@ func (db *DB) Flush() error {
 		return ErrClosed
 	}
 	db.drainSimLocked()
-	if db.mem.empty() && len(db.imm) == 0 {
+	targets, err := db.flushTargetsLocked(h)
+	if err != nil {
 		db.mu.Unlock()
 		db.commitMu.Unlock()
-		return nil
+		return err
 	}
-	if !db.mem.empty() {
-		if err := db.switchMemtableLocked(); err != nil {
-			db.mu.Unlock()
-			db.commitMu.Unlock()
-			return err
+	for _, cf := range targets {
+		if !cf.mem.empty() {
+			if err := db.switchMemtableLocked(cf); err != nil {
+				db.mu.Unlock()
+				db.commitMu.Unlock()
+				return err
+			}
 		}
 	}
 	db.maybeScheduleFlushLocked(true)
@@ -888,7 +950,7 @@ func (db *DB) Flush() error {
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for len(db.imm) > 0 && db.bgErr == nil {
+	for anyImm(targets) && db.bgErr == nil {
 		if err := db.waitForBackgroundLocked(); err != nil {
 			return err
 		}
@@ -897,45 +959,77 @@ func (db *DB) Flush() error {
 	return db.bgErr
 }
 
-// CompactRange compacts the key range [start, end] (nil bounds are open)
-// down level by level, like rocksdb::DB::CompactRange.
+// flushTargetsLocked resolves the families a flush targets (nil = all).
+func (db *DB) flushTargetsLocked(h *ColumnFamilyHandle) ([]*columnFamily, error) {
+	if h == nil {
+		return append([]*columnFamily(nil), db.cfOrder...), nil
+	}
+	cf, err := db.resolveCFLocked(h)
+	if err != nil {
+		return nil, err
+	}
+	return []*columnFamily{cf}, nil
+}
+
+// anyImm reports whether any of the families still has frozen memtables.
+func anyImm(cfs []*columnFamily) bool {
+	for _, cf := range cfs {
+		if len(cf.imm) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CompactRange compacts the key range [start, end] (nil bounds are open) of
+// the default family down level by level, like rocksdb::DB::CompactRange.
 func (db *DB) CompactRange(start, end []byte) error {
-	if err := db.Flush(); err != nil {
+	return db.CompactRangeCF(nil, start, end)
+}
+
+// CompactRangeCF compacts the key range of one family.
+func (db *DB) CompactRangeCF(h *ColumnFamilyHandle, start, end []byte) error {
+	if err := db.flush(h); err != nil {
 		return err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for level := 0; level < db.opts.NumLevels-1; level++ {
-		for len(db.vs.current.overlappingFiles(level, start, end)) > 0 && db.bgErr == nil {
-			c := &compaction{level: level, outputLevel: level + 1}
-			c.inputs[0] = append([]*FileMeta(nil), db.vs.current.overlappingFiles(level, start, end)...)
+	cf, err := db.resolveCFLocked(h)
+	if err != nil {
+		return err
+	}
+	for level := 0; level < cf.opts.NumLevels-1; level++ {
+		for len(db.vs.head(cf.id).overlappingFiles(level, start, end)) > 0 && db.bgErr == nil {
+			v := db.vs.head(cf.id)
+			c := &compaction{cf: cf, level: level, outputLevel: level + 1}
+			c.inputs[0] = append([]*FileMeta(nil), v.overlappingFiles(level, start, end)...)
 			if level == 0 {
 				// L0 files overlap each other: widen to every L0 file
 				// intersecting the chosen range so newer versions are not
 				// left above older ones.
 				smallest0, largest0 := keyRange(c.inputs[0])
-				c.inputs[0] = db.vs.current.overlappingFiles(0, smallest0.userKey(), largest0.userKey())
+				c.inputs[0] = v.overlappingFiles(0, smallest0.userKey(), largest0.userKey())
 			}
 			smallest, largest := keyRange(c.inputs[0])
-			c.inputs[1] = db.vs.current.overlappingFiles(level+1, smallest.userKey(), largest.userKey())
+			c.inputs[1] = v.overlappingFiles(level+1, smallest.userKey(), largest.userKey())
 			if anyBusy(c.allInputs(), db.busyFiles) {
 				if err := db.waitForBackgroundLocked(); err != nil {
 					return err
 				}
 				continue
 			}
-			v := db.vs.current
 			res, err := db.runCompaction(c, v)
 			if err != nil {
 				return err
 			}
+			res.edit.cfID = cf.id
 			if err := db.vs.logAndApply(res.edit); err != nil {
 				return err
 			}
 			db.stats.Add(TickerCompactCount, 1)
 			db.stats.Add(TickerCompactReadBytes, res.readBytes)
 			db.stats.Add(TickerCompactWriteBytes, res.writeBytes)
-			db.recordCompactionLocked(c, res, "manual", nil)
+			db.recordCompactionLocked(cf, c, res, "manual", nil)
 			db.deleteObsoleteFilesLocked()
 		}
 	}
@@ -1009,7 +1103,8 @@ func (db *DB) Close() error {
 }
 
 // Metrics is a point-in-time view of engine state for monitoring and for
-// the tuning framework's prompt builder.
+// the tuning framework's prompt builder. The top-level call aggregates every
+// column family; GetCFMetrics scopes to one.
 type Metrics struct {
 	LevelFiles             []int
 	LevelBytes             []int64
@@ -1023,25 +1118,21 @@ type Metrics struct {
 	RunningCompactions     int
 	LastSequence           uint64
 	TotalSSTBytes          int64
+	ColumnFamilies         []string
 }
 
-// GetMetrics snapshots engine state.
+// GetMetrics snapshots engine state aggregated across column families.
 func (db *DB) GetMetrics() Metrics {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	v := db.vs.current
 	m := Metrics{
-		MemtableBytes:          db.mem.approximateBytes(),
-		ImmutableCount:         len(db.imm),
-		PendingCompactionBytes: v.pendingCompactionBytes(db.opts),
-		RunningFlushes:         db.flushActive,
-		RunningCompactions:     db.compactActive,
-		LastSequence:           db.publishedSeq.Load(),
+		RunningFlushes:     db.flushActive,
+		RunningCompactions: db.compactActive,
+		LastSequence:       db.publishedSeq.Load(),
 	}
-	for l := 0; l < v.NumLevels(); l++ {
-		m.LevelFiles = append(m.LevelFiles, v.NumLevelFiles(l))
-		m.LevelBytes = append(m.LevelBytes, v.LevelBytes(l))
-		m.TotalSSTBytes += v.LevelBytes(l)
+	for _, cf := range db.cfOrder {
+		m.ColumnFamilies = append(m.ColumnFamilies, cf.name)
+		db.accumulateCFMetricsLocked(cf, &m)
 	}
 	if db.bcache != nil {
 		m.BlockCacheUsed = db.bcache.Used()
@@ -1051,8 +1142,59 @@ func (db *DB) GetMetrics() Metrics {
 	return m
 }
 
-// Options returns the DB's effective options (a copy).
+// GetCFMetrics snapshots one family's state (false when the name is not a
+// live family).
+func (db *DB) GetCFMetrics(name string) (Metrics, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cf := db.cfNames[name]
+	if cf == nil {
+		return Metrics{}, false
+	}
+	m := Metrics{
+		RunningFlushes:     db.flushActive,
+		RunningCompactions: db.compactActive,
+		LastSequence:       db.publishedSeq.Load(),
+		ColumnFamilies:     []string{cf.name},
+	}
+	db.accumulateCFMetricsLocked(cf, &m)
+	if db.bcache != nil {
+		m.BlockCacheUsed = db.bcache.Used()
+		h, mi := db.bcache.HitRate()
+		m.BlockCacheHits, m.BlockCacheMisses = h, mi
+	}
+	return m, true
+}
+
+// accumulateCFMetricsLocked folds one family's state into m.
+func (db *DB) accumulateCFMetricsLocked(cf *columnFamily, m *Metrics) {
+	v := db.vs.head(cf.id)
+	if v == nil {
+		return
+	}
+	m.MemtableBytes += cf.mem.approximateBytes()
+	m.ImmutableCount += len(cf.imm)
+	m.PendingCompactionBytes += v.pendingCompactionBytes(cf.opts)
+	for l := 0; l < v.NumLevels(); l++ {
+		for len(m.LevelFiles) <= l {
+			m.LevelFiles = append(m.LevelFiles, 0)
+			m.LevelBytes = append(m.LevelBytes, 0)
+		}
+		m.LevelFiles[l] += v.NumLevelFiles(l)
+		m.LevelBytes[l] += v.LevelBytes(l)
+		m.TotalSSTBytes += v.LevelBytes(l)
+	}
+}
+
+// Options returns the default family's effective options (a copy).
 func (db *DB) Options() *Options { return db.opts.Clone() }
+
+// Config returns the DB's effective multi-family configuration (a copy).
+func (db *DB) Config() *ConfigSet {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cfg.Clone()
+}
 
 // Statistics returns the engine's statistics object.
 func (db *DB) Statistics() *Statistics { return db.stats }

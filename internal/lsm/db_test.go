@@ -119,7 +119,7 @@ func TestDBFlushAndCompaction(t *testing.T) {
 	}
 	// Level invariants hold.
 	db.mu.Lock()
-	err := db.vs.current.checkInvariants()
+	err := db.vs.head(0).checkInvariants()
 	db.mu.Unlock()
 	if err != nil {
 		t.Fatal(err)

@@ -4,10 +4,11 @@ import (
 	"time"
 )
 
-// runFlush merges immutable memtables (oldest first) into one L0 table.
-// Newest versions win; tombstones are kept (deeper levels may hold the key).
-// The caller installs the returned edit.
-func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
+// runFlush merges one family's immutable memtables (oldest first) into one
+// L0 table built with that family's options. Newest versions win; tombstones
+// are kept (deeper levels may hold the key). The caller installs the
+// returned edit.
+func (db *DB) runFlush(cf *columnFamily, mems []*memtable) (*compactionResult, error) {
 	res := &compactionResult{edit: &versionEdit{}}
 	defer func(start time.Time) { res.dur = time.Since(start) }(time.Now())
 	iters := make([]internalIterator, 0, len(mems))
@@ -30,7 +31,7 @@ func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	builder := newTableBuilder(f, db.opts)
+	builder := newTableBuilder(f, cf.opts)
 	var entries int64
 	var lastUserKey []byte
 	haveLast := false
@@ -78,7 +79,7 @@ func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
 		Smallest: append(internalKey(nil), builder.smallest()...),
 		Largest:  append(internalKey(nil), builder.largest()...),
 	}
-	if db.opts.ParanoidFileChecks {
+	if cf.opts.ParanoidFileChecks {
 		if err := verifyTableFile(db.env, tableFileName(db.dir, num), meta, db.bgIOClass()); err != nil {
 			return nil, err
 		}
@@ -86,7 +87,7 @@ func (db *DB) runFlush(mems []*memtable) (*compactionResult, error) {
 	res.edit.newFiles = append(res.edit.newFiles, newFile{0, meta})
 	res.writeBytes = props.FileSize
 	perEntry := 300 * time.Nanosecond
-	if db.opts.Compression != NoCompression {
+	if cf.opts.Compression != NoCompression {
 		perEntry += 500 * time.Nanosecond
 	}
 	res.cpu = time.Duration(entries) * perEntry

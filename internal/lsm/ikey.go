@@ -24,6 +24,11 @@ const (
 	KindDelete ValueKind = 0
 	// KindValue marks a normal key-value entry.
 	KindValue ValueKind = 1
+	// KindValueCF and KindDeleteCF are WAL-batch-only kinds: the record is
+	// followed by a varint column-family ID before the key. They never reach
+	// memtables or SSTables — decodeBatch maps them back to the base kinds.
+	KindValueCF  ValueKind = 2
+	KindDeleteCF ValueKind = 3
 )
 
 // maxSequence is the largest representable sequence number (56 bits).

@@ -18,8 +18,14 @@ type Iterator struct {
 	valid bool
 }
 
-// NewIterator returns a point-in-time iterator over the DB.
+// NewIterator returns a point-in-time iterator over the default family.
 func (db *DB) NewIterator(ro *ReadOptions) *Iterator {
+	return db.NewIteratorCF(ro, nil)
+}
+
+// NewIteratorCF returns a point-in-time iterator over one column family.
+// An iterator over a dropped family is empty (valid never becomes true).
+func (db *DB) NewIteratorCF(ro *ReadOptions, h *ColumnFamilyHandle) *Iterator {
 	if ro == nil {
 		ro = DefaultReadOptions()
 	}
@@ -29,12 +35,17 @@ func (db *DB) NewIterator(ro *ReadOptions) *Iterator {
 	if ro.Snapshot != nil {
 		seq = ro.Snapshot.seq
 	}
-	var children []internalIterator
-	children = append(children, db.mem.iterator())
-	for i := len(db.imm) - 1; i >= 0; i-- {
-		children = append(children, db.imm[i].iterator())
+	cf, err := db.resolveCFLocked(h)
+	if err != nil || cf == nil {
+		db.mu.Unlock()
+		return &Iterator{db: db, merge: newMergeIter(nil), seq: seq}
 	}
-	v := db.vs.current
+	var children []internalIterator
+	children = append(children, cf.mem.iterator())
+	for i := len(cf.imm) - 1; i >= 0; i-- {
+		children = append(children, cf.imm[i].iterator())
+	}
+	v := db.vs.head(cf.id)
 	open := func(num uint64) (*tableReader, error) { return db.tcache.get(num) }
 	for _, f := range v.LevelFiles(0) {
 		fm := f

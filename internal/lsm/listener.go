@@ -35,6 +35,8 @@ func (s StallCondition) String() string {
 
 // FlushInfo describes a completed memtable flush.
 type FlushInfo struct {
+	// ColumnFamily is the name of the family that was flushed.
+	ColumnFamily string
 	// OutputFileNumber is the new L0 table's file number (0 when the flush
 	// produced no output, e.g. all entries were shadowed).
 	OutputFileNumber uint64
@@ -51,8 +53,10 @@ type FlushInfo struct {
 
 // CompactionInfo describes a completed compaction.
 type CompactionInfo struct {
-	InputLevel  int
-	OutputLevel int
+	// ColumnFamily is the name of the family the compaction ran in.
+	ColumnFamily string
+	InputLevel   int
+	OutputLevel  int
 	// InputFiles counts input tables across both levels.
 	InputFiles int
 	// OutputFiles counts tables written.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -76,15 +77,22 @@ func parseFileName(name string) (fileKind, uint64) {
 
 // versionEdit is a delta applied to a Version, persisted in the MANIFEST.
 // Tag-encoded like LevelDB: each field is varint(tag) followed by payload.
+// The per-file and log-number fields apply to the column family named by
+// cfID; family creation/drop records ride in the same edit stream.
 type versionEdit struct {
+	cfID         uint32 // column family the file/log fields target (0 = default)
 	hasLogNumber bool
 	logNumber    uint64
 	hasNextFile  bool
 	nextFileNum  uint64
 	hasLastSeq   bool
 	lastSeq      uint64
+	hasMaxCF     bool
+	maxCF        uint32
 	deletedFiles []deletedFile
 	newFiles     []newFile
+	addCFs       []addCF
+	dropCFs      []uint32
 }
 
 type deletedFile struct {
@@ -97,12 +105,26 @@ type newFile struct {
 	meta  *FileMeta
 }
 
+// addCF records a column-family creation in the manifest.
+type addCF struct {
+	id        uint32
+	name      string
+	numLevels int
+}
+
 const (
 	tagLogNumber = 1
 	tagNextFile  = 2
 	tagLastSeq   = 3
 	tagDeleted   = 4
 	tagNewFile   = 5
+	// Column-family tags. Old manifests never contain them (and the cfID tag
+	// is omitted for the default family), so legacy files decode unchanged as
+	// default-family edits.
+	tagCFID   = 100
+	tagAddCF  = 101
+	tagDropCF = 102
+	tagMaxCF  = 103
 )
 
 func putLenPrefixed(dst, b []byte) []byte {
@@ -113,6 +135,24 @@ func putLenPrefixed(dst, b []byte) []byte {
 // encode serializes the edit.
 func (e *versionEdit) encode() []byte {
 	var b []byte
+	if e.cfID != 0 {
+		b = binary.AppendUvarint(b, tagCFID)
+		b = binary.AppendUvarint(b, uint64(e.cfID))
+	}
+	if e.hasMaxCF {
+		b = binary.AppendUvarint(b, tagMaxCF)
+		b = binary.AppendUvarint(b, uint64(e.maxCF))
+	}
+	for _, a := range e.addCFs {
+		b = binary.AppendUvarint(b, tagAddCF)
+		b = binary.AppendUvarint(b, uint64(a.id))
+		b = putLenPrefixed(b, []byte(a.name))
+		b = binary.AppendUvarint(b, uint64(a.numLevels))
+	}
+	for _, id := range e.dropCFs {
+		b = binary.AppendUvarint(b, tagDropCF)
+		b = binary.AppendUvarint(b, uint64(id))
+	}
 	if e.hasLogNumber {
 		b = binary.AppendUvarint(b, tagLogNumber)
 		b = binary.AppendUvarint(b, e.logNumber)
@@ -172,6 +212,32 @@ func decodeVersionEdit(b []byte) (*versionEdit, error) {
 			return nil, err
 		}
 		switch tag {
+		case tagCFID:
+			var id uint64
+			id, b, err = getUvarint(b)
+			e.cfID = uint32(id)
+		case tagMaxCF:
+			var id uint64
+			id, b, err = getUvarint(b)
+			e.maxCF = uint32(id)
+			e.hasMaxCF = true
+		case tagAddCF:
+			var id, levels uint64
+			var name []byte
+			id, b, err = getUvarint(b)
+			if err == nil {
+				name, b, err = getLenPrefixed(b)
+			}
+			if err == nil {
+				levels, b, err = getUvarint(b)
+			}
+			if err == nil {
+				e.addCFs = append(e.addCFs, addCF{id: uint32(id), name: string(name), numLevels: int(levels)})
+			}
+		case tagDropCF:
+			var id uint64
+			id, b, err = getUvarint(b)
+			e.dropCFs = append(e.dropCFs, uint32(id))
 		case tagLogNumber:
 			e.logNumber, b, err = getUvarint(b)
 			e.hasLogNumber = true
@@ -226,13 +292,25 @@ func decodeVersionEdit(b []byte) (*versionEdit, error) {
 	return e, nil
 }
 
-// versionSet tracks the current Version and persists edits to the MANIFEST.
-// Callers must hold the DB mutex around logAndApply.
+// cfState is one column family's slice of the version set: its current
+// Version (level shape) and its WAL floor.
+type cfState struct {
+	id      uint32
+	name    string
+	current *Version
+	// logNumber is this family's WAL floor: records for this family in WALs
+	// below this number have been flushed. The DB may delete a WAL once it is
+	// below every live family's floor (minLogNumber).
+	logNumber uint64
+}
+
+// versionSet tracks every column family's current Version and persists edits
+// to the shared MANIFEST. Callers must hold the DB mutex around logAndApply.
 type versionSet struct {
 	env         Env
 	dir         string
 	opts        *Options
-	current     *Version
+	cfs         map[uint32]*cfState // always contains id 0 ("default")
 	manifest    *walWriter
 	manifestNum uint64
 
@@ -240,7 +318,51 @@ type versionSet struct {
 	// the DB mutex is held elsewhere (or not at all).
 	nextFileNum atomic.Uint64
 	lastSeq     uint64
-	logNumber   uint64 // WALs below this number are obsolete
+	maxCF       uint32 // highest CF id ever allocated; ids are never reused
+}
+
+// newVersionSet returns a version set holding an empty default family.
+func newVersionSet(env Env, dir string, opts *Options) *versionSet {
+	return &versionSet{
+		env:  env,
+		dir:  dir,
+		opts: opts,
+		cfs: map[uint32]*cfState{
+			0: {id: 0, name: DefaultColumnFamilyName, current: newVersion(opts.NumLevels)},
+		},
+	}
+}
+
+// head returns the current Version of a column family (nil if unknown).
+func (vs *versionSet) head(cfID uint32) *Version {
+	if st := vs.cfs[cfID]; st != nil {
+		return st.current
+	}
+	return nil
+}
+
+// minLogNumber returns the smallest WAL floor across live families: WALs
+// below it hold no unflushed data for anyone and are obsolete.
+func (vs *versionSet) minLogNumber() uint64 {
+	first := true
+	var min uint64
+	for _, st := range vs.cfs {
+		if first || st.logNumber < min {
+			min = st.logNumber
+			first = false
+		}
+	}
+	return min
+}
+
+// cfIDsInOrder returns the live family ids ascending (default first).
+func (vs *versionSet) cfIDsInOrder() []uint32 {
+	ids := make([]uint32, 0, len(vs.cfs))
+	for id := range vs.cfs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // newFileNumber allocates the next file number.
@@ -248,35 +370,98 @@ func (vs *versionSet) newFileNumber() uint64 {
 	return vs.nextFileNum.Add(1) - 1
 }
 
-// apply builds the successor version from an edit.
+// apply validates the edit and commits it to the in-memory state: family
+// creations and drops install/remove cfState entries, file changes replace
+// the target family's head Version, and the counters advance. It returns the
+// new head Version, or nil when the edit carries no file changes (or the
+// target family was dropped by this same edit).
 func (vs *versionSet) apply(e *versionEdit) (*Version, error) {
-	v := vs.current.clone()
-	for _, d := range e.deletedFiles {
-		if d.level >= len(v.levels) {
-			return nil, fmt.Errorf("lsm: edit deletes file at level %d beyond num_levels", d.level)
+	// Validation phase: nothing is mutated until every check passes.
+	for _, a := range e.addCFs {
+		if _, ok := vs.cfs[a.id]; ok {
+			return nil, fmt.Errorf("lsm: edit re-creates column family id %d", a.id)
 		}
-		files := v.levels[d.level]
-		idx := -1
-		for i, f := range files {
-			if f.Number == d.num {
-				idx = i
-				break
+		for _, st := range vs.cfs {
+			if st.name == a.name {
+				return nil, fmt.Errorf("lsm: edit re-creates column family %q", a.name)
 			}
 		}
-		if idx < 0 {
-			return nil, fmt.Errorf("lsm: edit deletes missing file %d at level %d", d.num, d.level)
+		if a.numLevels < 2 {
+			return nil, fmt.Errorf("lsm: column family %q created with %d levels", a.name, a.numLevels)
 		}
-		v.levels[d.level] = append(append([]*FileMeta(nil), files[:idx]...), files[idx+1:]...)
 	}
-	for _, nf := range e.newFiles {
-		if nf.level >= len(v.levels) {
-			return nil, fmt.Errorf("lsm: edit adds file at level %d beyond num_levels", nf.level)
+	for _, id := range e.dropCFs {
+		if id == 0 {
+			return nil, fmt.Errorf("lsm: edit drops the default column family")
 		}
-		v.levels[nf.level] = append(append([]*FileMeta(nil), v.levels[nf.level]...), nf.meta)
-		sortLevel(nf.level, v.levels[nf.level])
+		if _, ok := vs.cfs[id]; !ok {
+			return nil, fmt.Errorf("lsm: edit drops unknown column family id %d", id)
+		}
 	}
-	if e.hasLogNumber {
-		vs.logNumber = e.logNumber
+	var base *Version
+	if st := vs.cfs[e.cfID]; st != nil {
+		base = st.current
+	} else {
+		for _, a := range e.addCFs {
+			if a.id == e.cfID {
+				base = newVersion(a.numLevels)
+			}
+		}
+	}
+	var v *Version
+	if len(e.deletedFiles) > 0 || len(e.newFiles) > 0 {
+		if base == nil {
+			return nil, fmt.Errorf("lsm: edit references unknown column family id %d", e.cfID)
+		}
+		v = base.clone()
+		for _, d := range e.deletedFiles {
+			if d.level >= len(v.levels) {
+				return nil, fmt.Errorf("lsm: edit deletes file at level %d beyond num_levels", d.level)
+			}
+			files := v.levels[d.level]
+			idx := -1
+			for i, f := range files {
+				if f.Number == d.num {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("lsm: edit deletes missing file %d at level %d (cf %d)", d.num, d.level, e.cfID)
+			}
+			v.levels[d.level] = append(append([]*FileMeta(nil), files[:idx]...), files[idx+1:]...)
+		}
+		for _, nf := range e.newFiles {
+			if nf.level >= len(v.levels) {
+				return nil, fmt.Errorf("lsm: edit adds file at level %d beyond num_levels", nf.level)
+			}
+			v.levels[nf.level] = append(append([]*FileMeta(nil), v.levels[nf.level]...), nf.meta)
+			sortLevel(nf.level, v.levels[nf.level])
+		}
+	} else if e.hasLogNumber && base == nil {
+		return nil, fmt.Errorf("lsm: edit sets log number for unknown column family id %d", e.cfID)
+	}
+
+	// Commit phase.
+	for _, a := range e.addCFs {
+		vs.cfs[a.id] = &cfState{id: a.id, name: a.name, current: newVersion(a.numLevels)}
+		if a.id > vs.maxCF {
+			vs.maxCF = a.id
+		}
+	}
+	if e.hasMaxCF && e.maxCF > vs.maxCF {
+		vs.maxCF = e.maxCF
+	}
+	for _, id := range e.dropCFs {
+		delete(vs.cfs, id)
+	}
+	if st := vs.cfs[e.cfID]; st != nil {
+		if e.hasLogNumber {
+			st.logNumber = e.logNumber
+		}
+		if v != nil {
+			st.current = v
+		}
 	}
 	if e.hasNextFile {
 		for {
@@ -292,7 +477,7 @@ func (vs *versionSet) apply(e *versionEdit) (*Version, error) {
 	return v, nil
 }
 
-// logAndApply persists the edit and installs the new version.
+// logAndApply persists the edit and installs the new state.
 func (vs *versionSet) logAndApply(e *versionEdit) error {
 	e.hasNextFile = true
 	e.nextFileNum = vs.nextFileNum.Load()
@@ -302,7 +487,7 @@ func (vs *versionSet) logAndApply(e *versionEdit) error {
 	if err != nil {
 		return err
 	}
-	if vs.opts.ParanoidChecks {
+	if vs.opts.ParanoidChecks && v != nil {
 		if err := v.checkInvariants(); err != nil {
 			return err
 		}
@@ -312,16 +497,11 @@ func (vs *versionSet) logAndApply(e *versionEdit) error {
 	}
 	// Sync every edit: obsolete-file deletion runs right after logAndApply,
 	// so an unsynced edit could orphan data a crash later cannot recover.
-	if err := vs.manifest.sync(); err != nil {
-		return err
-	}
-	vs.current = v
-	return nil
+	return vs.manifest.sync()
 }
 
 // createNew initializes a fresh version set (new database).
 func (vs *versionSet) createNew() error {
-	vs.current = newVersion(vs.opts.NumLevels)
 	vs.nextFileNum.Store(2)
 	vs.manifestNum = vs.newFileNumber()
 	f, err := vs.env.NewWritableFile(manifestFileName(vs.dir, vs.manifestNum), IOBackground)
@@ -330,9 +510,7 @@ func (vs *versionSet) createNew() error {
 	}
 	vs.manifest = newWALWriter(f, vs.opts)
 	vs.manifest.stats = nil // manifest appends are not WAL traffic
-	// Snapshot edit describing the (empty) state. logAndApply syncs it.
-	e := &versionEdit{hasLogNumber: true, logNumber: vs.logNumber}
-	if err := vs.logAndApply(e); err != nil {
+	if err := vs.writeSnapshot(); err != nil {
 		return err
 	}
 	if err := vs.env.SyncDir(vs.dir); err != nil {
@@ -390,19 +568,18 @@ func (vs *versionSet) recover() error {
 	if kind != fileKindManifest {
 		return fmt.Errorf("lsm: CURRENT names %q, not a manifest", name)
 	}
-	vs.current = newVersion(vs.opts.NumLevels)
+	vs.cfs = map[uint32]*cfState{
+		0: {id: 0, name: DefaultColumnFamilyName, current: newVersion(vs.opts.NumLevels)},
+	}
+	vs.maxCF = 0
 	vs.nextFileNum.Store(num + 1)
 	err = walReplay(vs.env, filepath.Join(vs.dir, name), func(payload []byte) error {
 		e, err := decodeVersionEdit(payload)
 		if err != nil {
 			return err
 		}
-		v, err := vs.apply(e)
-		if err != nil {
-			return err
-		}
-		vs.current = v
-		return nil
+		_, err = vs.apply(e)
+		return err
 	})
 	if err != nil {
 		return err
@@ -416,8 +593,7 @@ func (vs *versionSet) recover() error {
 	}
 	vs.manifest = newWALWriter(mf, vs.opts)
 	vs.manifest.stats = nil
-	snapshot := vs.snapshotEdit()
-	if err := vs.logAndApply(snapshot); err != nil {
+	if err := vs.writeSnapshot(); err != nil {
 		return err
 	}
 	if err := vs.env.SyncDir(vs.dir); err != nil {
@@ -426,24 +602,58 @@ func (vs *versionSet) recover() error {
 	return vs.setCurrent()
 }
 
-// snapshotEdit encodes the full current state as one edit.
-func (vs *versionSet) snapshotEdit() *versionEdit {
-	e := &versionEdit{hasLogNumber: true, logNumber: vs.logNumber}
-	for level, files := range vs.current.levels {
-		for _, f := range files {
-			e.newFiles = append(e.newFiles, newFile{level, f})
+// snapshotEdits encodes the full current state as a sequence of edits: one
+// carrying the CF directory (max id + every named family), then one per
+// family with its WAL floor and files.
+func (vs *versionSet) snapshotEdits() []*versionEdit {
+	ids := vs.cfIDsInOrder()
+	head := &versionEdit{hasMaxCF: true, maxCF: vs.maxCF}
+	for _, id := range ids {
+		if id == 0 {
+			continue
 		}
+		st := vs.cfs[id]
+		head.addCFs = append(head.addCFs, addCF{id: id, name: st.name, numLevels: st.current.NumLevels()})
 	}
-	return e
+	edits := []*versionEdit{head}
+	for _, id := range ids {
+		st := vs.cfs[id]
+		e := &versionEdit{cfID: id, hasLogNumber: true, logNumber: st.logNumber}
+		for level, files := range st.current.levels {
+			for _, f := range files {
+				e.newFiles = append(e.newFiles, newFile{level, f})
+			}
+		}
+		edits = append(edits, e)
+	}
+	return edits
 }
 
-// liveFileNumbers returns the set of table files referenced by the current
-// version.
+// writeSnapshot appends the snapshot edits describing the *current* state to
+// a fresh manifest, without re-applying them (the state already holds them),
+// and syncs once at the end.
+func (vs *versionSet) writeSnapshot() error {
+	for _, e := range vs.snapshotEdits() {
+		e.hasNextFile = true
+		e.nextFileNum = vs.nextFileNum.Load()
+		e.hasLastSeq = true
+		e.lastSeq = vs.lastSeq
+		if err := vs.manifest.addRecord(e.encode()); err != nil {
+			return err
+		}
+	}
+	return vs.manifest.sync()
+}
+
+// liveFileNumbers returns the set of table files referenced by any live
+// column family's current version.
 func (vs *versionSet) liveFileNumbers() map[uint64]bool {
 	live := make(map[uint64]bool)
-	for _, files := range vs.current.levels {
-		for _, f := range files {
-			live[f.Number] = true
+	for _, st := range vs.cfs {
+		for _, files := range st.current.levels {
+			for _, f := range files {
+				live[f.Number] = true
+			}
 		}
 	}
 	return live

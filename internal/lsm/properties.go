@@ -9,26 +9,31 @@ import (
 // GetProperty exposes engine state under RocksDB-style property names:
 //
 //	rocksdb.stats                              multi-line overview
-//	rocksdb.levelstats                         per-level file/byte table
-//	rocksdb.num-files-at-level<N>              file count at level N
-//	rocksdb.estimate-pending-compaction-bytes  compaction debt
-//	rocksdb.cur-size-all-mem-tables            memtable bytes
-//	rocksdb.num-immutable-mem-table            frozen memtable count
+//	rocksdb.levelstats                         per-level file/byte table (default family)
+//	rocksdb.cfstats                            per-family compaction-stats tables
+//	rocksdb.num-files-at-level<N>              file count at level N (default family)
+//	rocksdb.estimate-pending-compaction-bytes  compaction debt (all families)
+//	rocksdb.cur-size-all-mem-tables            memtable bytes (all families)
+//	rocksdb.num-immutable-mem-table            frozen memtable count (all families)
 //	rocksdb.block-cache-usage                  cached bytes
-//	rocksdb.estimate-num-keys                  live-entry estimate
+//	rocksdb.estimate-num-keys                  live-entry estimate (all families)
 //
 // The boolean result is false for unknown property names.
 func (db *DB) GetProperty(name string) (string, bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	v := db.vs.current
+	v := db.vs.head(0)
 	switch {
 	case name == "rocksdb.stats":
 		return db.statsStringLocked(), true
 	case name == "rocksdb.levelstats":
-		return db.levelStatsLocked(), true
+		return db.levelStatsLocked(db.defaultCF), true
 	case name == "rocksdb.cfstats":
-		return db.compactionStatsLocked(), true
+		var b strings.Builder
+		for _, cf := range db.cfOrder {
+			b.WriteString(db.compactionStatsLocked(cf))
+		}
+		return b.String(), true
 	case strings.HasPrefix(name, "rocksdb.num-files-at-level"):
 		n, err := strconv.Atoi(strings.TrimPrefix(name, "rocksdb.num-files-at-level"))
 		if err != nil || n < 0 || n >= v.NumLevels() {
@@ -36,15 +41,26 @@ func (db *DB) GetProperty(name string) (string, bool) {
 		}
 		return strconv.Itoa(v.NumLevelFiles(n)), true
 	case name == "rocksdb.estimate-pending-compaction-bytes":
-		return strconv.FormatInt(v.pendingCompactionBytes(db.opts), 10), true
+		var total int64
+		for _, cf := range db.cfOrder {
+			total += db.vs.head(cf.id).pendingCompactionBytes(cf.opts)
+		}
+		return strconv.FormatInt(total, 10), true
 	case name == "rocksdb.cur-size-all-mem-tables":
-		total := db.mem.approximateBytes()
-		for _, m := range db.imm {
-			total += m.approximateBytes()
+		var total int64
+		for _, cf := range db.cfOrder {
+			total += cf.mem.approximateBytes()
+			for _, m := range cf.imm {
+				total += m.approximateBytes()
+			}
 		}
 		return strconv.FormatInt(total, 10), true
 	case name == "rocksdb.num-immutable-mem-table":
-		return strconv.Itoa(len(db.imm)), true
+		n := 0
+		for _, cf := range db.cfOrder {
+			n += len(cf.imm)
+		}
+		return strconv.Itoa(n), true
 	case name == "rocksdb.block-cache-usage":
 		if db.bcache == nil {
 			return "0", true
@@ -52,14 +68,17 @@ func (db *DB) GetProperty(name string) (string, bool) {
 		return strconv.FormatInt(db.bcache.Used(), 10), true
 	case name == "rocksdb.estimate-num-keys":
 		var n int64
-		for l := 0; l < v.NumLevels(); l++ {
-			for _, f := range v.LevelFiles(l) {
-				n += f.Entries
+		for _, cf := range db.cfOrder {
+			cv := db.vs.head(cf.id)
+			for l := 0; l < cv.NumLevels(); l++ {
+				for _, f := range cv.LevelFiles(l) {
+					n += f.Entries
+				}
 			}
-		}
-		n += int64(db.mem.count())
-		for _, m := range db.imm {
-			n += int64(m.count())
+			n += int64(cf.mem.count())
+			for _, m := range cf.imm {
+				n += int64(m.count())
+			}
 		}
 		return strconv.FormatInt(n, 10), true
 	default:
@@ -67,12 +86,12 @@ func (db *DB) GetProperty(name string) (string, bool) {
 	}
 }
 
-// levelStatsLocked renders the rocksdb.levelstats table.
-func (db *DB) levelStatsLocked() string {
+// levelStatsLocked renders the rocksdb.levelstats table for one family.
+func (db *DB) levelStatsLocked(cf *columnFamily) string {
 	var b strings.Builder
 	b.WriteString("Level Files Size(MB)\n")
 	b.WriteString("--------------------\n")
-	v := db.vs.current
+	v := db.vs.head(cf.id)
 	for l := 0; l < v.NumLevels(); l++ {
 		fmt.Fprintf(&b, "%5d %5d %8.2f\n", l, v.NumLevelFiles(l),
 			float64(v.LevelBytes(l))/(1<<20))
@@ -84,7 +103,6 @@ func (db *DB) levelStatsLocked() string {
 // can embed.
 func (db *DB) statsStringLocked() string {
 	var b strings.Builder
-	v := db.vs.current
 	b.WriteString("** DB Stats **\n")
 	fmt.Fprintf(&b, "Uptime(secs): %.1f\n", db.env.Now().Seconds())
 	fmt.Fprintf(&b, "Cumulative writes: %d bytes\n", db.stats.Get(TickerBytesWritten))
@@ -101,19 +119,26 @@ func (db *DB) statsStringLocked() string {
 		db.stats.Get(TickerBlockCacheHit), db.stats.Get(TickerBlockCacheMiss))
 	fmt.Fprintf(&b, "Bloom: %d probes passed, %d excluded\n",
 		db.stats.Get(TickerBloomChecked), db.stats.Get(TickerBloomUseful))
-	b.WriteString(db.levelStatsLocked())
-	fmt.Fprintf(&b, "Pending compaction bytes: %d\n", v.pendingCompactionBytes(db.opts))
-	b.WriteString(db.compactionStatsLocked())
+	var pending int64
+	for _, cf := range db.cfOrder {
+		pending += db.vs.head(cf.id).pendingCompactionBytes(cf.opts)
+	}
+	b.WriteString(db.levelStatsLocked(db.defaultCF))
+	fmt.Fprintf(&b, "Pending compaction bytes: %d\n", pending)
+	for _, cf := range db.cfOrder {
+		b.WriteString(db.compactionStatsLocked(cf))
+	}
 	return b.String()
 }
 
 // compactionStatsLocked renders the RocksDB-style per-level compaction-stats
-// table: live files/size plus cumulative background read/write traffic per
-// level (flushes land on L0; compactions on their output level).
-func (db *DB) compactionStatsLocked() string {
+// table for one family: live files/size plus cumulative background
+// read/write traffic per level (flushes land on L0; compactions on their
+// output level).
+func (db *DB) compactionStatsLocked(cf *columnFamily) string {
 	var b strings.Builder
-	v := db.vs.current
-	b.WriteString("** Compaction Stats [default] **\n")
+	v := db.vs.head(cf.id)
+	fmt.Fprintf(&b, "** Compaction Stats [%s] **\n", cf.name)
 	b.WriteString("Level    Files   Size(MB)   Read(MB)  Write(MB)  Comp(cnt)  Comp(sec)\n")
 	b.WriteString("----------------------------------------------------------------------\n")
 	var sum levelIOStats
@@ -121,8 +146,8 @@ func (db *DB) compactionStatsLocked() string {
 	var sumBytes int64
 	for l := 0; l < v.NumLevels(); l++ {
 		var io levelIOStats
-		if l < len(db.levelIO) {
-			io = db.levelIO[l]
+		if l < len(cf.levelIO) {
+			io = cf.levelIO[l]
 		}
 		fmt.Fprintf(&b, "  L%-4d %6d %10.2f %10.2f %10.2f %10d %10.2f\n",
 			l, v.NumLevelFiles(l), float64(v.LevelBytes(l))/(1<<20),
@@ -147,13 +172,12 @@ type Range struct {
 	Start, Limit []byte
 }
 
-// GetApproximateSizes estimates the on-disk bytes each range occupies by
-// prorating overlapping table files (RocksDB-style estimate: file size
-// scaled by nothing — whole overlapping files are counted, which matches
-// the coarse estimates real tooling relies on).
+// GetApproximateSizes estimates the on-disk bytes each range occupies in the
+// default family by counting overlapping table files (RocksDB-style coarse
+// estimate: whole overlapping files are counted).
 func (db *DB) GetApproximateSizes(ranges []Range) []int64 {
 	db.mu.Lock()
-	v := db.vs.current
+	v := db.vs.head(0)
 	db.mu.Unlock()
 	out := make([]int64, len(ranges))
 	for i, r := range ranges {

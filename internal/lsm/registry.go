@@ -24,12 +24,24 @@ const (
 	TypeString
 )
 
-// Option sections, mirroring RocksDB OPTIONS file structure.
+// Option sections, mirroring RocksDB OPTIONS file structure. SectionCF and
+// SectionTable name the default family's sections; SectionCFName and
+// SectionTableName build the headers for any family.
 const (
 	SectionDB    = "DBOptions"
 	SectionCF    = `CFOptions "default"`
 	SectionTable = `TableOptions/BlockBasedTable "default"`
 )
+
+// SectionCFName returns the CFOptions section header for a family.
+func SectionCFName(name string) string {
+	return fmt.Sprintf("CFOptions %q", name)
+}
+
+// SectionTableName returns the TableOptions section header for a family.
+func SectionTableName(name string) string {
+	return fmt.Sprintf("TableOptions/BlockBasedTable %q", name)
+}
 
 // OptionSpec describes one named option: its syntax, bounds, and whether the
 // engine honors it mechanically (Honored) or merely records it (the long

@@ -85,8 +85,8 @@ func TestSnapshotReleaseAllowsGC(t *testing.T) {
 	}
 	var entries int64
 	db.mu.Lock()
-	for l := 0; l < db.vs.current.NumLevels(); l++ {
-		for _, f := range db.vs.current.LevelFiles(l) {
+	for l := 0; l < db.vs.head(0).NumLevels(); l++ {
+		for _, f := range db.vs.head(0).LevelFiles(l) {
 			entries += f.Entries
 		}
 	}

@@ -43,6 +43,9 @@ const (
 	TickerBgError            // background errors raised (flush/compaction/WAL)
 	TickerErrorRecoveryCount // successful background-error recoveries
 	TickerWALCorruptRecords  // WAL records dropped as corrupt during replay
+	TickerMultiGetCalls      // MultiGet invocations
+	TickerMultiGetKeysRead   // keys looked up through MultiGet
+	TickerMultiGetBytesRead  // value bytes returned by MultiGet
 	numTickers
 )
 
@@ -78,6 +81,9 @@ var tickerNames = map[Ticker]string{
 	TickerBgError:            "rocksdb.bg.error",
 	TickerErrorRecoveryCount: "rocksdb.error.recovery.count",
 	TickerWALCorruptRecords:  "rocksdb.wal.corrupt.records",
+	TickerMultiGetCalls:      "rocksdb.number.multiget.get",
+	TickerMultiGetKeysRead:   "rocksdb.number.multiget.keys.read",
+	TickerMultiGetBytesRead:  "rocksdb.number.multiget.bytes.read",
 }
 
 // String returns the RocksDB-style ticker name.

@@ -257,10 +257,14 @@ func walValidRecordAt(f RandomAccessFile, off, size int64) bool {
 }
 
 // WriteBatch collects updates applied atomically by DB.Write. Encoding:
-// seq(8) count(4) then per record kind(1) varint(klen) key [varint(vlen) val].
+// seq(8) count(4) then per record kind(1) [varint(cfid)] varint(klen) key
+// [varint(vlen) val]. The cfid field is present only for the *CF kinds;
+// default-family records use the legacy kinds, keeping old WALs readable
+// byte-for-byte.
 type WriteBatch struct {
 	rep   []byte
 	count uint32
+	cfIDs []uint32 // unique column-family IDs touched by this batch
 }
 
 // NewWriteBatch returns an empty batch.
@@ -269,8 +273,19 @@ func NewWriteBatch() *WriteBatch {
 	return b
 }
 
-// Put queues a key-value insertion.
+// touchCF records a column family as touched by this batch.
+func (b *WriteBatch) touchCF(id uint32) {
+	for _, have := range b.cfIDs {
+		if have == id {
+			return
+		}
+	}
+	b.cfIDs = append(b.cfIDs, id)
+}
+
+// Put queues a key-value insertion into the default column family.
 func (b *WriteBatch) Put(key, value []byte) {
+	b.touchCF(0)
 	b.rep = append(b.rep, byte(KindValue))
 	b.rep = binary.AppendUvarint(b.rep, uint64(len(key)))
 	b.rep = append(b.rep, key...)
@@ -279,9 +294,44 @@ func (b *WriteBatch) Put(key, value []byte) {
 	b.count++
 }
 
-// Delete queues a tombstone.
+// Delete queues a tombstone in the default column family.
 func (b *WriteBatch) Delete(key []byte) {
+	b.touchCF(0)
 	b.rep = append(b.rep, byte(KindDelete))
+	b.rep = binary.AppendUvarint(b.rep, uint64(len(key)))
+	b.rep = append(b.rep, key...)
+	b.count++
+}
+
+// PutCF queues a key-value insertion into the given column family. A nil
+// handle (or the default family's handle) is equivalent to Put.
+func (b *WriteBatch) PutCF(h *ColumnFamilyHandle, key, value []byte) {
+	id := cfHandleID(h)
+	if id == 0 {
+		b.Put(key, value)
+		return
+	}
+	b.touchCF(id)
+	b.rep = append(b.rep, byte(KindValueCF))
+	b.rep = binary.AppendUvarint(b.rep, uint64(id))
+	b.rep = binary.AppendUvarint(b.rep, uint64(len(key)))
+	b.rep = append(b.rep, key...)
+	b.rep = binary.AppendUvarint(b.rep, uint64(len(value)))
+	b.rep = append(b.rep, value...)
+	b.count++
+}
+
+// DeleteCF queues a tombstone in the given column family. A nil handle (or
+// the default family's handle) is equivalent to Delete.
+func (b *WriteBatch) DeleteCF(h *ColumnFamilyHandle, key []byte) {
+	id := cfHandleID(h)
+	if id == 0 {
+		b.Delete(key)
+		return
+	}
+	b.touchCF(id)
+	b.rep = append(b.rep, byte(KindDeleteCF))
+	b.rep = binary.AppendUvarint(b.rep, uint64(id))
 	b.rep = binary.AppendUvarint(b.rep, uint64(len(key)))
 	b.rep = append(b.rep, key...)
 	b.count++
@@ -297,6 +347,7 @@ func (b *WriteBatch) Clear() {
 		b.rep[i] = 0
 	}
 	b.count = 0
+	b.cfIDs = b.cfIDs[:0]
 }
 
 // ApproximateSize returns the encoded size in bytes.
@@ -312,13 +363,15 @@ func (b *WriteBatch) setSequence(seq uint64) {
 func (b *WriteBatch) sequence() uint64 { return binary.LittleEndian.Uint64(b.rep[0:]) }
 
 // iterate decodes the batch, calling fn with each record's assigned
-// sequence number.
-func (b *WriteBatch) iterate(fn func(seq uint64, kind ValueKind, key, value []byte) error) error {
+// sequence number and owning column family.
+func (b *WriteBatch) iterate(fn func(seq uint64, cfID uint32, kind ValueKind, key, value []byte) error) error {
 	return decodeBatch(b.rep, fn)
 }
 
-// decodeBatch walks an encoded batch representation.
-func decodeBatch(rep []byte, fn func(seq uint64, kind ValueKind, key, value []byte) error) error {
+// decodeBatch walks an encoded batch representation. The *CF kinds are
+// resolved to their base kinds, with the decoded column-family ID passed to
+// fn (0 for legacy default-family records).
+func decodeBatch(rep []byte, fn func(seq uint64, cfID uint32, kind ValueKind, key, value []byte) error) error {
 	if len(rep) < 12 {
 		return fmt.Errorf("lsm: batch header too short (%d bytes)", len(rep))
 	}
@@ -331,6 +384,21 @@ func decodeBatch(rep []byte, fn func(seq uint64, kind ValueKind, key, value []by
 		}
 		kind := ValueKind(body[0])
 		body = body[1:]
+		var cfID uint32
+		switch kind {
+		case KindValueCF, KindDeleteCF:
+			id, n := binary.Uvarint(body)
+			if n <= 0 {
+				return io.ErrUnexpectedEOF
+			}
+			cfID = uint32(id)
+			body = body[n:]
+			if kind == KindValueCF {
+				kind = KindValue
+			} else {
+				kind = KindDelete
+			}
+		}
 		klen, n := binary.Uvarint(body)
 		if n <= 0 || uint64(len(body)-n) < klen {
 			return io.ErrUnexpectedEOF
@@ -346,7 +414,7 @@ func decodeBatch(rep []byte, fn func(seq uint64, kind ValueKind, key, value []by
 			value = body[n2 : n2+int(vlen)]
 			body = body[n2+int(vlen):]
 		}
-		if err := fn(seq+uint64(i), kind, key, value); err != nil {
+		if err := fn(seq+uint64(i), cfID, kind, key, value); err != nil {
 			return err
 		}
 	}

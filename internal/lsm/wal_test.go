@@ -121,7 +121,7 @@ func TestBatchEncodeDecode(t *testing.T) {
 		k, v string
 	}
 	var got []rec
-	err := b.iterate(func(seq uint64, kind ValueKind, key, value []byte) error {
+	err := b.iterate(func(seq uint64, _ uint32, kind ValueKind, key, value []byte) error {
 		got = append(got, rec{seq, kind, string(key), string(value)})
 		return nil
 	})
@@ -163,7 +163,7 @@ func TestDecodeBatchErrors(t *testing.T) {
 	// Valid header claiming 1 record but empty body.
 	bad := make([]byte, 12)
 	bad[8] = 1
-	if err := decodeBatch(bad, func(uint64, ValueKind, []byte, []byte) error { return nil }); !errors.Is(err, errUnexpectedEOFAlias) && err == nil {
+	if err := decodeBatch(bad, func(uint64, uint32, ValueKind, []byte, []byte) error { return nil }); !errors.Is(err, errUnexpectedEOFAlias) && err == nil {
 		t.Fatal("truncated batch accepted")
 	}
 }
@@ -174,7 +174,7 @@ var errUnexpectedEOFAlias = errUnexpectedEOF()
 func errUnexpectedEOF() error {
 	b := make([]byte, 12)
 	b[8] = 1
-	return decodeBatch(b, func(uint64, ValueKind, []byte, []byte) error { return nil })
+	return decodeBatch(b, func(uint64, uint32, ValueKind, []byte, []byte) error { return nil })
 }
 
 // TestQuickBatchRoundTrip: arbitrary operation sequences encode and decode
@@ -192,7 +192,7 @@ func TestQuickBatchRoundTrip(t *testing.T) {
 		}
 		b.setSequence(seq)
 		i := 0
-		err := b.iterate(func(s uint64, kind ValueKind, key, value []byte) error {
+		err := b.iterate(func(s uint64, _ uint32, kind ValueKind, key, value []byte) error {
 			op := ops[i]
 			if s != seq+uint64(i) {
 				return errors.New("bad seq")

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -48,8 +49,8 @@ type writeRequest struct {
 
 	// Leader-set fields. The follower reads them only after observing
 	// writerParallel, so the atomic state store orders the accesses.
-	mem *memtable
-	wg  *sync.WaitGroup
+	mems memSet
+	wg   *sync.WaitGroup
 
 	err       error // group outcome, set before writerDone
 	insertErr error // follower's own memtable insert error
@@ -128,9 +129,18 @@ func (wt *writeThread) handoff() {
 	}
 }
 
-// insertBatch applies a batch's entries to a memtable.
-func insertBatch(mem *memtable, b *WriteBatch) error {
-	return b.iterate(func(seq uint64, kind ValueKind, key, value []byte) error {
+// memSet maps column-family ids to the memtables a write group inserts
+// into — one consistent capture taken under db.mu at commit time.
+type memSet map[uint32]*memtable
+
+// insertBatch applies a batch's entries, routing each to its family's
+// memtable.
+func insertBatch(mems memSet, b *WriteBatch) error {
+	return b.iterate(func(seq uint64, cfID uint32, kind ValueKind, key, value []byte) error {
+		mem := mems[cfID]
+		if mem == nil {
+			return fmt.Errorf("%w: id %d (write)", ErrColumnFamilyNotFound, cfID)
+		}
 		mem.add(seq, kind, key, value) // add copies
 		return nil
 	})
@@ -189,7 +199,7 @@ func (db *DB) writeOS(wo *WriteOptions, batch *WriteBatch) error {
 		st := db.awaitStateChange(w)
 		db.hists.Record(HistWriteJoinMicros, time.Since(enqueuedAt))
 		if st == writerParallel {
-			w.insertErr = insertBatch(w.mem, w.batch)
+			w.insertErr = insertBatch(w.mems, w.batch)
 			w.wg.Done()
 			st = db.awaitAtLeast(w, writerDone)
 		}
@@ -219,36 +229,75 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 	db.commitMu.Lock()
 	db.mu.Lock()
 	var err error
+	// Writers naming an unknown (dropped) family fail individually; the rest
+	// of the group commits. commit holds the surviving writers.
+	var commit []*writeRequest
+	touched := make(map[uint32]*columnFamily)
 	if db.closed {
 		err = ErrClosed
 	} else {
-		err = db.makeRoomForWriteLocked(totalBytes)
+		for _, w := range group {
+			var bad error
+			wcfs := make([]*columnFamily, 0, len(w.batch.cfIDs))
+			for _, id := range w.batch.cfIDs {
+				cf := db.cfs[id]
+				if cf == nil {
+					bad = fmt.Errorf("%w: id %d (write)", ErrColumnFamilyNotFound, id)
+					break
+				}
+				wcfs = append(wcfs, cf)
+			}
+			if bad != nil {
+				w.err = bad
+				continue
+			}
+			commit = append(commit, w)
+			for _, cf := range wcfs {
+				touched[cf.id] = cf
+			}
+		}
+		for _, cf := range touched {
+			if err = db.makeRoomForWriteLocked(cf, totalBytes); err != nil {
+				break
+			}
+		}
 	}
-	if err != nil {
+	if err != nil || len(commit) == 0 {
 		db.mu.Unlock()
 		db.commitMu.Unlock()
 		db.wt.handoff()
-		return db.finishGroup(group, err)
+		db.finishGroup(group, err)
+		if leader.err != nil {
+			return leader.err
+		}
+		return err
 	}
 	prevSeq := db.vs.lastSeq
 	seq := prevSeq + 1
-	for _, w := range group {
+	for _, w := range commit {
 		w.batch.setSequence(seq)
 		seq += uint64(w.batch.Count())
 	}
 	lastSeq := seq - 1
 	db.vs.lastSeq = lastSeq
-	mem, wal := db.mem, db.wal
-	// Pin the memtable against flush until the group's inserts land (a
-	// pipelined successor group may switch memtables while we insert).
-	mem.writers.Add(1)
+	wal := db.wal
+	// Capture and pin every touched family's memtable until the group's
+	// inserts land (a pipelined successor group may switch memtables while we
+	// insert; makeRoomForWriteLocked re-reads cf.mem, so capture after it).
+	mems := make(memSet, len(touched))
+	pinned := make([]*memtable, 0, len(touched))
+	for id, cf := range touched {
+		mems[id] = cf.mem
+		cf.mem.writers.Add(1)
+		pinned = append(pinned, cf.mem)
+	}
 	db.mu.Unlock()
 
 	// WAL stage: every batch in one record run, at most one sync.
 	if !group[0].disableWAL {
-		reps := make([][]byte, len(group))
+		reps := make([][]byte, len(commit))
 		needSync := false
-		for i, w := range group {
+		for i, w := range commit {
 			reps[i] = w.batch.rep
 			needSync = needSync || w.sync
 		}
@@ -275,30 +324,39 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 	}
 
 	// Memtable stage.
+	leaderCommits := leader.err == nil
 	if err == nil {
-		if db.opts.AllowConcurrentMemtableWrite && len(group) > 1 {
+		followers := commit
+		if leaderCommits {
+			followers = commit[1:]
+		}
+		if db.opts.AllowConcurrentMemtableWrite && len(followers) > 0 {
 			var wg sync.WaitGroup
-			wg.Add(len(group) - 1)
-			for _, w := range group[1:] {
-				w.mem, w.wg = mem, &wg
+			wg.Add(len(followers))
+			for _, w := range followers {
+				w.mems, w.wg = mems, &wg
 				w.to(writerParallel)
 			}
-			err = insertBatch(mem, leader.batch)
+			if leaderCommits {
+				err = insertBatch(mems, leader.batch)
+			}
 			wg.Wait()
-			for _, w := range group[1:] {
+			for _, w := range followers {
 				if err == nil && w.insertErr != nil {
 					err = w.insertErr
 				}
 			}
 		} else {
-			for _, w := range group {
-				if e := insertBatch(mem, w.batch); e != nil && err == nil {
+			for _, w := range commit {
+				if e := insertBatch(mems, w.batch); e != nil && err == nil {
 					err = e
 				}
 			}
 		}
 	}
-	mem.writers.Done()
+	for _, m := range pinned {
+		m.writers.Done()
+	}
 
 	// Publish in group order: reads at sequence S must see every entry with
 	// sequence <= S, so a group waits for its predecessor before exposing
@@ -306,11 +364,19 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 	// allocated and later groups' publishes chain behind ours.
 	db.publishSequence(prevSeq, lastSeq)
 
-	db.stats.Add(TickerBytesWritten, totalBytes)
+	var committedBytes int64
+	for _, w := range commit {
+		committedBytes += w.batch.ApproximateSize()
+	}
+	db.stats.Add(TickerBytesWritten, committedBytes)
 	if !pipelined {
 		db.wt.handoff()
 	}
-	return db.finishGroup(group, err)
+	db.finishGroup(group, err)
+	if leader.err != nil {
+		return leader.err
+	}
+	return err
 }
 
 // publishSequence advances the published sequence from prev to last once the
@@ -325,10 +391,13 @@ func (db *DB) publishSequence(prev, last uint64) {
 	db.publishMu.Unlock()
 }
 
-// finishGroup delivers the group outcome to the followers.
+// finishGroup delivers the group outcome to the followers. Writers that
+// already failed individually (unknown column family) keep their own error.
 func (db *DB) finishGroup(group []*writeRequest, err error) error {
 	for _, w := range group[1:] {
-		w.err = err
+		if w.err == nil {
+			w.err = err
+		}
 		w.to(writerDone)
 	}
 	return err
@@ -375,8 +444,16 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	// RocksDB's delayed writer does) and memtable switches.
 	arrival := db.sim.Now() + db.sim.AccruedOpCost()
 	serialStart := db.sim.AccruedOpCost()
-	if err := db.makeRoomForWriteLocked(batch.ApproximateSize()); err != nil {
-		return err
+	mems := make(memSet, len(batch.cfIDs))
+	for _, id := range batch.cfIDs {
+		cf := db.cfs[id]
+		if cf == nil {
+			return fmt.Errorf("%w: id %d (write)", ErrColumnFamilyNotFound, id)
+		}
+		if err := db.makeRoomForWriteLocked(cf, batch.ApproximateSize()); err != nil {
+			return err
+		}
+		mems[id] = cf.mem
 	}
 	seq := db.vs.lastSeq + 1
 	batch.setSequence(seq)
@@ -425,7 +502,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	}
 	serialCost := db.sim.AccruedOpCost() - serialStart
 
-	if err := insertBatch(db.mem, batch); err != nil {
+	if err := insertBatch(mems, batch); err != nil {
 		return err
 	}
 	db.publishedSeq.Store(db.vs.lastSeq)

@@ -15,12 +15,17 @@ import (
 type Change struct {
 	Name  string
 	Value string
+	// CF scopes the change to a column family: the quoted name of the
+	// enclosing [CFOptions "<name>"] (or TableOptions) section header in the
+	// response. Empty means unscoped — DBOptions, prose, or a bare
+	// assignment — which callers treat as the default family.
+	CF string
 }
 
 // Result is the structured view of one LLM response.
 type Result struct {
 	// Changes are the extracted option assignments, in appearance order,
-	// deduplicated by name (last occurrence wins).
+	// deduplicated by (column family, name) (last occurrence wins).
 	Changes []Change
 	// Rejected lines looked like assignments but could not be parsed.
 	Rejected []string
@@ -35,6 +40,10 @@ var (
 	reAssign = regexp.MustCompile("(?i)^\\s*(?:[-*•]\\s*)?(?:set\\s+)?`?([a-z][a-z0-9_]{2,63})`?\\s*[:=]\\s*`?\"?([a-zA-Z0-9_.:/-]+)\"?`?\\s*;?,?\\s*$")
 	// section headers inside ini blocks are structural, not assignments.
 	reSection = regexp.MustCompile(`^\s*\[.*\]\s*$`)
+	// reCFSection matches section headers that scope subsequent assignments
+	// to a named column family: [CFOptions "hot"] and the family's
+	// [TableOptions/BlockBasedTable "hot"] companion.
+	reCFSection = regexp.MustCompile(`(?i)^\s*\[\s*(?:CFOptions|TableOptions(?:/BlockBasedTable)?)\s+"([^"]+)"\s*\]\s*$`)
 	// suspiciousAssign catches lines that clearly intend an assignment but
 	// failed the strict pattern (reported as Rejected).
 	reSuspicious = regexp.MustCompile(`(?i)^\s*(?:[-*•]\s*)?(?:set\s+)?[a-z][a-z0-9_]{2,63}\s*[:=]`)
@@ -53,7 +62,9 @@ var nonOptionWords = map[string]bool{
 	"storage": true, "recommendation": true, "explanation": true, "step": true,
 }
 
-// Parse extracts option changes from an LLM response.
+// Parse extracts option changes from an LLM response. Assignments under a
+// [CFOptions "<name>"] header are tagged with that column family; a
+// [DBOptions] (or any other unquoted) header resets the scope.
 func Parse(response string) Result {
 	var res Result
 	// Prefer fenced blocks: parse them first, then scan prose outside the
@@ -63,26 +74,36 @@ func Parse(response string) Result {
 	if len(blocks) > 0 {
 		res.HadCodeBlock = true
 	}
-	seen := map[string]int{} // name -> index into res.Changes
-	record := func(name, value string) {
+	seen := map[string]int{} // cf + "\x00" + name -> index into res.Changes
+	record := func(cf, name, value string) {
 		name = strings.ToLower(name)
 		if nonOptionWords[name] {
 			return
 		}
-		if i, ok := seen[name]; ok {
+		key := cf + "\x00" + name
+		if i, ok := seen[key]; ok {
 			res.Changes[i].Value = value
 			return
 		}
-		seen[name] = len(res.Changes)
-		res.Changes = append(res.Changes, Change{Name: name, Value: value})
+		seen[key] = len(res.Changes)
+		res.Changes = append(res.Changes, Change{Name: name, Value: value, CF: cf})
 	}
 	scan := func(text string, strict bool) {
+		cf := "" // current column-family scope within this block
 		for _, line := range strings.Split(text, "\n") {
-			if strings.TrimSpace(line) == "" || reSection.MatchString(line) {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if reSection.MatchString(line) {
+				if m := reCFSection.FindStringSubmatch(line); m != nil {
+					cf = m[1]
+				} else {
+					cf = ""
+				}
 				continue
 			}
 			if m := reAssign.FindStringSubmatch(line); m != nil {
-				record(m[1], m[2])
+				record(cf, m[1], m[2])
 				continue
 			}
 			if strict && reSuspicious.MatchString(line) {
@@ -92,7 +113,7 @@ func Parse(response string) Result {
 			if !strict {
 				// Prose may embed assignments mid-sentence.
 				for _, m := range reProse.FindAllStringSubmatch(line, -1) {
-					record(m[1], m[2])
+					record(cf, m[1], m[2])
 				}
 			}
 		}
@@ -105,11 +126,15 @@ func Parse(response string) Result {
 }
 
 // FormatChanges renders changes as "name=value" lines (for logs and the
-// deterioration prompt).
+// deterioration prompt); family-scoped changes carry the family name.
 func FormatChanges(cs []Change) string {
 	var b strings.Builder
 	for _, c := range cs {
-		fmt.Fprintf(&b, "%s=%s\n", c.Name, c.Value)
+		if c.CF != "" {
+			fmt.Fprintf(&b, "%s=%s (column family %q)\n", c.Name, c.Value, c.CF)
+		} else {
+			fmt.Fprintf(&b, "%s=%s\n", c.Name, c.Value)
+		}
 	}
 	return b.String()
 }

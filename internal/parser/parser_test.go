@@ -117,9 +117,78 @@ func TestParseSectionHeadersSkipped(t *testing.T) {
 }
 
 func TestFormatChanges(t *testing.T) {
-	s := FormatChanges([]Change{{"a", "1"}, {"b", "2"}})
+	s := FormatChanges([]Change{{Name: "a", Value: "1"}, {Name: "b", Value: "2"}})
 	if s != "a=1\nb=2\n" {
 		t.Fatalf("FormatChanges = %q", s)
+	}
+	s = FormatChanges([]Change{{Name: "write_buffer_size", Value: "1048576", CF: "hot"}})
+	if s != "write_buffer_size=1048576 (column family \"hot\")\n" {
+		t.Fatalf("FormatChanges with CF = %q", s)
+	}
+}
+
+func cfChangeMap(r Result) map[string]string {
+	m := make(map[string]string)
+	for _, c := range r.Changes {
+		m[c.CF+"/"+c.Name] = c.Value
+	}
+	return m
+}
+
+// A response containing several CFOptions sections must scope each
+// assignment to its enclosing family, with DBOptions lines left unscoped.
+func TestParseMultipleCFSections(t *testing.T) {
+	resp := "Tune each family separately:\n```ini\n[DBOptions]\n  max_background_jobs=6\n[CFOptions \"default\"]\n  write_buffer_size=33554432\n[CFOptions \"hot\"]\n  write_buffer_size=134217728\n  level0_file_num_compaction_trigger=2\n[TableOptions/BlockBasedTable \"hot\"]\n  block_size=8192\n[CFOptions \"cold keys\"]\n  write_buffer_size=8388608\n```"
+	r := Parse(resp)
+	want := map[string]string{
+		"/max_background_jobs":                   "6",
+		"default/write_buffer_size":              "33554432",
+		"hot/write_buffer_size":                  "134217728",
+		"hot/level0_file_num_compaction_trigger": "2",
+		"hot/block_size":                         "8192",
+		"cold keys/write_buffer_size":            "8388608",
+	}
+	if got := cfChangeMap(r); !reflect.DeepEqual(got, want) {
+		t.Fatalf("changes = %v, want %v", got, want)
+	}
+}
+
+// The same option may be set in two families without the entries colliding;
+// within one family the last assignment still wins.
+func TestParseCFDedupPerFamily(t *testing.T) {
+	resp := "```ini\n[CFOptions \"hot\"]\nwrite_buffer_size=1\nwrite_buffer_size=2\n[CFOptions \"cold\"]\nwrite_buffer_size=3\n```"
+	r := Parse(resp)
+	got := cfChangeMap(r)
+	if len(r.Changes) != 2 || got["hot/write_buffer_size"] != "2" || got["cold/write_buffer_size"] != "3" {
+		t.Fatalf("changes = %v", r.Changes)
+	}
+}
+
+// A DBOptions (or any unquoted) header after a CFOptions section resets the
+// scope back to unscoped.
+func TestParseCFScopeReset(t *testing.T) {
+	resp := "```ini\n[CFOptions \"hot\"]\nwrite_buffer_size=4194304\n[DBOptions]\nmax_background_jobs=4\n```"
+	r := Parse(resp)
+	got := cfChangeMap(r)
+	if got["hot/write_buffer_size"] != "4194304" || got["/max_background_jobs"] != "4" {
+		t.Fatalf("changes = %v", r.Changes)
+	}
+}
+
+// A CF name the database does not have still parses — vetting the family's
+// existence is the safeguard layer's job, not the parser's.
+func TestParseNonexistentCFStillExtracted(t *testing.T) {
+	r := Parse("```ini\n[CFOptions \"no_such_family\"]\nwrite_buffer_size=65536\n```")
+	if len(r.Changes) != 1 || r.Changes[0].CF != "no_such_family" {
+		t.Fatalf("changes = %v", r.Changes)
+	}
+}
+
+// Prose assignments never carry a family scope.
+func TestParseProseUnscoped(t *testing.T) {
+	r := Parse("For the hot family, set write_buffer_size to 1048576.")
+	if len(r.Changes) != 1 || r.Changes[0].CF != "" {
+		t.Fatalf("changes = %v", r.Changes)
 	}
 }
 

@@ -26,8 +26,12 @@ type Inputs struct {
 	WorkloadDescription string
 	// Host is the sysmon characterization (psutil/fio stand-ins).
 	Host sysmon.HostInfo
-	// Options is the configuration currently in effect.
+	// Options is the configuration currently in effect (single-family runs).
 	Options *lsm.Options
+	// Config, when set, takes precedence over Options and renders the full
+	// multi-family OPTIONS file ([DBOptions] plus one CFOptions/TableOptions
+	// section pair per column family).
+	Config *lsm.ConfigSet
 	// LastReport is the most recent benchmark output (db_bench style).
 	LastReport string
 	// StatsDump is the engine's rocksdb.stats property text from the last
@@ -61,7 +65,10 @@ Rules:
 - Limit each reply to at most 10 option changes.
 - Never disable the write-ahead log, fsync, or data verification.
 - Reply with a short rationale and the changed options either as an ini
-  block or as explicit "option = value" lines.`)
+  block or as explicit "option = value" lines.
+- When the database has multiple column families, scope each change by
+  placing it under the matching [CFOptions "<name>"] header; unscoped
+  changes apply to the "default" family. Never invent column families.`)
 }
 
 // Build renders the full conversation for one iteration.
@@ -105,7 +112,20 @@ func Build(in Inputs) []llm.Message {
 		b.WriteString(strings.TrimSpace(in.Histograms))
 		b.WriteString("\n```\n")
 	}
-	if in.Options != nil {
+	switch {
+	case in.Config != nil:
+		names := in.Config.Names()
+		if len(names) > 1 {
+			fmt.Fprintf(&b, "\n## Column families\n")
+			fmt.Fprintf(&b, "The database has %d column families: %s.\n",
+				len(names), strings.Join(names, ", "))
+			b.WriteString("Scope per-family changes under the matching [CFOptions \"<name>\"]\n" +
+				"section header; unscoped changes apply to the \"default\" family.\n")
+		}
+		b.WriteString("\n## Current OPTIONS file\n```ini\n")
+		b.WriteString(in.Config.ToINI().String())
+		b.WriteString("```\n")
+	case in.Options != nil:
 		b.WriteString("\n## Current OPTIONS file\n```ini\n")
 		b.WriteString(in.Options.ToINI().String())
 		b.WriteString("```\n")

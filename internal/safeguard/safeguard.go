@@ -119,11 +119,37 @@ func (e *Enforcer) IsBlacklisted(name string) bool { return e.blacklist[name] }
 
 // Vet classifies every change against the current options. Accepted (and
 // deprecated-accepted) changes are returned in applied order; the caller
-// applies them to a clone of cur.
+// applies them to a clone of cur. Changes scoped to a named column family
+// are hallucinations here: a bare Options value has only the default family
+// (use VetConfig when tuning a multi-family ConfigSet).
 func (e *Enforcer) Vet(cur *lsm.Options, changes []parser.Change) []Decision {
 	out := make([]Decision, 0, len(changes))
 	for _, c := range changes {
+		if c.CF != "" && c.CF != lsm.DefaultColumnFamilyName {
+			out = append(out, Decision{c, Hallucinated,
+				fmt.Sprintf("column family %q does not exist", c.CF)})
+			continue
+		}
 		out = append(out, e.vetOne(cur, c))
+	}
+	return out
+}
+
+// VetConfig classifies every change against a multi-family configuration.
+// Each change is vetted against the options of the family it is scoped to
+// (unscoped changes target the default family); a change naming a family the
+// configuration does not have is a hallucination — the LLM invented a
+// column family, the per-option analogue of inventing an option name.
+func (e *Enforcer) VetConfig(cur *lsm.ConfigSet, changes []parser.Change) []Decision {
+	out := make([]Decision, 0, len(changes))
+	for _, c := range changes {
+		opts := cur.Lookup(c.CF)
+		if opts == nil {
+			out = append(out, Decision{c, Hallucinated,
+				fmt.Sprintf("column family %q does not exist", c.CF)})
+			continue
+		}
+		out = append(out, e.vetOne(opts, c))
 	}
 	return out
 }
@@ -183,6 +209,38 @@ func Apply(cur *lsm.Options, decisions []Decision) (*lsm.Options, []Decision, er
 			continue
 		}
 		if err := next.SetByName(d.Change.Name, d.Change.Value); err != nil {
+			d.Verdict = Invalid
+			d.Reason = err.Error()
+			continue
+		}
+		applied = append(applied, d)
+	}
+	if err := next.Validate(); err != nil {
+		return cur, applied, fmt.Errorf("safeguard: combined changes fail validation: %w", err)
+	}
+	return next, applied, nil
+}
+
+// ApplyConfig executes the accepted decisions onto a clone of the full
+// multi-family configuration, routing each change to the family it is scoped
+// to, then validates the combined result. On validation failure the original
+// configuration is returned untouched.
+func ApplyConfig(cur *lsm.ConfigSet, decisions []Decision) (*lsm.ConfigSet, []Decision, error) {
+	next := cur.Clone()
+	applied := make([]Decision, 0, len(decisions))
+	for _, d := range decisions {
+		if d.Verdict != Accepted && d.Verdict != DeprecatedAccepted {
+			continue
+		}
+		opts := next.Lookup(d.Change.CF)
+		if opts == nil {
+			// A family accepted at vet time but absent now (e.g. dropped
+			// between vet and apply) degrades to a hallucination.
+			d.Verdict = Hallucinated
+			d.Reason = fmt.Sprintf("column family %q does not exist", d.Change.CF)
+			continue
+		}
+		if err := opts.SetByName(d.Change.Name, d.Change.Value); err != nil {
 			d.Verdict = Invalid
 			d.Reason = err.Error()
 			continue

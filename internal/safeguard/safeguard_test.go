@@ -169,6 +169,106 @@ func TestVerdictString(t *testing.T) {
 	}
 }
 
+// twoFamilyConfig builds a configuration with a "hot" family layered on the
+// dbbench defaults.
+func twoFamilyConfig() *lsm.ConfigSet {
+	cs := lsm.NewConfigSet(lsm.DBBenchDefaults())
+	cs.CF("hot")
+	return cs
+}
+
+func TestVetConfigRoutesPerFamily(t *testing.T) {
+	e := New()
+	cs := twoFamilyConfig()
+	cs.CF("hot").WriteBufferSize = 1 << 20
+	ds := e.VetConfig(cs, []parser.Change{
+		{Name: "write_buffer_size", Value: "1048576", CF: "hot"},     // no-op for hot
+		{Name: "write_buffer_size", Value: "1048576", CF: "default"}, // change for default
+		{Name: "max_background_jobs", Value: "4"},                    // unscoped -> default
+	})
+	if ds[0].Verdict != NoOp {
+		t.Fatalf("hot no-op: verdict = %v (%s)", ds[0].Verdict, ds[0].Reason)
+	}
+	if ds[1].Verdict != Accepted {
+		t.Fatalf("default change: verdict = %v (%s)", ds[1].Verdict, ds[1].Reason)
+	}
+	if ds[2].Verdict != Accepted {
+		t.Fatalf("unscoped change: verdict = %v (%s)", ds[2].Verdict, ds[2].Reason)
+	}
+}
+
+func TestVetConfigUnknownFamilyHallucinated(t *testing.T) {
+	e := New()
+	ds := e.VetConfig(twoFamilyConfig(), []parser.Change{
+		{Name: "write_buffer_size", Value: "1048576", CF: "nope"},
+	})
+	if ds[0].Verdict != Hallucinated {
+		t.Fatalf("verdict = %v, want hallucinated", ds[0].Verdict)
+	}
+}
+
+// Vet against bare Options has only the default family: a named scope is a
+// hallucination there too.
+func TestVetScopedChangeAgainstBareOptions(t *testing.T) {
+	e := New()
+	ds := e.Vet(lsm.DBBenchDefaults(), []parser.Change{
+		{Name: "write_buffer_size", Value: "1048576", CF: "hot"},
+		{Name: "write_buffer_size", Value: "1048576", CF: "default"},
+	})
+	if ds[0].Verdict != Hallucinated {
+		t.Fatalf("scoped: verdict = %v", ds[0].Verdict)
+	}
+	if ds[1].Verdict == Hallucinated {
+		t.Fatalf("default scope must be allowed: %v (%s)", ds[1].Verdict, ds[1].Reason)
+	}
+}
+
+func TestApplyConfig(t *testing.T) {
+	e := New()
+	cs := twoFamilyConfig()
+	changes := []parser.Change{
+		{Name: "write_buffer_size", Value: "134217728", CF: "hot"},
+		{Name: "max_background_jobs", Value: "4"},
+		{Name: "write_buffer_size", Value: "1", CF: "ghost"}, // hallucinated: skipped
+	}
+	next, applied, err := ApplyConfig(cs, e.VetConfig(cs, changes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("applied %d changes: %+v", len(applied), applied)
+	}
+	if got := next.CF("hot").WriteBufferSize; got != 134217728 {
+		t.Fatalf("hot write_buffer_size = %d", got)
+	}
+	if next.Default.WriteBufferSize == 134217728 {
+		t.Fatal("family-scoped change leaked into the default family")
+	}
+	if next.Default.MaxBackgroundJobs != 4 {
+		t.Fatalf("default max_background_jobs = %d", next.Default.MaxBackgroundJobs)
+	}
+	// Original untouched.
+	if cs.CF("hot").WriteBufferSize == 134217728 {
+		t.Fatal("input configuration mutated")
+	}
+}
+
+func TestApplyConfigCombinedValidationFailure(t *testing.T) {
+	e := New()
+	cs := twoFamilyConfig()
+	changes := []parser.Change{
+		{Name: "min_write_buffer_number_to_merge", Value: "2", CF: "hot"},
+		{Name: "max_write_buffer_number", Value: "1", CF: "hot"},
+	}
+	next, _, err := ApplyConfig(cs, e.VetConfig(cs, changes))
+	if err == nil {
+		t.Fatal("combined invalid changes accepted")
+	}
+	if next != cs {
+		t.Fatal("failed ApplyConfig should return the original configuration")
+	}
+}
+
 func TestVetAliasOfBlacklisted(t *testing.T) {
 	e := New()
 	e.Blacklist("filter_policy")
