@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race crashtest verify clean
+.PHONY: build test vet race crashtest equivalence verify clean
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,14 @@ race:
 crashtest:
 	$(GO) test -race -count=1 -timeout 30m -run TestCrashConsistency ./internal/lsm -args -crashcycles=20
 
-verify: build vet test race
+# Serial-vs-parallel subcompaction equivalence: the same randomized workload
+# (overwrites, deletes, snapshot held across the compaction, multi-CF)
+# compacted at max_subcompactions=1 and =4 must produce byte-identical
+# iterator dumps. -count=1 defeats the test cache so verify always re-runs it.
+equivalence:
+	$(GO) test -race -count=1 -run TestSubcompactionEquivalence ./internal/lsm
+
+verify: build vet test race equivalence
 
 clean:
 	$(GO) clean ./...

@@ -6,7 +6,8 @@
 //	ldb -db /path delete <key>
 //	ldb -db /path scan [from [to]]      (use -limit to bound output)
 //	ldb -db /path listcfs               (list column families)
-//	ldb -db /path stats | levelstats | dump_options | compact
+//	ldb -db /path stats | levelstats | dump_options
+//	ldb -db /path compact [from [to]]   (manual compaction; honors -column_family)
 //	ldb -db /path verify                (offline integrity check; DB must be closed)
 //	ldb -db /path repair                (rebuild manifest from surviving SSTables)
 //	ldb diff_options <OPTIONS-a> <OPTIONS-b>
@@ -118,7 +119,14 @@ func main() {
 	case "dump_options":
 		err = tool.DumpOptions()
 	case "compact":
-		err = tool.Compact()
+		from, to := "", ""
+		if len(args) > 1 {
+			from = args[1]
+		}
+		if len(args) > 2 {
+			to = args[2]
+		}
+		err = tool.Compact(from, to)
 	default:
 		usage()
 	}
@@ -129,7 +137,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ldb [-db DIR] [-limit N] [-column_family CF] <command> [args]
-commands: get put delete scan listcfs stats levelstats dump_options compact
+commands: get put delete scan listcfs stats levelstats dump_options
+          compact [from [to]] (honors -column_family)
           verify repair (offline; -db required; honor -column_family)
           diff_options <A> <B>   list_options [filter]`)
 	os.Exit(2)

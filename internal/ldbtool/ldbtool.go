@@ -144,9 +144,18 @@ func (t *Tool) DumpOptions() error {
 	return nil
 }
 
-// Compact runs a full manual compaction.
-func (t *Tool) Compact() error {
-	if err := t.DB.CompactRange(nil, nil); err != nil {
+// Compact runs a manual compaction of [from, to) on the selected column
+// family ("" bounds are open). Manual compactions use the database's full
+// max_subcompactions width.
+func (t *Tool) Compact(from, to string) error {
+	var start, end []byte
+	if from != "" {
+		start = []byte(from)
+	}
+	if to != "" {
+		end = []byte(to)
+	}
+	if err := t.DB.CompactRangeCF(t.cf, start, end); err != nil {
 		return err
 	}
 	fmt.Fprintln(t.Out, "OK")

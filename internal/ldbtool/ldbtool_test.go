@@ -105,7 +105,7 @@ func TestToolStatsAndOptions(t *testing.T) {
 		t.Fatal("options dump missing")
 	}
 	out.Reset()
-	if err := tool.Compact(); err != nil {
+	if err := tool.Compact("", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -185,6 +185,22 @@ func TestToolColumnFamilies(t *testing.T) {
 	}
 	if err := tool.Get("chili"); err == nil {
 		t.Fatal("hot-family write visible in default family")
+	}
+
+	// Compact honors the selected family and survives range bounds.
+	if err := tool.UseColumnFamily("hot"); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := tool.Compact("a", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("compact output: %q", out.String())
+	}
+	out.Reset()
+	if n, err := tool.Scan("", "", 0); err != nil || n != 3 {
+		t.Fatalf("hot scan after compact = %d, %v", n, err)
 	}
 
 	// Unknown family is an error naming the live ones.

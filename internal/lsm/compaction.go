@@ -3,6 +3,8 @@ package lsm
 import (
 	"bytes"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -15,6 +17,11 @@ type compaction struct {
 	inputs      [2][]*FileMeta // [0]=level inputs, [1]=outputLevel inputs
 	// fifoDrop marks FIFO-style deletions (no merge, no outputs).
 	fifoDrop bool
+	// maxParallel is the subcompaction width granted by the scheduler: how
+	// many range slices this job may run concurrently. Subcompactions share
+	// the max_background_jobs budget, so the grant is min(max_subcompactions,
+	// free compaction slots). 0 or 1 means serial.
+	maxParallel int
 }
 
 // allInputs returns every input file.
@@ -234,6 +241,11 @@ type compactionResult struct {
 	// dur is the job's wall-clock execution time, for histograms, the
 	// per-level compaction-stats table and event listeners.
 	dur time.Duration
+	// slices is the number of range-partitioned subcompactions the job ran
+	// (1 = unsplit); sliceDurs holds each slice's wall-clock duration for
+	// the subcompaction histogram.
+	slices    int
+	sliceDurs []time.Duration
 }
 
 // isBaseLevelForKey reports whether no level below outputLevel may contain
@@ -249,10 +261,114 @@ func isBaseLevelForKey(v *Version, outputLevel int, userKey []byte) bool {
 	return true
 }
 
+// subSlice is one range-partitioned slice of a compaction: user keys in
+// [start, limit), where a nil bound is open-ended. Slices are user-key
+// aligned, so every version of a user key (and its tombstones) lands in
+// exactly one slice and the per-slice shadow/tombstone-drop state is
+// self-contained.
+type subSlice struct {
+	start, limit []byte
+}
+
+// sliceResult is the outcome of executing one subcompaction slice.
+type sliceResult struct {
+	files      []newFile
+	writeBytes int64
+	entries    int64
+	dur        time.Duration
+	err        error
+}
+
+// planSubcompactionBoundaries cuts a compaction's key space into up to
+// c.maxParallel byte-balanced ranges using the input tables' index blocks
+// (no data blocks are read). It returns the interior boundary user keys in
+// ascending order: k boundaries define k+1 slices. Nil means run serially —
+// either the job is too small (under one output file's worth per slice),
+// the grant is 1, or planning failed (best effort: a plan error falls back
+// to the always-correct serial path rather than failing the compaction).
+// Universal/FIFO jobs that output to L0 are never split: L0 file ordering
+// is by recency, not key range.
+func (db *DB) planSubcompactionBoundaries(c *compaction, outSize int64) [][]byte {
+	if c.maxParallel <= 1 || c.fifoDrop || c.outputLevel == 0 {
+		return nil
+	}
+	total := c.inputBytes()
+	if total <= outSize {
+		return nil
+	}
+	want := int(total / outSize)
+	if want > c.maxParallel {
+		want = c.maxParallel
+	}
+	if want < 2 {
+		return nil
+	}
+	// Gather split candidates from every input table's index block.
+	var anchors []indexAnchor
+	for _, f := range c.allInputs() {
+		r, err := openTable(db.env, tableFileName(db.dir, f.Number), f.Number, nil, db.opts.Stats, db.bgIOClass())
+		if err != nil {
+			return nil
+		}
+		a, err := r.indexAnchors()
+		r.close()
+		if err != nil {
+			return nil
+		}
+		anchors = append(anchors, a...)
+	}
+	if len(anchors) < want {
+		return nil
+	}
+	sort.Slice(anchors, func(i, j int) bool {
+		return bytes.Compare(anchors[i].userKey, anchors[j].userKey) < 0
+	})
+	// Merge duplicate keys (the same block-end key can appear in several
+	// inputs); their byte weights add up.
+	merged := anchors[:1]
+	for _, a := range anchors[1:] {
+		if bytes.Equal(a.userKey, merged[len(merged)-1].userKey) {
+			merged[len(merged)-1].bytes += a.bytes
+		} else {
+			merged = append(merged, a)
+		}
+	}
+	var anchorTotal int64
+	for _, a := range merged {
+		anchorTotal += a.bytes
+	}
+	step := anchorTotal / int64(want)
+	if step <= 0 {
+		return nil
+	}
+	// Walk the anchors accumulating bytes; every time the cumulative weight
+	// crosses the next even fraction of the total, cut there. The last
+	// anchor is the global largest key — a boundary there would leave an
+	// empty final slice, so it is excluded.
+	var bounds [][]byte
+	var acc int64
+	next := step
+	for _, a := range merged[:len(merged)-1] {
+		acc += a.bytes
+		if acc >= next {
+			bounds = append(bounds, a.userKey)
+			next += step
+			if len(bounds) == want-1 {
+				break
+			}
+		}
+	}
+	return bounds
+}
+
 // runCompaction executes a compaction against the current version: merges
 // inputs, drops shadowed versions and droppable tombstones, and writes
-// output tables. The caller installs the returned edit. Runs without the DB
-// mutex; inputs are immutable files.
+// output tables. When the scheduler granted parallelism (c.maxParallel > 1)
+// and the input is large enough, the key space is range-partitioned into
+// disjoint slices that run concurrently, each with its own merge iterator,
+// table builders and drop state; the per-slice outputs are stitched back in
+// key order into one version edit. The caller installs the returned edit.
+// Runs without the DB mutex; inputs are immutable files.
 func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error) {
 	res := &compactionResult{edit: &versionEdit{}}
 	defer func(start time.Time) { res.dur = time.Since(start) }(time.Now())
@@ -268,6 +384,77 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 		res.readBytes = 0
 		return res, nil
 	}
+
+	cfOpts := db.opts
+	if c.cf != nil {
+		cfOpts = c.cf.opts
+	}
+	// Snapshot-drop decisions are taken once, before slicing, so every
+	// slice applies an identical retention rule.
+	smallestSnapshot := db.smallestSnapshot()
+	outSize := targetFileSize(cfOpts, c.outputLevel)
+
+	bounds := db.planSubcompactionBoundaries(c, outSize)
+	slices := make([]subSlice, 0, len(bounds)+1)
+	var prev []byte
+	for _, b := range bounds {
+		slices = append(slices, subSlice{start: prev, limit: b})
+		prev = b
+	}
+	slices = append(slices, subSlice{start: prev})
+	res.slices = len(slices)
+
+	results := make([]sliceResult, len(slices))
+	if len(slices) == 1 || db.sim != nil {
+		// Serial execution: single slice, or simulation mode — the sim is
+		// single-threaded on a virtual clock, so slices run back to back
+		// here and the parallel service time is modeled by SimEnv instead
+		// (ScheduleBackgroundIO's parallelism argument).
+		for i, s := range slices {
+			results[i] = db.runCompactionSlice(c, v, cfOpts, s, smallestSnapshot, outSize)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, s := range slices {
+			wg.Add(1)
+			go func(i int, s subSlice) {
+				defer wg.Done()
+				results[i] = db.runCompactionSlice(c, v, cfOpts, s, smallestSnapshot, outSize)
+			}(i, s)
+		}
+		wg.Wait()
+	}
+	// Stitch: slices cover ascending disjoint key ranges, so appending
+	// their outputs in slice order preserves global key order, and summing
+	// their accounting reproduces exactly what one serial pass would have
+	// booked.
+	var entries int64
+	for i := range results {
+		sr := &results[i]
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		res.edit.newFiles = append(res.edit.newFiles, sr.files...)
+		res.writeBytes += sr.writeBytes
+		res.outputs += len(sr.files)
+		entries += sr.entries
+		res.sliceDurs = append(res.sliceDurs, sr.dur)
+	}
+	// CPU cost model: comparisons + copies per entry, plus compression.
+	perEntry := 350 * time.Nanosecond
+	if cfOpts.Compression != NoCompression {
+		perEntry += 500 * time.Nanosecond
+	}
+	res.cpu = time.Duration(entries) * perEntry
+	return res, nil
+}
+
+// runCompactionSlice merges one key-range slice of a compaction's inputs
+// and writes its output tables. Each slice owns its readers, iterators,
+// builders and shadow/tombstone state, so concurrent slices share nothing
+// but the immutable input files and the atomic file-number allocator.
+func (db *DB) runCompactionSlice(c *compaction, v *Version, cfOpts *Options, s subSlice, smallestSnapshot uint64, outSize int64) (sr sliceResult) {
+	defer func(start time.Time) { sr.dur = time.Since(start) }(time.Now())
 
 	// Build the merged input stream. Inputs are opened directly with
 	// background IO class so foreground ops are not charged.
@@ -289,7 +476,8 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 		for _, f := range c.inputs[0] {
 			r, err := openBG(f.Number)
 			if err != nil {
-				return nil, err
+				sr.err = err
+				return sr
 			}
 			iters = append(iters, r.iterator(HintSequential))
 		}
@@ -299,19 +487,22 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 	if len(c.inputs[1]) > 0 {
 		iters = append(iters, newLevelIter(c.inputs[1], HintSequential, openBG))
 	}
-	merged := newMergeIter(iters)
-	merged.SeekToFirst()
-
-	cfOpts := db.opts
-	if c.cf != nil {
-		cfOpts = c.cf.opts
+	var merged internalIterator = newMergeIter(iters)
+	if s.limit != nil {
+		merged = &boundedIter{inner: merged, limit: s.limit}
 	}
-	smallestSnapshot := db.smallestSnapshot()
-	outSize := targetFileSize(cfOpts, c.outputLevel)
+	if s.start == nil {
+		merged.SeekToFirst()
+	} else {
+		// maxSequence sorts before every real entry of the start key, so
+		// the slice begins at the first (newest) version of the first user
+		// key at or above start.
+		merged.Seek(makeInternalKey(nil, s.start, maxSequence, KindValue))
+	}
+
 	var builder *tableBuilder
 	var outFile WritableFile
 	var outNum uint64
-	var entries int64
 	var lastUserKey []byte
 	haveLast := false
 	lastSeqForKey := maxSequence
@@ -342,9 +533,8 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 				return err
 			}
 		}
-		res.edit.newFiles = append(res.edit.newFiles, newFile{c.outputLevel, meta})
-		res.writeBytes += props.FileSize
-		res.outputs++
+		sr.files = append(sr.files, newFile{c.outputLevel, meta})
+		sr.writeBytes += props.FileSize
 		builder, outFile = nil, nil
 		return nil
 	}
@@ -352,7 +542,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 	for ; merged.Valid(); merged.Next() {
 		ik := merged.Key()
 		uk := ik.userKey()
-		entries++
+		sr.entries++
 		// Version retention (LevelDB's smallest-snapshot rule): an older
 		// version is droppable only when the next-newer version of the
 		// same key is already at or below the smallest live snapshot.
@@ -380,31 +570,27 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 			outNum = db.vs.newFileNumber() // atomic: safe with or without db.mu
 			f, err := db.env.NewWritableFile(tableFileName(db.dir, outNum), db.bgIOClass())
 			if err != nil {
-				return nil, err
+				sr.err = err
+				return sr
 			}
 			outFile = f
 			builder = newTableBuilder(f, cfOpts)
 		}
 		if err := builder.add(ik, merged.Value()); err != nil {
-			return nil, err
+			sr.err = err
+			return sr
 		}
 		if builder.estimatedSize() >= outSize {
 			if err := finishOutput(); err != nil {
-				return nil, err
+				sr.err = err
+				return sr
 			}
 		}
 	}
 	if err := merged.Err(); err != nil {
-		return nil, err
+		sr.err = err
+		return sr
 	}
-	if err := finishOutput(); err != nil {
-		return nil, err
-	}
-	// CPU cost model: comparisons + copies per entry, plus compression.
-	perEntry := 350 * time.Nanosecond
-	if cfOpts.Compression != NoCompression {
-		perEntry += 500 * time.Nanosecond
-	}
-	res.cpu = time.Duration(entries) * perEntry
-	return res, nil
+	sr.err = finishOutput()
+	return sr
 }

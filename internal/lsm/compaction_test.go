@@ -84,7 +84,7 @@ func TestDirectIOAvoidsPageCachePollution(t *testing.T) {
 		r.ReadAt(buf, 0, HintRandom) // ensure cached
 		// A compaction streaming far more than the page budget.
 		budget := device.Profile2C4G().MemoryBytes
-		env.ScheduleBackgroundIO(budget, budget, 2<<20, true, direct, 0, 0)
+		env.ScheduleBackgroundIO(budget, budget, 2<<20, true, direct, 0, 0, 1)
 		env.TakeOpCost()
 		r.ReadAt(buf, 0, HintRandom)
 		cost := env.TakeOpCost()

@@ -602,7 +602,7 @@ func (db *DB) runFlushSimLocked(cf *columnFamily, mems []*memtable) {
 	if err == nil {
 		end = db.sim.ScheduleBackgroundIO(0, res.writeBytes, 0,
 			db.opts.BytesPerSync > 0, db.opts.UseDirectIOForFlushAndCompaction,
-			res.cpu, db.rateFloor(res.writeBytes))
+			res.cpu, db.rateFloor(res.writeBytes), 1)
 	} else {
 		end = db.env.Now()
 	}
@@ -696,16 +696,29 @@ func (db *DB) recordCompactionLocked(cf *columnFamily, c *compaction, res *compa
 		cf.levelIO[out].duration += res.dur
 	}
 	db.hists.Record(HistCompactionMicros, res.dur)
+	// Subcompaction accounting: the ticker counts range slices (an unsplit
+	// job counts 1, so ticker == compaction count means the knob never
+	// split anything), and the histogram records each slice's wall time so
+	// the tuner can see skew between slices.
+	slices := res.slices
+	if slices < 1 {
+		slices = 1
+	}
+	db.stats.Add(TickerSubcompactionScheduled, int64(slices))
+	for _, d := range res.sliceDurs {
+		db.hists.Record(HistSubcompactionMicros, d)
+	}
 	db.notifyCompaction(CompactionInfo{
-		ColumnFamily: cf.name,
-		InputLevel:   c.level,
-		OutputLevel:  c.outputLevel,
-		InputFiles:   len(c.allInputs()),
-		OutputFiles:  res.outputs,
-		ReadBytes:    res.readBytes,
-		WriteBytes:   res.writeBytes,
-		Duration:     res.dur,
-		Reason:       reason,
+		ColumnFamily:   cf.name,
+		InputLevel:     c.level,
+		OutputLevel:    c.outputLevel,
+		InputFiles:     len(c.allInputs()),
+		OutputFiles:    res.outputs,
+		ReadBytes:      res.readBytes,
+		WriteBytes:     res.writeBytes,
+		Duration:       res.dur,
+		Reason:         reason,
+		Subcompactions: slices,
 	})
 }
 
@@ -733,7 +746,19 @@ func (db *DB) maybeScheduleCompactionLocked() {
 			for _, f := range c.allInputs() {
 				db.busyFiles[f.Number] = true
 			}
-			db.compactActive++
+			// Subcompactions share the compaction-slot budget: the job is
+			// granted up to max_subcompactions slots, capped by whatever is
+			// free, and holds them all until it installs. The loop guard
+			// guarantees at least one free slot here.
+			grant := db.opts.MaxSubcompactions
+			if grant < 1 {
+				grant = 1
+			}
+			if free := db.opts.backgroundCompactionSlots() - db.compactActive; grant > free {
+				grant = free
+			}
+			c.maxParallel = grant
+			db.compactActive += grant
 			progress = true
 			if db.sim != nil {
 				db.runCompactionSimLocked(c)
@@ -757,7 +782,7 @@ func (db *DB) runCompactionSimLocked(c *compaction) {
 		end = db.sim.ScheduleBackgroundIO(res.readBytes, res.writeBytes,
 			db.opts.CompactionReadaheadSize, db.opts.BytesPerSync > 0,
 			db.opts.UseDirectIOForFlushAndCompaction, res.cpu,
-			db.rateFloor(res.readBytes+res.writeBytes))
+			db.rateFloor(res.readBytes+res.writeBytes), res.slices)
 	} else {
 		end = db.env.Now()
 	}
@@ -777,7 +802,12 @@ func (db *DB) compactionWorker(c *compaction) {
 
 // installCompactionLocked applies a completed compaction.
 func (db *DB) installCompactionLocked(c *compaction, res *compactionResult, err error) {
-	db.compactActive--
+	// Release every slot the scheduler granted, not just one.
+	grant := c.maxParallel
+	if grant < 1 {
+		grant = 1
+	}
+	db.compactActive -= grant
 	for _, f := range c.allInputs() {
 		delete(db.busyFiles, f.Number)
 	}
@@ -1001,7 +1031,9 @@ func (db *DB) CompactRangeCF(h *ColumnFamilyHandle, start, end []byte) error {
 	for level := 0; level < cf.opts.NumLevels-1; level++ {
 		for len(db.vs.head(cf.id).overlappingFiles(level, start, end)) > 0 && db.bgErr == nil {
 			v := db.vs.head(cf.id)
-			c := &compaction{cf: cf, level: level, outputLevel: level + 1}
+			// Manual compactions run inline and hold no background slots,
+			// so they get the full configured subcompaction width.
+			c := &compaction{cf: cf, level: level, outputLevel: level + 1, maxParallel: db.opts.MaxSubcompactions}
 			c.inputs[0] = append([]*FileMeta(nil), v.overlappingFiles(level, start, end)...)
 			if level == 0 {
 				// L0 files overlap each other: widen to every L0 file

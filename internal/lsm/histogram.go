@@ -27,6 +27,9 @@ const (
 	// HistWriteJoinMicros records how long a writer waited in the write
 	// queue before its group committed (leader handoff + publish wait).
 	HistWriteJoinMicros
+	// HistSubcompactionMicros records the wall time of each subcompaction
+	// slice; skew between p50 and max shows unbalanced range partitions.
+	HistSubcompactionMicros
 	numHistogramTypes
 )
 
@@ -40,6 +43,8 @@ var histogramNames = map[HistogramType]string{
 	HistWALSyncMicros:    "rocksdb.wal.file.sync.micros",
 	HistWriteGroupSize:   "rocksdb.db.write.group.size",
 	HistWriteJoinMicros:  "rocksdb.db.write.join.micros",
+
+	HistSubcompactionMicros: "rocksdb.subcompaction.times.micros",
 }
 
 // String returns the RocksDB-style histogram name.

@@ -65,6 +65,9 @@ type CompactionInfo struct {
 	WriteBytes  int64
 	// Duration is the compaction job's execution time.
 	Duration time.Duration
+	// Subcompactions is the number of range-partitioned slices the job ran
+	// (1 = unsplit serial merge).
+	Subcompactions int
 	// Reason distinguishes "auto", "manual" (CompactRange) and "fifo" drops.
 	Reason string
 	Err    error
@@ -255,9 +258,9 @@ func (l *logListener) OnCompactionCompleted(info CompactionInfo) {
 		l.logf("[compaction] ERROR: %v", info.Err)
 		return
 	}
-	l.logf("[compaction] %s L%d->L%d inputs=%d outputs=%d read=%d write=%d duration=%v",
+	l.logf("[compaction] %s L%d->L%d inputs=%d outputs=%d read=%d write=%d subcompactions=%d duration=%v",
 		info.Reason, info.InputLevel, info.OutputLevel, info.InputFiles, info.OutputFiles,
-		info.ReadBytes, info.WriteBytes, info.Duration.Round(time.Microsecond))
+		info.ReadBytes, info.WriteBytes, info.Subcompactions, info.Duration.Round(time.Microsecond))
 }
 
 // OnStallConditionChanged implements EventListener.

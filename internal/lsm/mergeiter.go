@@ -1,6 +1,9 @@
 package lsm
 
-import "container/heap"
+import (
+	"bytes"
+	"container/heap"
+)
 
 // internalIterator is the engine-internal iteration contract shared by
 // memtable, table and merging iterators.
@@ -114,6 +117,45 @@ func (it *levelIter) Value() []byte { return it.cur.Value() }
 
 // Err implements internalIterator.
 func (it *levelIter) Err() error { return it.err }
+
+// boundedIter clips an internal iterator to user keys strictly below limit.
+// Subcompaction slices use it so each slice's merge stream stops at the
+// slice boundary without peeking into the neighbour's range; a nil limit is
+// open-ended.
+type boundedIter struct {
+	inner internalIterator
+	limit []byte // exclusive user-key upper bound; nil = unbounded
+}
+
+// inBounds reports whether the inner iterator's current key is below limit.
+func (it *boundedIter) inBounds() bool {
+	return it.limit == nil || bytes.Compare(it.inner.Key().userKey(), it.limit) < 0
+}
+
+// Valid implements internalIterator.
+func (it *boundedIter) Valid() bool { return it.inner.Valid() && it.inBounds() }
+
+// SeekToFirst implements internalIterator.
+func (it *boundedIter) SeekToFirst() { it.inner.SeekToFirst() }
+
+// Seek implements internalIterator.
+func (it *boundedIter) Seek(key internalKey) { it.inner.Seek(key) }
+
+// Next implements internalIterator.
+func (it *boundedIter) Next() {
+	if it.Valid() {
+		it.inner.Next()
+	}
+}
+
+// Key implements internalIterator.
+func (it *boundedIter) Key() internalKey { return it.inner.Key() }
+
+// Value implements internalIterator.
+func (it *boundedIter) Value() []byte { return it.inner.Value() }
+
+// Err implements internalIterator.
+func (it *boundedIter) Err() error { return it.inner.Err() }
 
 // mergeIter merges multiple internal iterators into one ordered stream.
 // Ties (identical internal keys) cannot occur because sequence numbers are

@@ -123,6 +123,56 @@ func TestBiggerWriteBufferReducesFlushes(t *testing.T) {
 	}
 }
 
+// TestMaxSubcompactionsSplitsAndSpeedsDrain guards against max_subcompactions
+// regressing to a registered-but-dead knob: raising it must actually split
+// compactions into range slices (ticker) and shorten the virtual time to
+// drain the same workload's backlog.
+func TestMaxSubcompactionsSplitsAndSpeedsDrain(t *testing.T) {
+	run := func(subs int) (slices, compactions int64, drained time.Duration) {
+		env := NewSimEnv(device.NVMe(), device.Profile4C8G(), 5)
+		opts := DefaultOptions()
+		opts.Env = env
+		opts.WriteBufferSize = 128 << 10
+		opts.TargetFileSizeBase = 64 << 10
+		opts.MaxBytesForLevelBase = 256 << 10
+		opts.MaxBackgroundJobs = 8 // leave slots for parallel slices
+		opts.MaxSubcompactions = subs
+		db, err := Open("/fx", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		wo := DefaultWriteOptions()
+		for i := 0; i < 20000; i++ {
+			if err := db.Put(wo, []byte(fmt.Sprintf("k%07d", i)), make([]byte, 256)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.WaitForBackgroundIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return db.stats.Get(TickerSubcompactionScheduled), db.stats.Get(TickerCompactCount), env.Now()
+	}
+	slices1, compactions1, t1 := run(1)
+	slices4, compactions4, t4 := run(4)
+	if compactions1 == 0 || compactions4 == 0 {
+		t.Fatal("workload too small: no compactions ran")
+	}
+	// Serial mode never splits: one slice per compaction, exactly.
+	if slices1 != compactions1 {
+		t.Fatalf("max_subcompactions=1 must be serial: %d slices for %d compactions", slices1, compactions1)
+	}
+	// Parallel mode must actually split some jobs.
+	if slices4 <= compactions4 {
+		t.Fatalf("max_subcompactions=4 never split: %d slices for %d compactions", slices4, compactions4)
+	}
+	// And the split work must drain faster on the 4-core profile.
+	if t4 >= t1 {
+		t.Fatalf("max_subcompactions=4 should drain faster: %v vs %v", t4, t1)
+	}
+	t.Logf("sim drain: max_subcompactions=1 %v (%d slices), =4 %v (%d slices)", t1, slices1, t4, slices4)
+}
+
 func TestBloomReducesDeviceReadsOnMisses(t *testing.T) {
 	run := func(bits int) int64 {
 		env := NewSimEnv(device.NVMe(), device.Profile2C4G(), 5)

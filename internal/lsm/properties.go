@@ -115,6 +115,9 @@ func (db *DB) statsStringLocked() string {
 		db.stats.Get(TickerFlushCount), db.stats.Get(TickerFlushBytes),
 		db.stats.Get(TickerCompactCount), db.stats.Get(TickerCompactReadBytes),
 		db.stats.Get(TickerCompactWriteBytes))
+	fmt.Fprintf(&b, "Subcompactions: %d slices across %d compactions (max_subcompactions=%d)\n",
+		db.stats.Get(TickerSubcompactionScheduled), db.stats.Get(TickerCompactCount),
+		db.opts.MaxSubcompactions)
 	fmt.Fprintf(&b, "Block cache: %d hits, %d misses\n",
 		db.stats.Get(TickerBlockCacheHit), db.stats.Get(TickerBlockCacheMiss))
 	fmt.Fprintf(&b, "Bloom: %d probes passed, %d excluded\n",

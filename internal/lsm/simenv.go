@@ -380,8 +380,12 @@ func (e *SimEnv) syncDirtyLocked(d int64) {
 // smoothing: without it the job ends with an extra writeback spike. minDur
 // floors the duration (rate limiting). Unless direct is set, the job's reads
 // pollute the page cache, evicting hot foreground pages — the mechanism
-// use_direct_io_for_flush_and_compaction exists to avoid.
-func (e *SimEnv) ScheduleBackgroundIO(readBytes, writeBytes int64, readahead int64, periodicSync bool, direct bool, cpu, minDur time.Duration) time.Duration {
+// use_direct_io_for_flush_and_compaction exists to avoid. parallelism is the
+// number of subcompaction slices the job ran: the merge/build CPU work is
+// spread across that many cores (capped at the profile's core count) with a
+// coordination tax, while device time is unchanged — parallel slices share
+// one disk.
+func (e *SimEnv) ScheduleBackgroundIO(readBytes, writeBytes int64, readahead int64, periodicSync bool, direct bool, cpu, minDur time.Duration, parallelism int) time.Duration {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	now := e.clock.Now()
@@ -409,6 +413,19 @@ func (e *SimEnv) ScheduleBackgroundIO(readBytes, writeBytes int64, readahead int
 	}
 	ioTime := time.Duration(float64(readTime+writeTime) * float64(concurrent))
 	cpuTime := time.Duration(float64(cpu) * e.cpuFactorLocked(now))
+	if parallelism > 1 {
+		// Subcompaction slices divide the CPU-bound merge across cores, at
+		// ~75% scaling efficiency per extra slice (boundary skew plus
+		// stitch coordination). IO time is untouched: the slices contend
+		// for the same device.
+		n := parallelism
+		if n > e.Profile.Cores {
+			n = e.Profile.Cores
+		}
+		if eff := 1 + 0.75*float64(n-1); eff > 1 {
+			cpuTime = time.Duration(float64(cpuTime) / eff)
+		}
+	}
 	dur := ioTime + cpuTime
 	if dur < minDur {
 		dur = minDur

@@ -140,7 +140,7 @@ func TestSimEnvBackgroundInterference(t *testing.T) {
 	if u := env.Utilization(); u != 0 {
 		t.Fatalf("baseline utilization = %v", u)
 	}
-	end := env.ScheduleBackgroundIO(64<<20, 64<<20, 2<<20, true, false, 0, 0)
+	end := env.ScheduleBackgroundIO(64<<20, 64<<20, 2<<20, true, false, 0, 0, 1)
 	if end <= env.Now() {
 		t.Fatal("job completed instantly")
 	}
@@ -161,12 +161,12 @@ func TestSimEnvBackgroundInterference(t *testing.T) {
 func TestSimEnvWritebackBurstWithoutPeriodicSync(t *testing.T) {
 	env := NewSimEnv(device.SATAHDD(), device.Profile4C8G(), 1)
 	before := env.Stats().WritebackBursts
-	env.ScheduleBackgroundIO(0, 32<<20, 0, false, false, 0, 0)
+	env.ScheduleBackgroundIO(0, 32<<20, 0, false, false, 0, 0, 1)
 	if env.Stats().WritebackBursts != before+1 {
 		t.Fatal("no writeback burst for unsmoothed background write")
 	}
 	before = env.Stats().WritebackBursts
-	env.ScheduleBackgroundIO(0, 32<<20, 0, true, false, 0, 0)
+	env.ScheduleBackgroundIO(0, 32<<20, 0, true, false, 0, 0, 1)
 	if env.Stats().WritebackBursts != before {
 		t.Fatal("periodic sync should avoid the burst")
 	}
@@ -175,7 +175,7 @@ func TestSimEnvWritebackBurstWithoutPeriodicSync(t *testing.T) {
 func TestSimEnvRateFloor(t *testing.T) {
 	env := testSimEnv()
 	start := env.Now()
-	end := env.ScheduleBackgroundIO(0, 1<<20, 0, true, false, 0, 10*time.Second)
+	end := env.ScheduleBackgroundIO(0, 1<<20, 0, true, false, 0, 10*time.Second, 1)
 	if end-start < 9*time.Second {
 		t.Fatalf("rate floor ignored: job duration %v", end-start)
 	}

@@ -659,6 +659,42 @@ func verifyTableFile(env Env, name string, meta *FileMeta, class IOClass) error 
 	return nil
 }
 
+// indexAnchor is one index-block entry projected to boundary-picking form:
+// a candidate split user key plus the approximate bytes of the data block it
+// terminates. Subcompaction planning consumes these to cut a compaction's
+// input into byte-balanced key ranges without reading any data blocks.
+type indexAnchor struct {
+	userKey []byte
+	bytes   int64
+}
+
+// indexAnchors enumerates the table's index block as split candidates. Each
+// anchor's user key is the last user key of one data block, so splitting at
+// an anchor (exclusive upper bound = the NEXT block's range) keeps whole
+// blocks on one side. Keys are copied; the receiver may be closed afterward.
+func (t *tableReader) indexAnchors() ([]indexAnchor, error) {
+	it, err := newBlockIter(t.indexRaw)
+	if err != nil {
+		return nil, err
+	}
+	var anchors []indexAnchor
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		h, _, err := decodeBlockHandle(it.Value())
+		if err != nil {
+			return nil, err
+		}
+		ik := internalKey(it.Key())
+		if !ik.valid() {
+			return nil, fmt.Errorf("%w: bad index key in table %d", ErrCorruption, t.fileNum)
+		}
+		anchors = append(anchors, indexAnchor{
+			userKey: append([]byte(nil), ik.userKey()...),
+			bytes:   int64(h.length) + blockTrailerSize,
+		})
+	}
+	return anchors, it.Err()
+}
+
 // smallestKey returns the first internal key in the table (nil when empty).
 func (t *tableReader) smallestKey() internalKey {
 	it := t.iterator(HintSequential)

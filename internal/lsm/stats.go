@@ -46,6 +46,10 @@ const (
 	TickerMultiGetCalls      // MultiGet invocations
 	TickerMultiGetKeysRead   // keys looked up through MultiGet
 	TickerMultiGetBytesRead  // value bytes returned by MultiGet
+	// TickerSubcompactionScheduled counts range-partitioned compaction
+	// slices (an unsplit compaction counts one), so slices/compactions
+	// reveals how far max_subcompactions actually splits jobs.
+	TickerSubcompactionScheduled
 	numTickers
 )
 
@@ -84,6 +88,8 @@ var tickerNames = map[Ticker]string{
 	TickerMultiGetCalls:      "rocksdb.number.multiget.get",
 	TickerMultiGetKeysRead:   "rocksdb.number.multiget.keys.read",
 	TickerMultiGetBytesRead:  "rocksdb.number.multiget.bytes.read",
+
+	TickerSubcompactionScheduled: "rocksdb.subcompaction.scheduled",
 }
 
 // String returns the RocksDB-style ticker name.
