@@ -39,6 +39,7 @@ func main() {
 		optsFile   = flag.String("options", "", "load an OPTIONS ini file (incl. CFOptions sections) instead of db_bench defaults")
 		cfList     = flag.String("column_family", "", "comma-separated column families to spread workload traffic across (created if missing)")
 		stats      = flag.Bool("statistics", false, "print engine statistics after the run")
+		perfLevel  = flag.String("perf_level", "", "per-operation profiling level: disable, enable_count, enable_time (prints a PerfContext/IOStatsContext profile at exit)")
 		traceOut   = flag.String("trace_out", "", "synthesize the workload into a trace file and exit (no benchmark)")
 		traceIn    = flag.String("trace_in", "", "replay a trace file instead of running -benchmarks")
 		metricsA   = flag.String("metrics_addr", "", "serve Prometheus /metrics on this address while the benchmark runs (e.g. :9090)")
@@ -71,6 +72,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "warning: unknown option %q ignored\n", u)
 		}
 		cfg = loaded
+	}
+
+	if *perfLevel != "" {
+		if _, err := lsm.ParsePerfLevel(*perfLevel); err != nil {
+			fatal(err)
+		}
+		cfg.Default.PerfLevel = *perfLevel
 	}
 
 	dir := *dbPath
@@ -153,6 +161,16 @@ func main() {
 		fmt.Println("\nSTATISTICS:")
 		fmt.Print(db.Statistics().String())
 	}
+	if db.PerfContext().Level() != lsm.PerfDisable {
+		fmt.Println("\nPER-OPERATION PROFILE (PerfContext):")
+		fmt.Print(db.PerfContext().String())
+		fmt.Println("\nI/O PROFILE (IOStatsContext):")
+		fmt.Print(db.IOStats().String())
+	}
+	if rep.WorkloadSnap != nil {
+		fmt.Println("\nWORKLOAD CHARACTERIZATION:")
+		fmt.Println(rep.WorkloadSnap.String())
+	}
 	if traceFile != nil {
 		rec := core.TraceRecord{
 			Kind:           "benchmark",
@@ -164,6 +182,7 @@ func main() {
 			StatsDump:      rep.StatsDump,
 			Histograms:     rep.HistogramDump,
 			Tickers:        rep.Stats,
+			WorkloadSnap:   rep.WorkloadSnap,
 		}
 		if err := json.NewEncoder(traceFile).Encode(rec); err != nil {
 			fatal(err)

@@ -6,7 +6,7 @@
 //	ldb -db /path delete <key>
 //	ldb -db /path scan [from [to]]      (use -limit to bound output)
 //	ldb -db /path listcfs               (list column families)
-//	ldb -db /path stats | levelstats | dump_options
+//	ldb -db /path stats | levelstats | statshistory | dump_options
 //	ldb -db /path compact [from [to]]   (manual compaction; honors -column_family)
 //	ldb -db /path verify                (offline integrity check; DB must be closed)
 //	ldb -db /path repair                (rebuild manifest from surviving SSTables)
@@ -116,6 +116,8 @@ func main() {
 		err = tool.Stats()
 	case "levelstats":
 		err = tool.LevelStats()
+	case "statshistory":
+		err = tool.StatsHistory()
 	case "dump_options":
 		err = tool.DumpOptions()
 	case "compact":
@@ -137,7 +139,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ldb [-db DIR] [-limit N] [-column_family CF] <command> [args]
-commands: get put delete scan listcfs stats levelstats dump_options
+commands: get put delete scan listcfs stats levelstats statshistory dump_options
           compact [from [to]] (honors -column_family)
           verify repair (offline; -db required; honor -column_family)
           diff_options <A> <B>   list_options [filter]`)

@@ -35,6 +35,12 @@ type Report struct {
 	// because flagger.ParseReportText keys off the P99 lines there.
 	StatsDump     string
 	HistogramDump string
+
+	// WorkloadSnap characterizes the traffic the engine actually served
+	// during the run (ops mix, per-CF shares, write-amp, stall fraction);
+	// the tuning loop feeds it to the prompt and scores drift across
+	// iterations.
+	WorkloadSnap *lsm.WorkloadSnapshot
 }
 
 // MicrosPerOp returns the mean operation latency in microseconds.

@@ -105,6 +105,9 @@ func (r *Runner) Run() (*Report, error) {
 			return nil, err
 		}
 	}
+	// Characterize only the measured phase: preload writes would otherwise
+	// swamp the ops mix of read-heavy workloads.
+	r.DB.ResetWorkloadWindow()
 	threads := make([]*vthread, r.Spec.Threads)
 	for i := range threads {
 		seed := r.Spec.Seed*7919 + int64(i)*104729 + 1
@@ -166,6 +169,8 @@ func (r *Runner) Run() (*Report, error) {
 	rep.Stats = r.DB.Statistics().Snapshot()
 	rep.StatsDump, _ = r.DB.GetProperty("rocksdb.stats")
 	rep.HistogramDump = r.DB.Histograms().String()
+	ws := r.DB.CaptureWorkloadSnapshot()
+	rep.WorkloadSnap = &ws
 	return rep, nil
 }
 

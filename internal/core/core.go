@@ -237,6 +237,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	lastReport := baseline.Format()
 	lastStatsDump := baseline.StatsDump
 	lastHistograms := baseline.HistogramDump
+	// lastWorkload carries the measured workload characterization across
+	// iterations; each run's drift is scored against the previous run's
+	// window (benchmarks use fresh DBs, so the engine cannot score it).
+	lastWorkload := baseline.WorkloadSnap
 	var history []string
 	history = append(history, fmt.Sprintf("iteration 0 (default config): %.0f ops/sec", baseMetrics.Throughput))
 	deteriorated := false
@@ -285,6 +289,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			LastReport:          lastReport,
 			StatsDump:           lastStatsDump,
 			Histograms:          lastHistograms,
+			Workload:            lastWorkload,
 			History:             history,
 			Deteriorated:        deteriorated,
 			DeteriorationNote:   detNote,
@@ -389,6 +394,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		lastReport = report.Format()
 		lastStatsDump = report.StatsDump
 		lastHistograms = report.HistogramDump
+		if report.WorkloadSnap != nil {
+			report.WorkloadSnap.Drift = report.WorkloadSnap.DriftFrom(lastWorkload)
+			lastWorkload = report.WorkloadSnap
+		}
 
 		decision := flag.Judge(it.Metrics)
 		it.Kept = decision.Keep && !earlyStopped

@@ -641,3 +641,77 @@ func TestRunRejectsHallucinatedColumnFamily(t *testing.T) {
 		t.Fatal("ghost family materialized in the best configuration")
 	}
 }
+
+func TestRunWorkloadCharacterizationInPrompt(t *testing.T) {
+	// Baseline runs a write-heavy workload, iteration 1 a read-heavy one:
+	// the prompt for iteration 1 must carry the measured write-heavy
+	// characterization with drift 0, and the prompt for iteration 2 must
+	// report a large drift from the read<->write flip.
+	var prompts []string
+	client := &llm.FuncClient{Fn: func(_ context.Context, msgs []llm.Message) (string, error) {
+		prompts = append(prompts, msgs[len(msgs)-1].Content)
+		return "max_background_jobs=4\n", nil
+	}}
+	calls := 0
+	runner := core.BenchRunnerFunc(func(opts *lsm.Options, mon func(bench.Progress) bool) (*bench.Report, error) {
+		wl := "fillrandom"
+		if calls > 0 {
+			wl = "readrandom"
+		}
+		calls++
+		return quickRunner(wl, 11).RunBenchmark(opts, mon)
+	})
+	var traceBuf bytes.Buffer
+	_, err := core.Run(context.Background(), core.Config{
+		Client:           client,
+		Runner:           runner,
+		InitialOptions:   lsm.DBBenchDefaults(),
+		WorkloadName:     "mixed",
+		MaxIterations:    2,
+		StallLimit:       10,
+		DisableEarlyStop: true,
+		Trace:            &traceBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prompts) < 2 {
+		t.Fatalf("got %d prompts, want 2", len(prompts))
+	}
+	driftOf := func(prompt string) float64 {
+		i := strings.Index(prompt, "workload drift vs previous window: ")
+		if i < 0 {
+			t.Fatalf("prompt missing drift line:\n%s", prompt)
+		}
+		var d float64
+		fmt.Sscanf(prompt[i:], "workload drift vs previous window: %f", &d)
+		return d
+	}
+	for _, p := range prompts {
+		if !strings.Contains(p, "## Workload characterization (measured)") ||
+			!strings.Contains(p, "ops mix:") {
+			t.Fatalf("prompt missing workload characterization:\n%s", p)
+		}
+	}
+	if d := driftOf(prompts[0]); d != 0 {
+		t.Fatalf("baseline-window drift = %v, want 0", d)
+	}
+	if d := driftOf(prompts[1]); d < 1.0 {
+		t.Fatalf("read<->write flip drift = %v, want >= 1.0", d)
+	}
+	// The JSONL trace carries the snapshot too.
+	dec := json.NewDecoder(&traceBuf)
+	sawDrift := false
+	for dec.More() {
+		var rec core.TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind == "iteration" && rec.WorkloadSnap != nil && rec.WorkloadSnap.Drift >= 1.0 {
+			sawDrift = true
+		}
+	}
+	if !sawDrift {
+		t.Fatal("no iteration trace record carried a drifted workload snapshot")
+	}
+}

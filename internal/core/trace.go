@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/bench"
+	"repro/internal/lsm"
 	"repro/internal/safeguard"
 )
 
@@ -40,6 +41,9 @@ type TraceRecord struct {
 	StatsDump  string           `json:"stats_dump,omitempty"`
 	Histograms string           `json:"histograms,omitempty"`
 	Tickers    map[string]int64 `json:"tickers,omitempty"`
+	// WorkloadSnap is the measured workload characterization of the run,
+	// drift scored against the previous iteration's window.
+	WorkloadSnap *lsm.WorkloadSnapshot `json:"workload_snapshot,omitempty"`
 
 	LLMMillis int64 `json:"llm_millis,omitempty"`
 }
@@ -78,6 +82,7 @@ func reportRecord(rec TraceRecord, rep *bench.Report) TraceRecord {
 	rec.StatsDump = rep.StatsDump
 	rec.Histograms = rep.HistogramDump
 	rec.Tickers = rep.Stats
+	rec.WorkloadSnap = rep.WorkloadSnap
 	return rec
 }
 

@@ -127,6 +127,18 @@ func (t *Tool) Stats() error {
 	return nil
 }
 
+// StatsHistory prints the retained periodic stats snapshots
+// (rocksdb.stats.history): one block per stats_persist_period_sec capture,
+// bounded by stats_history_buffer_size.
+func (t *Tool) StatsHistory() error {
+	s, ok := t.DB.GetProperty("rocksdb.stats.history")
+	if !ok {
+		return fmt.Errorf("ldb: stats.history property unavailable")
+	}
+	fmt.Fprint(t.Out, s)
+	return nil
+}
+
 // LevelStats prints the per-level file table.
 func (t *Tool) LevelStats() error {
 	s, ok := t.DB.GetProperty("rocksdb.levelstats")

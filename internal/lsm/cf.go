@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,6 +33,13 @@ type columnFamily struct {
 	imm           []*memtable // oldest first
 	flushingCount int         // prefix of imm currently being flushed
 	levelIO       []levelIOStats
+
+	// Foreground traffic counters for workload characterization: point
+	// lookups, write ops and iterator seeks routed to this family. Atomic
+	// (updated outside db.mu, read lock-free by CaptureWorkloadSnapshot).
+	readOps  atomic.Int64
+	writeOps atomic.Int64
+	scanOps  atomic.Int64
 }
 
 // ColumnFamilyHandle names a column family to the public API. A nil handle
@@ -276,11 +284,18 @@ type readState struct {
 	imms []*memtable
 	v    *Version
 	seq  uint64
+	cf   *columnFamily
 }
 
 // captureReadState snapshots a family's read inputs under db.mu.
 func (db *DB) captureReadState(h *ColumnFamilyHandle, ro *ReadOptions) (readState, error) {
-	db.mu.Lock()
+	if db.perf.TimeEnabled() {
+		start := time.Now()
+		db.mu.Lock()
+		db.perf.AddTime(PerfDBMutexLockNanos, time.Since(start))
+	} else {
+		db.mu.Lock()
+	}
 	defer db.mu.Unlock()
 	if db.closed {
 		return readState{}, ErrClosed
@@ -294,6 +309,7 @@ func (db *DB) captureReadState(h *ColumnFamilyHandle, ro *ReadOptions) (readStat
 		mem:  cf.mem,
 		imms: append([]*memtable(nil), cf.imm...),
 		v:    db.vs.head(cf.id),
+		cf:   cf,
 		// Read at the published sequence: entries whose group has not
 		// finished its memtable inserts are not yet visible.
 		seq: db.publishedSeq.Load(),
@@ -306,8 +322,19 @@ func (db *DB) captureReadState(h *ColumnFamilyHandle, ro *ReadOptions) (readStat
 
 // lookupInState performs one key lookup against a captured read state:
 // memtable, then frozen memtables newest first, then SSTables by level.
+// PerfContext attributes the memtable phase and the SST phase separately
+// (get_from_memtable_time vs get_from_output_files_time).
 func (db *DB) lookupInState(st readState, key []byte) ([]byte, error) {
+	timed := db.perf.TimeEnabled()
+	var phaseStart time.Time
+	if timed {
+		phaseStart = time.Now()
+	}
+	db.perf.Add(PerfGetFromMemtableCount, 1)
 	if val, found, deleted := st.mem.get(key, st.seq); found {
+		if timed {
+			db.perf.AddTime(PerfGetFromMemtableTime, time.Since(phaseStart))
+		}
 		db.stats.Add(TickerMemtableHit, 1)
 		if deleted {
 			db.stats.Add(TickerGetMiss, 1)
@@ -318,7 +345,11 @@ func (db *DB) lookupInState(st readState, key []byte) ([]byte, error) {
 		return append([]byte(nil), val...), nil
 	}
 	for i := len(st.imms) - 1; i >= 0; i-- {
+		db.perf.Add(PerfGetFromMemtableCount, 1)
 		if val, found, deleted := st.imms[i].get(key, st.seq); found {
+			if timed {
+				db.perf.AddTime(PerfGetFromMemtableTime, time.Since(phaseStart))
+			}
 			db.stats.Add(TickerMemtableHit, 1)
 			if deleted {
 				db.stats.Add(TickerGetMiss, 1)
@@ -330,7 +361,21 @@ func (db *DB) lookupInState(st readState, key []byte) ([]byte, error) {
 		}
 	}
 	db.stats.Add(TickerMemtableMiss, 1)
+	if timed {
+		now := time.Now()
+		db.perf.AddTime(PerfGetFromMemtableTime, now.Sub(phaseStart))
+		phaseStart = now
+	}
+	val, err := db.lookupInTables(st, key)
+	if timed {
+		db.perf.AddTime(PerfGetFromOutputFilesTime, time.Since(phaseStart))
+	}
+	return val, err
+}
 
+// lookupInTables is the SST phase of a lookup: probe the levels of the
+// captured version newest-data-first through the table cache.
+func (db *DB) lookupInTables(st readState, key []byte) ([]byte, error) {
 	lookup := makeInternalKey(nil, key, st.seq, KindValue)
 	for _, files := range st.v.filesForGet(key) {
 		for _, fm := range files {
@@ -373,6 +418,7 @@ func (db *DB) GetCF(ro *ReadOptions, h *ColumnFamilyHandle, key []byte) ([]byte,
 	if err != nil {
 		return nil, err
 	}
+	st.cf.readOps.Add(1)
 	return db.lookupInState(st, key)
 }
 
@@ -405,6 +451,7 @@ func (db *DB) MultiGetCF(ro *ReadOptions, h *ColumnFamilyHandle, keys [][]byte) 
 		}
 		return vals, errs
 	}
+	st.cf.readOps.Add(int64(len(keys)))
 	var bytesRead int64
 	for i, key := range keys {
 		vals[i], errs[i] = db.lookupInState(st, key)

@@ -365,7 +365,7 @@ func RepairDBColumnFamily(dir string, opts *Options, cfName string) (*RepairRepo
 // scanTable fully reads a table, returning fresh metadata (computed from
 // the data itself, trusting nothing) and the largest sequence number seen.
 func scanTable(env Env, name string, num uint64) (*FileMeta, uint64, error) {
-	t, err := openTable(env, name, num, nil, nil, IOBackground)
+	t, err := openTable(env, name, num, nil, nil, IOBackground, nil, nil)
 	if err != nil {
 		return nil, 0, err
 	}

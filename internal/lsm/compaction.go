@@ -246,6 +246,10 @@ type compactionResult struct {
 	// the subcompaction histogram.
 	slices    int
 	sliceDurs []time.Duration
+	// ios attributes the job's file I/O (bytes always when profiling is on;
+	// call timing under report_bg_io_stats). Merged into the DB's context
+	// and the per-level stats at install.
+	ios *IOStatsContext
 }
 
 // isBaseLevelForKey reports whether no level below outputLevel may contain
@@ -306,7 +310,7 @@ func (db *DB) planSubcompactionBoundaries(c *compaction, outSize int64) [][]byte
 	// Gather split candidates from every input table's index block.
 	var anchors []indexAnchor
 	for _, f := range c.allInputs() {
-		r, err := openTable(db.env, tableFileName(db.dir, f.Number), f.Number, nil, db.opts.Stats, db.bgIOClass())
+		r, err := openTable(db.env, tableFileName(db.dir, f.Number), f.Number, nil, db.opts.Stats, db.bgIOClass(), nil, nil)
 		if err != nil {
 			return nil
 		}
@@ -389,6 +393,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 	if c.cf != nil {
 		cfOpts = c.cf.opts
 	}
+	res.ios = db.newBGIOStats(cfOpts)
 	// Snapshot-drop decisions are taken once, before slicing, so every
 	// slice applies an identical retention rule.
 	smallestSnapshot := db.smallestSnapshot()
@@ -411,7 +416,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 		// here and the parallel service time is modeled by SimEnv instead
 		// (ScheduleBackgroundIO's parallelism argument).
 		for i, s := range slices {
-			results[i] = db.runCompactionSlice(c, v, cfOpts, s, smallestSnapshot, outSize)
+			results[i] = db.runCompactionSlice(c, v, cfOpts, s, smallestSnapshot, outSize, res.ios)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -419,7 +424,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 			wg.Add(1)
 			go func(i int, s subSlice) {
 				defer wg.Done()
-				results[i] = db.runCompactionSlice(c, v, cfOpts, s, smallestSnapshot, outSize)
+				results[i] = db.runCompactionSlice(c, v, cfOpts, s, smallestSnapshot, outSize, res.ios)
 			}(i, s)
 		}
 		wg.Wait()
@@ -453,7 +458,7 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 // and writes its output tables. Each slice owns its readers, iterators,
 // builders and shadow/tombstone state, so concurrent slices share nothing
 // but the immutable input files and the atomic file-number allocator.
-func (db *DB) runCompactionSlice(c *compaction, v *Version, cfOpts *Options, s subSlice, smallestSnapshot uint64, outSize int64) (sr sliceResult) {
+func (db *DB) runCompactionSlice(c *compaction, v *Version, cfOpts *Options, s subSlice, smallestSnapshot uint64, outSize int64, ios *IOStatsContext) (sr sliceResult) {
 	defer func(start time.Time) { sr.dur = time.Since(start) }(time.Now())
 
 	// Build the merged input stream. Inputs are opened directly with
@@ -466,7 +471,7 @@ func (db *DB) runCompactionSlice(c *compaction, v *Version, cfOpts *Options, s s
 		}
 	}()
 	openBG := func(num uint64) (*tableReader, error) {
-		r, err := openTable(db.env, tableFileName(db.dir, num), num, nil, db.opts.Stats, db.bgIOClass())
+		r, err := openTable(db.env, tableFileName(db.dir, num), num, nil, db.opts.Stats, db.bgIOClass(), nil, ios)
 		if err == nil {
 			readers = append(readers, r)
 		}
@@ -573,8 +578,8 @@ func (db *DB) runCompactionSlice(c *compaction, v *Version, cfOpts *Options, s s
 				sr.err = err
 				return sr
 			}
-			outFile = f
-			builder = newTableBuilder(f, cfOpts)
+			outFile = wrapWritableFile(f, ios)
+			builder = newTableBuilder(outFile, cfOpts)
 		}
 		if err := builder.add(ik, merged.Value()); err != nil {
 			sr.err = err

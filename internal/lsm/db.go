@@ -56,6 +56,11 @@ type levelIOStats struct {
 	writeBytes int64
 	count      int64
 	duration   time.Duration
+	// Background I/O call timing, collected only under report_bg_io_stats
+	// (rendered as extra rocksdb.cfstats columns).
+	bgReadNanos  int64
+	bgWriteNanos int64
+	bgFsyncNanos int64
 }
 
 // DB is a log-structured merge-tree key-value store. Per-keyspace state
@@ -125,6 +130,23 @@ type DB struct {
 	simSyncDebt  int
 
 	manualWaiters int
+
+	// Per-operation profiling (perfcontext.go). perf attributes operation
+	// phases; iostats attributes env-level I/O through the file wrappers.
+	perf    *PerfContext
+	iostats *IOStatsContext
+
+	// Persistent stats history and periodic LOG dumps (statshistory.go).
+	// The deadlines are env-clock times guarded by mu; statsStop tears down
+	// the OS-mode pump goroutine (nil in sim mode, where drainSimLocked
+	// checks the deadlines on the virtual clock).
+	history          *statsHistory
+	nextStatsDump    time.Duration
+	nextStatsPersist time.Duration
+	statsStop        chan struct{}
+
+	// wl holds the workload-characterization window state.
+	wl workloadState
 }
 
 // Open opens (creating if allowed) the database in dir with a single set of
@@ -181,6 +203,11 @@ func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
 	if se, ok := env.(*SimEnv); ok {
 		db.sim = se
 	}
+	db.perf = &PerfContext{}
+	db.iostats = &IOStatsContext{}
+	db.perf.SetLevel(opts.perfLevel())
+	db.iostats.SetLevel(opts.perfLevel())
+	db.history = newStatsHistory(opts.StatsHistoryBufferSize)
 	db.bgCond = sync.NewCond(&db.mu)
 	db.publishCond = sync.NewCond(&db.publishMu)
 	if err := env.MkdirAll(dir); err != nil {
@@ -201,6 +228,8 @@ func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
 		}
 	}
 	db.tcache = newTableCache(env, dir, db.bcache, db.stats, opts.MaxOpenFiles)
+	db.tcache.perf = db.perf
+	db.tcache.ios = db.iostats
 	db.vs = newVersionSet(env, dir, opts)
 
 	exists := env.FileExists(currentFileName(dir))
@@ -282,6 +311,21 @@ func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
 		}
 	}
 	db.deleteObsoleteFilesLocked()
+	// Arm the periodic stats timers on the env clock. In simulation the
+	// deadlines are checked from drainSimLocked; on the OS a pump goroutine
+	// polls them so dumps happen even while the DB is idle.
+	now := env.Now()
+	if d := opts.statsDumpEvery(); d > 0 {
+		db.nextStatsDump = now + d
+	}
+	if d := opts.statsPersistEvery(); d > 0 {
+		db.nextStatsPersist = now + d
+	}
+	if db.sim == nil && (db.nextStatsDump > 0 || db.nextStatsPersist > 0) {
+		db.statsStop = make(chan struct{})
+		go db.statsPump()
+	}
+	db.wl.base = db.readWorkloadCounters(now)
 	db.infoLog.logf("[db] open %s (families=%d write_buffer_size=%d block_cache_size=%d compaction_style=%s num_levels=%d)",
 		dir, len(db.cfOrder), opts.WriteBufferSize, cacheSize, opts.CompactionStyle, opts.NumLevels)
 	return db, nil
@@ -321,7 +365,7 @@ func (db *DB) rotateWALLocked() error {
 	if err != nil {
 		return err
 	}
-	db.wal = newWALWriter(f, db.opts)
+	db.wal = newWALWriter(wrapWritableFile(f, db.iostats), db.opts)
 	db.wal.onSync = db.notifyWALSync
 	db.walNum = logNum
 	return nil
@@ -455,10 +499,38 @@ func (db *DB) Write(wo *WriteOptions, batch *WriteBatch) error {
 	defer func(start time.Time) {
 		db.hists.Record(HistWriteMicros, time.Since(start))
 	}(time.Now())
+	var err error
 	if db.sim != nil {
-		return db.writeSim(wo, batch)
+		err = db.writeSim(wo, batch)
+	} else {
+		err = db.writeOS(wo, batch)
 	}
-	return db.writeOS(wo, batch)
+	if err == nil {
+		db.bookWriteTraffic(batch)
+	}
+	return err
+}
+
+// bookWriteTraffic attributes a committed batch's entries to the touched
+// families' workload counters, splitting the entry count evenly across the
+// touched set (per-entry attribution would mean re-decoding the batch).
+func (db *DB) bookWriteTraffic(batch *WriteBatch) {
+	snapPtr := db.cfSnap.Load()
+	if snapPtr == nil || len(batch.cfIDs) == 0 {
+		return
+	}
+	per := int64(batch.Count()) / int64(len(batch.cfIDs))
+	if per < 1 {
+		per = 1
+	}
+	for _, id := range batch.cfIDs {
+		for _, cf := range *snapPtr {
+			if cf.id == id {
+				cf.writeOps.Add(per)
+				break
+			}
+		}
+	}
 }
 
 // Get returns the value stored for key in the default column family, or
@@ -505,6 +577,7 @@ func (db *DB) makeRoomForWriteLocked(cf *columnFamily, batchBytes int64) error {
 				delay = 50 * time.Microsecond
 			}
 			db.chargeStall(delay)
+			db.perf.AddTime(PerfWriteDelayTime, delay)
 			db.stats.Add(TickerSlowdownWrites, 1)
 			db.stats.Add(TickerStallMicros, int64(delay/time.Microsecond))
 			delayed = true
@@ -665,12 +738,30 @@ func (db *DB) recordFlushLocked(cf *columnFamily, res *compactionResult, memsMer
 	cf.levelIO[0].writeBytes += res.writeBytes
 	cf.levelIO[0].count++
 	cf.levelIO[0].duration += res.dur
+	db.recordBgIOLocked(cf, 0, res)
 	db.hists.Record(HistFlushMicros, res.dur)
 	info := FlushInfo{ColumnFamily: cf.name, Bytes: res.writeBytes, MemtablesMerged: memsMerged, Duration: res.dur}
 	if len(res.edit.newFiles) > 0 {
 		info.OutputFileNumber = res.edit.newFiles[0].meta.Number
 	}
 	db.notifyFlush(info)
+}
+
+// recordBgIOLocked publishes a background job's I/O attribution: the job's
+// totals always fold into the DB-wide IOStatsContext, and under
+// report_bg_io_stats the call timings also land in the level's cfstats
+// columns.
+func (db *DB) recordBgIOLocked(cf *columnFamily, level int, res *compactionResult) {
+	if res == nil || res.ios == nil {
+		return
+	}
+	db.iostats.merge(res.ios)
+	if !cf.opts.ReportBgIOStats || level < 0 || level >= len(cf.levelIO) {
+		return
+	}
+	cf.levelIO[level].bgReadNanos += res.ios.readNanos.Load()
+	cf.levelIO[level].bgWriteNanos += res.ios.writeNanos.Load()
+	cf.levelIO[level].bgFsyncNanos += res.ios.fsyncNanos.Load()
 }
 
 // recordCompactionLocked books a completed compaction (auto, manual or
@@ -695,6 +786,7 @@ func (db *DB) recordCompactionLocked(cf *columnFamily, c *compaction, res *compa
 		cf.levelIO[out].count++
 		cf.levelIO[out].duration += res.dur
 	}
+	db.recordBgIOLocked(cf, out, res)
 	db.hists.Record(HistCompactionMicros, res.dur)
 	// Subcompaction accounting: the ticker counts range slices (an unsplit
 	// job counts 1, so ticker == compaction count means the knob never
@@ -857,6 +949,7 @@ func (db *DB) drainSimLocked() {
 		db.simJobs = db.simJobs[1:]
 		job.run()
 	}
+	db.maybePeriodicStatsLocked(now)
 	// Completions may have unblocked new work.
 	db.maybeScheduleFlushLocked(false)
 	db.maybeScheduleCompactionLocked()
@@ -1110,14 +1203,17 @@ func (db *DB) Close() error {
 		return firstErr
 	}
 	db.closed = true
+	if db.statsStop != nil {
+		close(db.statsStop)
+	}
 	// Background workers always decrement their active counters and
 	// broadcast, even on failure; wait them out so teardown cannot race a
 	// running flush or compaction.
 	for db.flushActive > 0 || db.compactActive > 0 {
 		db.bgCond.Wait()
 	}
-	// RocksDB dumps statistics to LOG on a stats_dump_period_sec timer; we
-	// dump once at close (virtual clocks have no timers to hang one on).
+	// Periodic dumps run on the stats_dump_period_sec timer (statshistory.go);
+	// one final dump here captures the tail of the run.
 	if db.infoLog != nil {
 		db.infoLog.logf("[db] close %s", db.dir)
 		db.infoLog.logRaw(db.statsStringLocked())
@@ -1151,6 +1247,8 @@ type Metrics struct {
 	LastSequence           uint64
 	TotalSSTBytes          int64
 	ColumnFamilies         []string
+	StatsHistoryCount      int
+	StatsHistoryBytes      int64
 }
 
 // GetMetrics snapshots engine state aggregated across column families.
@@ -1171,6 +1269,7 @@ func (db *DB) GetMetrics() Metrics {
 		h, mi := db.bcache.HitRate()
 		m.BlockCacheHits, m.BlockCacheMisses = h, mi
 	}
+	m.StatsHistoryCount, m.StatsHistoryBytes = db.history.footprint()
 	return m
 }
 
@@ -1233,6 +1332,19 @@ func (db *DB) Statistics() *Statistics { return db.stats }
 
 // Histograms returns the engine's latency histograms.
 func (db *DB) Histograms() *HistogramStats { return db.hists }
+
+// PerfContext returns the DB-wide per-operation profiling counters.
+func (db *DB) PerfContext() *PerfContext { return db.perf }
+
+// IOStats returns the DB-wide env-level I/O attribution counters.
+func (db *DB) IOStats() *IOStatsContext { return db.iostats }
+
+// SetPerfLevel switches per-operation profiling at runtime, like
+// rocksdb::SetPerfLevel.
+func (db *DB) SetPerfLevel(l PerfLevel) {
+	db.perf.SetLevel(l)
+	db.iostats.SetLevel(l)
+}
 
 // Env returns the environment the DB runs on.
 func (db *DB) Env() Env { return db.env }

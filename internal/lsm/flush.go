@@ -9,7 +9,7 @@ import (
 // are kept (deeper levels may hold the key). The caller installs the
 // returned edit.
 func (db *DB) runFlush(cf *columnFamily, mems []*memtable) (*compactionResult, error) {
-	res := &compactionResult{edit: &versionEdit{}}
+	res := &compactionResult{edit: &versionEdit{}, ios: db.newBGIOStats(cf.opts)}
 	defer func(start time.Time) { res.dur = time.Since(start) }(time.Now())
 	iters := make([]internalIterator, 0, len(mems))
 	var inputBytes int64
@@ -31,6 +31,7 @@ func (db *DB) runFlush(cf *columnFamily, mems []*memtable) (*compactionResult, e
 	if err != nil {
 		return nil, err
 	}
+	f = wrapWritableFile(f, res.ios)
 	builder := newTableBuilder(f, cf.opts)
 	var entries int64
 	var lastUserKey []byte

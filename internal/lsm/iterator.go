@@ -12,6 +12,12 @@ type Iterator struct {
 	db    *DB
 	merge *mergeIter
 	seq   uint64
+	cf    *columnFamily
+
+	// Child-iterator counts captured at construction, booked into the
+	// PerfContext on every Seek/SeekToFirst.
+	memChildren int
+	numChildren int
 
 	key   []byte
 	value []byte
@@ -64,7 +70,14 @@ func (db *DB) NewIteratorCF(ro *ReadOptions, h *ColumnFamilyHandle) *Iterator {
 		children = append(children, newLevelIter(v.LevelFiles(level), HintRandom, open))
 	}
 	db.mu.Unlock()
-	return &Iterator{db: db, merge: newMergeIter(children), seq: seq}
+	return &Iterator{
+		db:          db,
+		merge:       newMergeIter(children),
+		seq:         seq,
+		cf:          cf,
+		memChildren: 1 + len(cf.imm),
+		numChildren: len(children),
+	}
 }
 
 // lazyTableIter defers opening a table until first use.
@@ -139,15 +152,34 @@ func (it *Iterator) findNextVisible(skipCurrent []byte) {
 	}
 }
 
+// bookSeek records one positioning operation in the ticker, per-CF traffic
+// and PerfContext seek counters.
+func (it *Iterator) bookSeek() {
+	it.db.stats.Add(TickerSeekCount, 1)
+	if it.cf != nil {
+		it.cf.scanOps.Add(1)
+	}
+	it.db.perf.Add(PerfSeekOnMemtableCount, int64(it.memChildren))
+	it.db.perf.Add(PerfSeekChildSeekCount, int64(it.numChildren))
+}
+
 // SeekToFirst positions at the first visible key.
 func (it *Iterator) SeekToFirst() {
 	defer func(start time.Time) {
 		it.db.hists.Record(HistSeekMicros, time.Since(start))
 	}(time.Now())
 	it.db.env.ChargeCPU(2 * time.Microsecond)
-	it.db.stats.Add(TickerSeekCount, 1)
+	it.bookSeek()
+	timed := it.db.perf.TimeEnabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	it.merge.SeekToFirst()
 	it.findNextVisible(nil)
+	if timed {
+		it.db.perf.AddTime(PerfSeekInternalSeekTime, time.Since(start))
+	}
 }
 
 // Seek positions at the first visible key >= target.
@@ -156,9 +188,17 @@ func (it *Iterator) Seek(target []byte) {
 		it.db.hists.Record(HistSeekMicros, time.Since(start))
 	}(time.Now())
 	it.db.env.ChargeCPU(2 * time.Microsecond)
-	it.db.stats.Add(TickerSeekCount, 1)
+	it.bookSeek()
+	timed := it.db.perf.TimeEnabled()
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	it.merge.Seek(makeInternalKey(nil, target, it.seq, KindValue))
 	it.findNextVisible(nil)
+	if timed {
+		it.db.perf.AddTime(PerfSeekInternalSeekTime, time.Since(start))
+	}
 }
 
 // Next advances to the next visible key.

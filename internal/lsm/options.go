@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // CompactionStyle selects the engine's compaction algorithm.
@@ -163,11 +164,20 @@ type Options struct {
 	DBWriteBufferSize                int64 // global memtable budget; 0 = off
 	DumpMallocStats                  bool
 	StatsDumpPeriodSec               int
-	ManualWALFlush                   bool
-	AvoidFlushDuringShutdown         bool
-	WALDir                           string
-	DisableWAL                       bool // blacklisted from tuning (durability)
-	UseFsync                         bool
+	// StatsPersistPeriodSec is the interval between automatic snapshots of
+	// tickers+histograms into the in-memory stats history; 0 disables.
+	StatsPersistPeriodSec int
+	// StatsHistoryBufferSize bounds the stats history's memory footprint in
+	// bytes; the oldest snapshots are evicted past it.
+	StatsHistoryBufferSize int64
+	// PerfLevel is the initial per-operation profiling level ("disable",
+	// "enable_count", "enable_time"); mutable at runtime via DB.SetPerfLevel.
+	PerfLevel                string
+	ManualWALFlush           bool
+	AvoidFlushDuringShutdown bool
+	WALDir                   string
+	DisableWAL               bool // blacklisted from tuning (durability)
+	UseFsync                 bool
 
 	// --- CFOptions ---
 	WriteBufferSize                  int64
@@ -190,6 +200,10 @@ type Options struct {
 	HardPendingCompactionBytesLimit  int64
 	MemtablePrefixBloomSizeRatio     float64
 	OptimizeFiltersForHits           bool
+	// ReportBgIOStats measures background (flush/compaction) read/write/fsync
+	// time per level, renders it in rocksdb.cfstats, and folds it into the
+	// DB's IOStatsContext totals.
+	ReportBgIOStats bool
 
 	// --- TableOptions/BlockBasedTable ---
 	BlockSize                 int
@@ -235,6 +249,9 @@ func DefaultOptions() *Options {
 		DelayedWriteRate:               0, // 16 MiB/s effective
 		MaxTotalWALSize:                0,
 		StatsDumpPeriodSec:             600,
+		StatsPersistPeriodSec:          600,
+		StatsHistoryBufferSize:         1 << 20,
+		PerfLevel:                      "disable",
 
 		WriteBufferSize:                 64 << 20,
 		MaxWriteBufferNumber:            2,
@@ -381,5 +398,44 @@ func (o *Options) Validate() error {
 	if o.WriteThreadMaxYieldUsec < 0 || o.WriteThreadSlowYieldUsec < 0 {
 		return fmt.Errorf("lsm: write thread yield budgets must be >= 0")
 	}
+	if o.PerfLevel != "" {
+		if _, err := ParsePerfLevel(o.PerfLevel); err != nil {
+			return err
+		}
+	}
+	if o.StatsPersistPeriodSec < 0 {
+		return fmt.Errorf("lsm: stats_persist_period_sec must be >= 0")
+	}
+	if o.StatsHistoryBufferSize < 0 {
+		return fmt.Errorf("lsm: stats_history_buffer_size must be >= 0")
+	}
 	return nil
+}
+
+// statsDumpEvery resolves stats_dump_period_sec as a duration (0 = off).
+func (o *Options) statsDumpEvery() time.Duration {
+	if o.StatsDumpPeriodSec <= 0 {
+		return 0
+	}
+	return time.Duration(o.StatsDumpPeriodSec) * time.Second
+}
+
+// statsPersistEvery resolves stats_persist_period_sec as a duration (0 = off).
+func (o *Options) statsPersistEvery() time.Duration {
+	if o.StatsPersistPeriodSec <= 0 {
+		return 0
+	}
+	return time.Duration(o.StatsPersistPeriodSec) * time.Second
+}
+
+// perfLevel resolves the configured perf level ("" = disable).
+func (o *Options) perfLevel() PerfLevel {
+	if o.PerfLevel == "" {
+		return PerfDisable
+	}
+	l, err := ParsePerfLevel(o.PerfLevel)
+	if err != nil {
+		return PerfDisable
+	}
+	return l
 }

@@ -17,6 +17,7 @@ import (
 //	rocksdb.num-immutable-mem-table            frozen memtable count (all families)
 //	rocksdb.block-cache-usage                  cached bytes
 //	rocksdb.estimate-num-keys                  live-entry estimate (all families)
+//	rocksdb.stats.history                      buffered periodic stats snapshots
 //
 // The boolean result is false for unknown property names.
 func (db *DB) GetProperty(name string) (string, bool) {
@@ -26,6 +27,8 @@ func (db *DB) GetProperty(name string) (string, bool) {
 	switch {
 	case name == "rocksdb.stats":
 		return db.statsStringLocked(), true
+	case name == "rocksdb.stats.history":
+		return db.statsHistoryString(), true
 	case name == "rocksdb.levelstats":
 		return db.levelStatsLocked(db.defaultCF), true
 	case name == "rocksdb.cfstats":
@@ -137,13 +140,19 @@ func (db *DB) statsStringLocked() string {
 // compactionStatsLocked renders the RocksDB-style per-level compaction-stats
 // table for one family: live files/size plus cumulative background
 // read/write traffic per level (flushes land on L0; compactions on their
-// output level).
+// output level). With report_bg_io_stats set the table grows Rn/Wn/Fsync
+// columns holding the measured background read/write/fsync time per level.
 func (db *DB) compactionStatsLocked(cf *columnFamily) string {
 	var b strings.Builder
 	v := db.vs.head(cf.id)
+	bgIO := cf.opts.ReportBgIOStats
 	fmt.Fprintf(&b, "** Compaction Stats [%s] **\n", cf.name)
-	b.WriteString("Level    Files   Size(MB)   Read(MB)  Write(MB)  Comp(cnt)  Comp(sec)\n")
-	b.WriteString("----------------------------------------------------------------------\n")
+	header := "Level    Files   Size(MB)   Read(MB)  Write(MB)  Comp(cnt)  Comp(sec)"
+	if bgIO {
+		header += "    Rn(sec)    Wn(sec) Fsync(sec)"
+	}
+	b.WriteString(header + "\n")
+	b.WriteString(strings.Repeat("-", len(header)) + "\n")
 	var sum levelIOStats
 	var sumFiles int
 	var sumBytes int64
@@ -152,21 +161,36 @@ func (db *DB) compactionStatsLocked(cf *columnFamily) string {
 		if l < len(cf.levelIO) {
 			io = cf.levelIO[l]
 		}
-		fmt.Fprintf(&b, "  L%-4d %6d %10.2f %10.2f %10.2f %10d %10.2f\n",
+		fmt.Fprintf(&b, "  L%-4d %6d %10.2f %10.2f %10.2f %10d %10.2f",
 			l, v.NumLevelFiles(l), float64(v.LevelBytes(l))/(1<<20),
 			float64(io.readBytes)/(1<<20), float64(io.writeBytes)/(1<<20),
 			io.count, io.duration.Seconds())
+		if bgIO {
+			fmt.Fprintf(&b, " %10.3f %10.3f %10.3f",
+				float64(io.bgReadNanos)/1e9, float64(io.bgWriteNanos)/1e9,
+				float64(io.bgFsyncNanos)/1e9)
+		}
+		b.WriteString("\n")
 		sum.readBytes += io.readBytes
 		sum.writeBytes += io.writeBytes
 		sum.count += io.count
 		sum.duration += io.duration
+		sum.bgReadNanos += io.bgReadNanos
+		sum.bgWriteNanos += io.bgWriteNanos
+		sum.bgFsyncNanos += io.bgFsyncNanos
 		sumFiles += v.NumLevelFiles(l)
 		sumBytes += v.LevelBytes(l)
 	}
-	fmt.Fprintf(&b, "  Sum   %6d %10.2f %10.2f %10.2f %10d %10.2f\n",
+	fmt.Fprintf(&b, "  Sum   %6d %10.2f %10.2f %10.2f %10d %10.2f",
 		sumFiles, float64(sumBytes)/(1<<20),
 		float64(sum.readBytes)/(1<<20), float64(sum.writeBytes)/(1<<20),
 		sum.count, sum.duration.Seconds())
+	if bgIO {
+		fmt.Fprintf(&b, " %10.3f %10.3f %10.3f",
+			float64(sum.bgReadNanos)/1e9, float64(sum.bgWriteNanos)/1e9,
+			float64(sum.bgFsyncNanos)/1e9)
+	}
+	b.WriteString("\n")
 	return b.String()
 }
 

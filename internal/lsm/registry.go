@@ -95,6 +95,11 @@ var optionSpecs = []OptionSpec{
 	specB("db_write_buffer_size", SectionDB, TypeInt, "0", 0, 1<<44, true, "global memtable budget across CFs (0 off)"),
 	spec("dump_malloc_stats", SectionDB, TypeBool, "false", true, "include allocator stats in LOG dumps"),
 	specB("stats_dump_period_sec", SectionDB, TypeInt, "600", 0, 1<<32, true, "period of stats dumps to LOG"),
+	specB("stats_persist_period_sec", SectionDB, TypeInt, "600", 0, 1<<32, true, "period of stats-history snapshots (0 off)"),
+	specB("stats_history_buffer_size", SectionDB, TypeInt, "1048576", 0, 1<<40, true, "memory bound for the stats history ring"),
+	{Name: "perf_level", Section: SectionDB, Type: TypeEnum, Default: "disable",
+		Enum:    []string{"disable", "enable_count", "enable_time", "kDisable", "kEnableCount", "kEnableTime", "kEnableTimeExceptForMutex"},
+		Honored: true, Help: "per-operation PerfContext/IOStatsContext collection level"},
 	spec("manual_wal_flush", SectionDB, TypeBool, "false", true, "only flush WAL on explicit request"),
 	spec("avoid_flush_during_shutdown", SectionDB, TypeBool, "false", true, "skip final flush on Close"),
 	spec("use_fsync", SectionDB, TypeBool, "false", true, "use fsync instead of fdatasync"),
@@ -194,7 +199,7 @@ var optionSpecs = []OptionSpec{
 	spec("merge_operator", SectionCF, TypeString, "nullptr", false, "merge operator name"),
 	spec("prefix_extractor", SectionCF, TypeString, "nullptr", false, "prefix extractor for prefix seeks"),
 	specB("periodic_compaction_seconds", SectionCF, TypeInt, "0", 0, 1<<40, false, "age-triggered compaction"),
-	spec("report_bg_io_stats", SectionCF, TypeBool, "false", false, "report bg IO in stats"),
+	spec("report_bg_io_stats", SectionCF, TypeBool, "false", true, "measure flush/compaction read/write/fsync time per level"),
 	specB("soft_rate_limit", SectionCF, TypeFloat, "0.000000", 0, 100, false, "deprecated soft rate limit"),
 	specB("ttl", SectionCF, TypeInt, "2592000", 0, 1<<40, false, "data TTL seconds"),
 	spec("enable_blob_files", SectionCF, TypeBool, "false", false, "separate large values into blobs"),
@@ -454,6 +459,16 @@ func (o *Options) applyHonored(name, v string) error {
 		o.DumpMallocStats = atob(v)
 	case "stats_dump_period_sec":
 		o.StatsDumpPeriodSec = atoiInt(v)
+	case "stats_persist_period_sec":
+		o.StatsPersistPeriodSec = atoiInt(v)
+	case "stats_history_buffer_size":
+		o.StatsHistoryBufferSize = atoi64(v)
+	case "perf_level":
+		l, err := ParsePerfLevel(v)
+		if err != nil {
+			return err
+		}
+		o.PerfLevel = l.String()
 	case "manual_wal_flush":
 		o.ManualWALFlush = atob(v)
 	case "avoid_flush_during_shutdown":
@@ -512,6 +527,8 @@ func (o *Options) applyHonored(name, v string) error {
 		o.MemtablePrefixBloomSizeRatio = f
 	case "optimize_filters_for_hits":
 		o.OptimizeFiltersForHits = atob(v)
+	case "report_bg_io_stats":
+		o.ReportBgIOStats = atob(v)
 	case "block_size":
 		o.BlockSize = atoiInt(v)
 	case "block_restart_interval":
@@ -632,6 +649,12 @@ func (o *Options) GetByName(name string) (string, error) {
 		return strconv.FormatBool(o.DumpMallocStats), nil
 	case "stats_dump_period_sec":
 		return strconv.Itoa(o.StatsDumpPeriodSec), nil
+	case "stats_persist_period_sec":
+		return strconv.Itoa(o.StatsPersistPeriodSec), nil
+	case "stats_history_buffer_size":
+		return strconv.FormatInt(o.StatsHistoryBufferSize, 10), nil
+	case "perf_level":
+		return o.perfLevel().String(), nil
 	case "manual_wal_flush":
 		return strconv.FormatBool(o.ManualWALFlush), nil
 	case "avoid_flush_during_shutdown":
@@ -680,6 +703,8 @@ func (o *Options) GetByName(name string) (string, error) {
 		return strconv.FormatFloat(o.MemtablePrefixBloomSizeRatio, 'f', 6, 64), nil
 	case "optimize_filters_for_hits":
 		return strconv.FormatBool(o.OptimizeFiltersForHits), nil
+	case "report_bg_io_stats":
+		return strconv.FormatBool(o.ReportBgIOStats), nil
 	case "block_size":
 		return strconv.Itoa(o.BlockSize), nil
 	case "block_restart_interval":

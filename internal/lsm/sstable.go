@@ -308,14 +308,18 @@ type tableReader struct {
 	entries  uint64
 	size     int64
 	stats    *Statistics
+	perf     *PerfContext // per-op attribution (nil for background readers)
 }
 
-// openTable reads the footer, index and filter blocks of an SSTable.
-func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *Statistics, class IOClass) (*tableReader, error) {
+// openTable reads the footer, index and filter blocks of an SSTable. perf
+// receives block-read/bloom attribution (nil for background jobs); ios
+// receives env-level read traffic via a file wrapper (nil disables).
+func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *Statistics, class IOClass, perf *PerfContext, ios *IOStatsContext) (*tableReader, error) {
 	f, err := env.NewRandomAccessFile(name, class)
 	if err != nil {
 		return nil, err
 	}
+	f = wrapRandomFile(f, ios)
 	size, err := f.Size()
 	if err != nil {
 		f.Close()
@@ -353,6 +357,7 @@ func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *S
 		entries: entries,
 		size:    size,
 		stats:   stats,
+		perf:    perf,
 	}
 	if cache != nil {
 		t.cacheID = cache.NewID()
@@ -375,8 +380,18 @@ func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *S
 // readBlockRaw reads and verifies one block payload, decompressing if needed.
 func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint) ([]byte, error) {
 	buf := make([]byte, h.length+blockTrailerSize)
+	var start time.Time
+	timed := t.perf.TimeEnabled()
+	if timed {
+		start = time.Now()
+	}
 	if err := t.f.ReadAt(buf, int64(h.offset), hint); err != nil {
 		return nil, err
+	}
+	t.perf.Add(PerfBlockReadCount, 1)
+	t.perf.Add(PerfBlockReadByte, int64(len(buf)))
+	if timed {
+		t.perf.AddTime(PerfBlockReadTime, time.Since(start))
 	}
 	payload := buf[:h.length]
 	ctype := buf[h.length]
@@ -411,6 +426,7 @@ func (t *tableReader) readBlock(h blockHandle, hint AccessHint) ([]byte, error) 
 			if t.stats != nil {
 				t.stats.Add(TickerBlockCacheHit, 1)
 			}
+			t.perf.Add(PerfBlockCacheHitCount, 1)
 			if t.env != nil {
 				t.env.ChargeCPU(200 * time.Nanosecond)
 			}
@@ -445,6 +461,11 @@ func (t *tableReader) mayContain(userKey []byte) bool {
 		} else {
 			t.stats.Add(TickerBloomUseful, 1)
 		}
+	}
+	if ok {
+		t.perf.Add(PerfBloomSSTHitCount, 1)
+	} else {
+		t.perf.Add(PerfBloomSSTMissCount, 1)
 	}
 	return ok
 }
@@ -618,7 +639,7 @@ func verifyTableFile(env Env, name string, meta *FileMeta, class IOClass) error 
 	if meta != nil {
 		num = meta.Number
 	}
-	t, err := openTable(env, name, num, nil, nil, class)
+	t, err := openTable(env, name, num, nil, nil, class, nil, nil)
 	if err != nil {
 		return err
 	}

@@ -91,7 +91,7 @@ func buildTestTable(t *testing.T, env Env, opts *Options, numKeys int) *tableRea
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, err := openTable(env, "/t.sst", 1, newBlockCache(1<<20), nil, IOForeground)
+	r, err := openTable(env, "/t.sst", 1, newBlockCache(1<<20), nil, IOForeground, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestTableCorruptMagic(t *testing.T) {
 	w, _ := env.NewWritableFile("/bad.sst", IOBackground)
 	w.Append(bytes.Repeat([]byte{7}, 100))
 	w.Close()
-	if _, err := openTable(env, "/bad.sst", 1, nil, nil, IOForeground); err == nil {
+	if _, err := openTable(env, "/bad.sst", 1, nil, nil, IOForeground, nil, nil); err == nil {
 		t.Fatal("corrupt table accepted")
 	}
 }
@@ -242,7 +242,7 @@ func TestQuickTableRoundTrip(t *testing.T) {
 			return false
 		}
 		w.Close()
-		tr, err := openTable(env, "/q.sst", 2, nil, nil, IOForeground)
+		tr, err := openTable(env, "/q.sst", 2, nil, nil, IOForeground, nil, nil)
 		if err != nil {
 			return false
 		}

@@ -13,6 +13,8 @@ type tableCache struct {
 	dir   string
 	cache *blockCache
 	stats *Statistics
+	perf  *PerfContext    // foreground per-op attribution for opened readers
+	ios   *IOStatsContext // env-level read attribution
 	cap   int
 	m     map[uint64]*list.Element
 	lru   *list.List // front = most recent; values are *tcEntry
@@ -59,7 +61,7 @@ func (tc *tableCache) get(num uint64) (*tableReader, error) {
 
 	// Open outside the lock; a racing open of the same table is harmless
 	// (one wins the map, the loser is closed).
-	r, err := openTable(tc.env, tableFileName(tc.dir, num), num, tc.cache, tc.stats, IOForeground)
+	r, err := openTable(tc.env, tableFileName(tc.dir, num), num, tc.cache, tc.stats, IOForeground, tc.perf, tc.ios)
 	if err != nil {
 		return nil, err
 	}

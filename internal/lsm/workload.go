@@ -1,0 +1,203 @@
+package lsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WorkloadSnapshot characterizes the traffic a DB served over one
+// observation window: the read/write/scan mix, how that traffic spread
+// across column families, and the derived health signals a tuner cares
+// about (write amplification, stall fraction, memtable hit ratio). It is
+// computed from ticker/histogram deltas, so back-to-back captures describe
+// disjoint windows.
+type WorkloadSnapshot struct {
+	// WindowStart/WindowEnd bound the window on the env clock.
+	WindowStart time.Duration `json:"window_start_ns"`
+	WindowEnd   time.Duration `json:"window_end_ns"`
+
+	// Operation counts inside the window.
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Scans  int64 `json:"scans"`
+
+	// Mix fractions (each in [0,1]; zero-op windows leave all three 0).
+	ReadFraction  float64 `json:"read_fraction"`
+	WriteFraction float64 `json:"write_fraction"`
+	ScanFraction  float64 `json:"scan_fraction"`
+
+	// CFTraffic is each family's share of total ops, by name.
+	CFTraffic map[string]float64 `json:"cf_traffic,omitempty"`
+
+	// WriteAmp is (flush bytes + compaction write bytes) / user bytes
+	// written inside the window (0 when nothing was written).
+	WriteAmp float64 `json:"write_amp"`
+	// StallFraction is stall time / window wall time.
+	StallFraction float64 `json:"stall_fraction"`
+	// MemtableHitRatio is memtable hits / (hits + misses) for the window.
+	MemtableHitRatio float64 `json:"memtable_hit_ratio"`
+
+	// Drift scores how different this window is from the previous capture
+	// on the same DB (0 = first window or identical mix).
+	Drift float64 `json:"drift"`
+}
+
+// workloadBaseline is the counter state at the end of the previous window.
+type workloadBaseline struct {
+	at        time.Duration
+	reads     int64
+	writes    int64
+	scans     int64
+	cfOps     map[string]int64
+	userBytes int64
+	bgBytes   int64
+	stallUs   int64
+	memHit    int64
+	memMiss   int64
+}
+
+// workloadState hangs off the DB: the last baseline plus the previous
+// snapshot for drift scoring. Guarded by its own mutex so captures never
+// contend with the write path.
+type workloadState struct {
+	mu   sync.Mutex
+	base workloadBaseline
+	prev *WorkloadSnapshot
+}
+
+// readWorkloadCounters collects the cumulative counters a snapshot diffs.
+func (db *DB) readWorkloadCounters(now time.Duration) workloadBaseline {
+	b := workloadBaseline{at: now, cfOps: make(map[string]int64)}
+	if snap := db.cfSnap.Load(); snap != nil {
+		for _, cf := range *snap {
+			r, w, s := cf.readOps.Load(), cf.writeOps.Load(), cf.scanOps.Load()
+			b.reads += r
+			b.writes += w
+			b.scans += s
+			b.cfOps[cf.name] = r + w + s
+		}
+	}
+	b.userBytes = db.stats.Get(TickerBytesWritten)
+	b.bgBytes = db.stats.Get(TickerFlushBytes) + db.stats.Get(TickerCompactWriteBytes)
+	b.stallUs = db.stats.Get(TickerStallMicros)
+	b.memHit = db.stats.Get(TickerMemtableHit)
+	b.memMiss = db.stats.Get(TickerMemtableMiss)
+	return b
+}
+
+// CaptureWorkloadSnapshot closes the current observation window: it diffs
+// the live counters against the previous capture (or DB open), scores the
+// drift versus the previous window, and starts a new window.
+func (db *DB) CaptureWorkloadSnapshot() WorkloadSnapshot {
+	now := db.env.Now()
+	cur := db.readWorkloadCounters(now)
+
+	db.wl.mu.Lock()
+	defer db.wl.mu.Unlock()
+	base := db.wl.base
+	db.wl.base = cur
+
+	ws := WorkloadSnapshot{
+		WindowStart: base.at,
+		WindowEnd:   now,
+		Reads:       cur.reads - base.reads,
+		Writes:      cur.writes - base.writes,
+		Scans:       cur.scans - base.scans,
+		CFTraffic:   make(map[string]float64),
+	}
+	total := ws.Reads + ws.Writes + ws.Scans
+	if total > 0 {
+		ws.ReadFraction = float64(ws.Reads) / float64(total)
+		ws.WriteFraction = float64(ws.Writes) / float64(total)
+		ws.ScanFraction = float64(ws.Scans) / float64(total)
+		for name, ops := range cur.cfOps {
+			if d := ops - base.cfOps[name]; d > 0 {
+				ws.CFTraffic[name] = float64(d) / float64(total)
+			}
+		}
+	}
+	if user := cur.userBytes - base.userBytes; user > 0 {
+		ws.WriteAmp = float64(cur.bgBytes-base.bgBytes)/float64(user) + 1
+	}
+	if wall := now - base.at; wall > 0 {
+		stall := time.Duration(cur.stallUs-base.stallUs) * time.Microsecond
+		ws.StallFraction = math.Min(1, float64(stall)/float64(wall))
+	}
+	if probes := (cur.memHit - base.memHit) + (cur.memMiss - base.memMiss); probes > 0 {
+		ws.MemtableHitRatio = float64(cur.memHit-base.memHit) / float64(probes)
+	}
+	ws.Drift = ws.DriftFrom(db.wl.prev)
+	prev := ws
+	db.wl.prev = &prev
+	return ws
+}
+
+// ResetWorkloadWindow starts a fresh observation window at the current
+// counters and forgets the previous snapshot, so the next capture describes
+// only traffic from this point on with drift 0. Benchmark harnesses call it
+// after unmeasured preload phases.
+func (db *DB) ResetWorkloadWindow() {
+	cur := db.readWorkloadCounters(db.env.Now())
+	db.wl.mu.Lock()
+	db.wl.base = cur
+	db.wl.prev = nil
+	db.wl.mu.Unlock()
+}
+
+// DriftFrom scores how far this window's shape moved from prev: the L1
+// distance over the mix fractions and per-CF shares, plus the stall,
+// memtable-hit and (normalized) write-amp deltas. 0 means identical shape;
+// a full read-heavy -> write-heavy flip alone contributes 2.0.
+func (ws WorkloadSnapshot) DriftFrom(prev *WorkloadSnapshot) float64 {
+	if prev == nil {
+		return 0
+	}
+	d := math.Abs(ws.ReadFraction-prev.ReadFraction) +
+		math.Abs(ws.WriteFraction-prev.WriteFraction) +
+		math.Abs(ws.ScanFraction-prev.ScanFraction)
+	names := make(map[string]struct{}, len(ws.CFTraffic)+len(prev.CFTraffic))
+	for n := range ws.CFTraffic {
+		names[n] = struct{}{}
+	}
+	for n := range prev.CFTraffic {
+		names[n] = struct{}{}
+	}
+	for n := range names {
+		d += math.Abs(ws.CFTraffic[n] - prev.CFTraffic[n])
+	}
+	d += math.Abs(ws.StallFraction - prev.StallFraction)
+	d += math.Abs(ws.MemtableHitRatio - prev.MemtableHitRatio)
+	if m := math.Max(ws.WriteAmp, prev.WriteAmp); m > 0 {
+		d += math.Abs(ws.WriteAmp-prev.WriteAmp) / m
+	}
+	return d
+}
+
+// String renders the snapshot as the compact block fed to tuning prompts.
+func (ws WorkloadSnapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ops mix: %.1f%% read / %.1f%% write / %.1f%% scan (%d ops over %s)\n",
+		ws.ReadFraction*100, ws.WriteFraction*100, ws.ScanFraction*100,
+		ws.Reads+ws.Writes+ws.Scans, ws.WindowEnd-ws.WindowStart)
+	if len(ws.CFTraffic) > 0 {
+		names := make([]string, 0, len(ws.CFTraffic))
+		for n := range ws.CFTraffic {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s=%.1f%%", n, ws.CFTraffic[n]*100))
+		}
+		fmt.Fprintf(&sb, "cf traffic: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(&sb, "write amplification: %.2f\n", ws.WriteAmp)
+	fmt.Fprintf(&sb, "stall fraction: %.3f\n", ws.StallFraction)
+	fmt.Fprintf(&sb, "memtable hit ratio: %.3f\n", ws.MemtableHitRatio)
+	fmt.Fprintf(&sb, "workload drift vs previous window: %.3f", ws.Drift)
+	return sb.String()
+}

@@ -301,9 +301,17 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 			reps[i] = w.batch.rep
 			needSync = needSync || w.sync
 		}
+		timedWAL := db.perf.TimeEnabled()
+		var walStart time.Time
+		if timedWAL {
+			walStart = time.Now()
+		}
 		err = wal.addRecords(reps)
 		if err == nil && needSync {
 			err = wal.sync()
+		}
+		if timedWAL {
+			db.perf.AddTime(PerfWriteWALTime, time.Since(walStart))
 		}
 		if err != nil {
 			// A failed WAL append or sync leaves the log's durable extent
@@ -325,6 +333,11 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 
 	// Memtable stage.
 	leaderCommits := leader.err == nil
+	timedMem := db.perf.TimeEnabled()
+	var memStart time.Time
+	if timedMem {
+		memStart = time.Now()
+	}
 	if err == nil {
 		followers := commit
 		if leaderCommits {
@@ -353,6 +366,9 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 				}
 			}
 		}
+	}
+	if timedMem {
+		db.perf.AddTime(PerfWriteMemtableTime, time.Since(memStart))
 	}
 	for _, m := range pinned {
 		m.writers.Done()
@@ -478,7 +494,10 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	// (+ the leader's amortized sync) and, unless concurrent, the memtable
 	// insert. Measured from op-cost deltas so device latencies, stalls and
 	// CPU contention all flow into the virtual lock timeline.
+	// Sim mode books the deterministic stage costs as the perf timings so
+	// enable_time runs stay reproducible on the virtual clock.
 	db.sim.ChargeCPU(walCPU)
+	db.perf.AddTime(PerfWriteWALTime, walCPU)
 	disableWAL := wo.DisableWAL || db.opts.DisableWAL
 	if !disableWAL {
 		if err := db.wal.addRecord(batch.rep); err != nil {
@@ -499,6 +518,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	}
 	if !concurrent {
 		db.sim.ChargeCPU(memCPU)
+		db.perf.AddTime(PerfWriteMemtableTime, memCPU)
 	}
 	serialCost := db.sim.AccruedOpCost() - serialStart
 
@@ -512,6 +532,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 		// the rest of the group; CAS retries and cache-line traffic make it
 		// slightly dearer than the exclusive path.
 		db.sim.ChargeCPU(memCPU * 115 / 100)
+		db.perf.AddTime(PerfWriteMemtableTime, memCPU)
 	}
 
 	// Virtual write-lock timeline: writes occupy the pipeline stages for

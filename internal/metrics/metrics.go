@@ -1,17 +1,27 @@
 // Package metrics exports engine observability — tickers, latency
-// histograms and level/compaction gauges — in the Prometheus text exposition
-// format over plain net/http (stdlib-only, no client library).
+// histograms, level/compaction gauges and PerfContext/IOStatsContext
+// counters — in the Prometheus text exposition format over plain net/http
+// (stdlib-only, no client library).
 //
 // The Exporter's source is swappable at runtime because the tuning loop
 // opens a fresh database per iteration: callers point the exporter at each
 // new DB as it opens (see experiments.Config.OnDB) and /metrics always
 // reflects the live engine.
+//
+// Serve also mounts the stdlib pprof handlers on the same mux, so the
+// -metrics_addr endpoint doubles as a live profiling port:
+//
+//	/metrics               Prometheus text exposition
+//	/debug/pprof/          pprof index (goroutine, heap, allocs, ...)
+//	/debug/pprof/profile   30s CPU profile
+//	/debug/pprof/trace     execution trace
 package metrics
 
 import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -67,7 +77,34 @@ func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	writeTickers(&b, src.Statistics())
 	writeHistograms(&b, src.Histograms())
 	writeGauges(&b, src.GetMetrics())
+	writePerf(&b, src)
 	w.Write([]byte(b.String()))
+}
+
+// writePerf emits PerfContext and IOStatsContext counters when the source
+// exposes them (*lsm.DB does); at perf_level=disable they all read 0.
+func writePerf(b *strings.Builder, src Source) {
+	type perfSource interface {
+		PerfContext() *lsm.PerfContext
+		IOStats() *lsm.IOStatsContext
+	}
+	ps, ok := src.(perfSource)
+	if !ok {
+		return
+	}
+	emit := func(prefix string, snap map[string]int64) {
+		names := make([]string, 0, len(snap))
+		for k := range snap {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			name := prefix + sanitize(k)
+			fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", name, name, snap[k])
+		}
+	}
+	emit("lsm_perf_", ps.PerfContext().Snapshot())
+	emit("lsm_iostats_", ps.IOStats().Snapshot())
 }
 
 // writeTickers emits every ticker (including zeros) as a counter, sorted by
@@ -111,6 +148,8 @@ func writeGauges(b *strings.Builder, m lsm.Metrics) {
 	gauge("lsm_running_flushes", float64(m.RunningFlushes))
 	gauge("lsm_running_compactions", float64(m.RunningCompactions))
 	gauge("lsm_total_sst_bytes", float64(m.TotalSSTBytes))
+	gauge("lsm_stats_history_snapshots", float64(m.StatsHistoryCount))
+	gauge("lsm_stats_history_bytes", float64(m.StatsHistoryBytes))
 	fmt.Fprintf(b, "# TYPE lsm_level_files gauge\n")
 	for l, n := range m.LevelFiles {
 		fmt.Fprintf(b, "lsm_level_files{level=\"%d\"} %d\n", l, n)
@@ -131,6 +170,13 @@ func Serve(addr string, e *Exporter) (string, *http.Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", e)
+	// Live profiling rides the metrics port (the DefaultServeMux pprof
+	// registrations do not apply to a private mux).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv, nil

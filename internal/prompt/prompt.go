@@ -41,6 +41,10 @@ type Inputs struct {
 	// Histograms is the engine's latency-histogram summary (RocksDB-style
 	// P50/P95/P99 lines per operation type).
 	Histograms string
+	// Workload is the measured workload characterization of the last run:
+	// ops mix, per-family traffic shares, write amplification, stall
+	// fraction and the drift score versus the previous iteration's window.
+	Workload *lsm.WorkloadSnapshot
 	// History summarizes prior iterations ("iter 3: 120000 ops/sec ...").
 	History []string
 	// Deteriorated marks the intermediate prompt after a reverted
@@ -111,6 +115,15 @@ func Build(in Inputs) []llm.Message {
 		b.WriteString("\n## Engine latency histograms\n```\n")
 		b.WriteString(strings.TrimSpace(in.Histograms))
 		b.WriteString("\n```\n")
+	}
+	if in.Workload != nil {
+		b.WriteString("\n## Workload characterization (measured)\n```\n")
+		b.WriteString(strings.TrimSpace(in.Workload.String()))
+		b.WriteString("\n```\n")
+		if in.Workload.Drift > 0.5 {
+			b.WriteString("The measured workload shifted noticeably since the last iteration;\n" +
+				"re-examine assumptions carried over from earlier rounds.\n")
+		}
 	}
 	switch {
 	case in.Config != nil:

@@ -238,5 +238,7 @@ func Replay(db *lsm.DB, r io.Reader, seed int64) (*bench.Report, error) {
 	}
 	rep.Metrics = db.GetMetrics()
 	rep.Stats = db.Statistics().Snapshot()
+	ws := db.CaptureWorkloadSnapshot()
+	rep.WorkloadSnap = &ws
 	return rep, nil
 }
