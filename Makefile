@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race crashtest equivalence verify clean
+.PHONY: build test vet race crashtest equivalence serverbench verify clean
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,11 @@ vet:
 # The engine histograms and the tuning-loop trace are written from multiple
 # goroutines; keep them honest under the race detector. The core tuning
 # sessions run ~20x slower under -race, past go test's default 10m limit.
+# internal/server and internal/bench carry the pipelined kvserver tests
+# (including the 256-connection NetRunner run), which only mean anything
+# with -race on.
 race:
-	$(GO) test -race -timeout 30m ./internal/lsm ./internal/core
+	$(GO) test -race -timeout 30m ./internal/lsm ./internal/core ./internal/server ./internal/bench
 
 # Randomized crash-consistency harness: 20 crash/recover cycles per option
 # combination (single- and multi-CF) through the fault-injection env, under
@@ -30,7 +33,13 @@ crashtest:
 equivalence:
 	$(GO) test -race -count=1 -run TestSubcompactionEquivalence ./internal/lsm
 
-verify: build vet test race equivalence
+# End-to-end smoke of the networked service: start kvserver, drive a short
+# mixed workload through dbbench -server, assert nonzero throughput and a
+# clean SIGINT shutdown.
+serverbench:
+	./scripts/serverbench.sh
+
+verify: build vet test race equivalence serverbench
 
 clean:
 	$(GO) clean ./...

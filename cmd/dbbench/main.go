@@ -8,6 +8,7 @@
 //	dbbench -benchmarks mixgraph -num 500000 -sim nvme -profile 4+4 -scale 40
 //	dbbench -benchmarks readrandom -num 100000 -sim hdd -options OPTIONS.ini
 //	dbbench -benchmarks readrandomwriterandom -num 200000 -column_family default,hot
+//	dbbench -server 127.0.0.1:6380 -benchmarks readmulti -num 100000 -connections 64
 package main
 
 import (
@@ -44,6 +45,10 @@ func main() {
 		traceIn    = flag.String("trace_in", "", "replay a trace file instead of running -benchmarks")
 		metricsA   = flag.String("metrics_addr", "", "serve Prometheus /metrics on this address while the benchmark runs (e.g. :9090)")
 		jsonTrace  = flag.String("trace", "", "append one JSON benchmark record (ops/sec, P99s, stats dump, histograms) to this file")
+		serverAddr = flag.String("server", "", "drive a kvserver at this address instead of an embedded DB (client mode)")
+		conns      = flag.Int("connections", 8, "client mode: number of pipelined TCP connections")
+		pipeDepth  = flag.Int("pipeline", 4, "client mode: concurrent in-flight requests per connection")
+		mgetBatch  = flag.Int("multiget_batch", 0, "override MultiGet batch size (>0 turns reads into MultiGets)")
 	)
 	flag.Parse()
 
@@ -79,6 +84,38 @@ func main() {
 			fatal(err)
 		}
 		cfg.Default.PerfLevel = *perfLevel
+	}
+
+	// Client mode: drive a running kvserver over TCP instead of opening an
+	// embedded database. Every workload spec works unchanged; reads become
+	// MultiGets when the spec (or -multiget_batch) says so.
+	if *serverAddr != "" {
+		spec, err := bench.WorkloadByName(*benchmarks, *num, *valueSize, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *cfList != "" {
+			spec.ColumnFamilies = strings.Split(*cfList, ",")
+		}
+		if *mgetBatch > 0 {
+			spec.MultiGetBatch = *mgetBatch
+		}
+		rep, err := (&bench.NetRunner{
+			Addr:        *serverAddr,
+			Connections: *conns,
+			Pipeline:    *pipeDepth,
+			Spec:        spec,
+		}).Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Format())
+		if *stats && rep.StatsDump != "" {
+			fmt.Println("\nSERVER STATISTICS:")
+			fmt.Print(rep.StatsDump)
+		}
+		writeTraceRecord(traceFile, rep, *jsonTrace)
+		return
 	}
 
 	dir := *dbPath
@@ -171,27 +208,34 @@ func main() {
 		fmt.Println("\nWORKLOAD CHARACTERIZATION:")
 		fmt.Println(rep.WorkloadSnap.String())
 	}
-	if traceFile != nil {
-		rec := core.TraceRecord{
-			Kind:           "benchmark",
-			Workload:       rep.Workload,
-			OpsPerSec:      rep.Throughput,
-			P99WriteMicros: rep.P99Write(),
-			P99ReadMicros:  rep.P99Read(),
-			Kept:           true,
-			StatsDump:      rep.StatsDump,
-			Histograms:     rep.HistogramDump,
-			Tickers:        rep.Stats,
-			WorkloadSnap:   rep.WorkloadSnap,
-		}
-		if err := json.NewEncoder(traceFile).Encode(rec); err != nil {
-			fatal(err)
-		}
-		if err := traceFile.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "appended benchmark record to %s\n", *jsonTrace)
+	writeTraceRecord(traceFile, rep, *jsonTrace)
+}
+
+// writeTraceRecord appends the report as a JSON benchmark record when -trace
+// was given (traceFile nil otherwise).
+func writeTraceRecord(traceFile *os.File, rep *bench.Report, path string) {
+	if traceFile == nil {
+		return
 	}
+	rec := core.TraceRecord{
+		Kind:           "benchmark",
+		Workload:       rep.Workload,
+		OpsPerSec:      rep.Throughput,
+		P99WriteMicros: rep.P99Write(),
+		P99ReadMicros:  rep.P99Read(),
+		Kept:           true,
+		StatsDump:      rep.StatsDump,
+		Histograms:     rep.HistogramDump,
+		Tickers:        rep.Stats,
+		WorkloadSnap:   rep.WorkloadSnap,
+	}
+	if err := json.NewEncoder(traceFile).Encode(rec); err != nil {
+		fatal(err)
+	}
+	if err := traceFile.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "appended benchmark record to %s\n", path)
 }
 
 func fatal(err error) {

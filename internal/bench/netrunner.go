@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// NetRunner executes a Spec against a kvserver over the network instead of
+// an embedded DB: dbbench's -server mode. It opens Connections pipelined
+// client connections and multiplexes Pipeline worker goroutines onto each,
+// so with C connections and depth D there are C*D concurrent requests in
+// flight and every connection stays D-deep pipelined. Keys route to server
+// shards by hash; the same Spec fields (read fraction, scans, multiget
+// batches, column families) drive the op mix.
+type NetRunner struct {
+	Addr        string
+	Connections int
+	// Pipeline is the number of worker goroutines sharing each connection
+	// (the per-connection pipeline depth). Default 4.
+	Pipeline int
+	Spec     *Spec
+	Monitor  func(Progress) bool
+}
+
+// netWorker is one workload goroutine bound to a shared client connection.
+type netWorker struct {
+	c         *server.Client
+	rng       *rand.Rand
+	keys      *KeyGen
+	values    *ValueGen
+	dist      KeyDist
+	ops       int64
+	opsDone   int64
+	readHist  *Histogram
+	writeHist *Histogram
+	readMiss  int64
+	bytes     int64
+}
+
+// cfName maps a key id onto the Spec's column-family list ("" = default).
+func (r *NetRunner) cfName(id uint64) string {
+	cfs := r.Spec.ColumnFamilies
+	if len(cfs) == 0 {
+		return ""
+	}
+	return cfs[id%uint64(len(cfs))]
+}
+
+// Run connects, preloads (unmeasured), executes the measured phase and
+// returns a report whose StatsDump is the server's aggregated stats text.
+func (r *NetRunner) Run() (*Report, error) {
+	if err := r.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	conns := r.Connections
+	if conns < 1 {
+		conns = 1
+	}
+	depth := r.Pipeline
+	if depth < 1 {
+		depth = 4
+	}
+	clients := make([]*server.Client, conns)
+	for i := range clients {
+		c, err := server.Dial(r.Addr)
+		if err != nil {
+			for _, open := range clients[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("bench: dial %s: %w", r.Addr, err)
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	if r.Spec.Preload > 0 {
+		if err := r.preload(clients); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := make([]*netWorker, conns*depth)
+	total := r.Spec.TotalOps()
+	per := total / int64(len(workers))
+	rem := total % int64(len(workers))
+	for i := range workers {
+		seed := r.Spec.Seed*7919 + int64(i)*104729 + 1
+		rng := rand.New(rand.NewSource(seed))
+		dist := r.Spec.dist()
+		if r.Spec.Sequential {
+			dist = &SequentialDist{next: uint64(i) * uint64(per+1)}
+		}
+		ops := per
+		if int64(i) < rem {
+			ops++
+		}
+		workers[i] = &netWorker{
+			c:         clients[i%conns],
+			rng:       rng,
+			keys:      NewKeyGen(r.Spec.KeySize),
+			values:    NewValueGen(rng, 0.5),
+			dist:      dist,
+			ops:       ops,
+			readHist:  NewHistogram(),
+			writeHist: NewHistogram(),
+		}
+	}
+
+	start := time.Now()
+	aborted := r.drive(workers)
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Workload:  r.Spec.Name + "/net",
+		Threads:   len(workers),
+		Read:      NewHistogram(),
+		Write:     NewHistogram(),
+		Aborted:   aborted,
+		ValueSize: r.Spec.ValueSize,
+		Elapsed:   elapsed,
+	}
+	for _, w := range workers {
+		rep.Ops += w.opsDone
+		rep.Read.Merge(w.readHist)
+		rep.Write.Merge(w.writeHist)
+		rep.ReadMisses += w.readMiss
+		rep.Bytes += w.bytes
+	}
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Ops) / rep.Elapsed.Seconds()
+	}
+	if text, err := clients[0].Stats(); err == nil {
+		rep.StatsDump = text
+	}
+	return rep, nil
+}
+
+// preload bulk-loads the key space through Batch frames, split round-robin
+// across every connection so the load phase is parallel too.
+func (r *NetRunner) preload(clients []*server.Client) error {
+	const batchSize = 512
+	var wg sync.WaitGroup
+	errc := make(chan error, len(clients))
+	perClient := r.Spec.Preload / uint64(len(clients))
+	for ci, c := range clients {
+		lo := uint64(ci) * perClient
+		hi := lo + perClient
+		if ci == len(clients)-1 {
+			hi = r.Spec.Preload
+		}
+		wg.Add(1)
+		go func(ci int, c *server.Client, lo, hi uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.Spec.Seed*31337 + int64(ci)))
+			values := NewValueGen(rng, 0.5)
+			keys := NewKeyGen(r.Spec.KeySize)
+			var entries []server.BatchEntry
+			for id := lo; id < hi; id++ {
+				entries = append(entries, server.BatchEntry{
+					CF:    r.cfName(id),
+					Key:   append([]byte(nil), keys.Key(id)...),
+					Value: append([]byte(nil), values.Value(r.Spec.ValueSize)...),
+				})
+				if len(entries) >= batchSize || id == hi-1 {
+					if err := c.Batch(entries); err != nil {
+						errc <- err
+						return
+					}
+					entries = entries[:0]
+				}
+			}
+		}(ci, c, lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("bench: preload: %w", err)
+	default:
+		return nil
+	}
+}
+
+// drive runs every worker goroutine to completion, sampling progress for the
+// monitor. Returns true if the monitor aborted the run.
+func (r *NetRunner) drive(workers []*netWorker) bool {
+	start := time.Now()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	abort := func() { stopOnce.Do(func() { close(stop) }) }
+	var monMu sync.Mutex
+	var doneOps int64
+	aborted := false
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *netWorker) {
+			defer wg.Done()
+			for w.opsDone < w.ops {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				opStart := time.Now()
+				isRead := r.execOp(w)
+				cost := time.Since(opStart)
+				if isRead {
+					w.readHist.Add(cost)
+				} else {
+					w.writeHist.Add(cost)
+				}
+				w.opsDone++
+				monMu.Lock()
+				doneOps++
+				d := doneOps
+				monMu.Unlock()
+				if r.Monitor != nil && d%4096 == 0 {
+					el := time.Since(start)
+					if !r.Monitor(Progress{Elapsed: el, OpsDone: d, Throughput: float64(d) / el.Seconds()}) {
+						monMu.Lock()
+						aborted = true
+						monMu.Unlock()
+						abort()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return aborted
+}
+
+// execOp issues one operation over the worker's connection; reports whether
+// it counted as a read.
+func (r *NetRunner) execOp(w *netWorker) bool {
+	roll := w.rng.Float64()
+	isRead := roll < r.Spec.ReadFraction
+	isScan := !isRead && roll < r.Spec.ReadFraction+r.Spec.ScanFraction
+	id := w.dist.Next(w.rng)
+	key := w.keys.Key(id)
+	cf := r.cfName(id)
+	switch {
+	case isScan:
+		pairs, err := w.c.Scan(cf, key, r.Spec.ScanLength)
+		if err == nil {
+			for _, kv := range pairs {
+				w.bytes += int64(len(kv.Key) + len(kv.Value))
+			}
+		}
+		return true
+	case isRead && r.Spec.MultiGetBatch > 0:
+		// One MultiGet frame of K keys; the server fans it out across its
+		// shards and gathers positionally.
+		keys := make([][]byte, r.Spec.MultiGetBatch)
+		keys[0] = append([]byte(nil), key...)
+		for i := 1; i < len(keys); i++ {
+			keys[i] = append([]byte(nil), w.keys.Key(w.dist.Next(w.rng))...)
+		}
+		vals, errs := w.c.MultiGet(cf, keys)
+		for i := range keys {
+			if errs[i] != nil {
+				w.readMiss++
+			}
+			w.bytes += int64(len(keys[i]) + len(vals[i]))
+		}
+		return true
+	case isRead:
+		v, err := w.c.Get(cf, key)
+		if err != nil {
+			w.readMiss++
+		}
+		w.bytes += int64(len(key) + len(v))
+		return true
+	default:
+		n := r.Spec.ValueSize
+		if r.Spec.ParetoValues {
+			n = paretoValueSize(w.rng, r.Spec.ValueSize)
+		}
+		val := w.values.Value(n)
+		if err := w.c.Put(cf, key, val); err == nil {
+			w.bytes += int64(len(key) + len(val))
+		}
+		return false
+	}
+}

@@ -278,6 +278,28 @@ func (r *Runner) execOp(t *vthread) {
 		t.pendingRead = true
 		return
 	}
+	if isRead && r.Spec.MultiGetBatch > 0 {
+		// readmulti: one MultiGet of K keys, grouped per column family (each
+		// key id maps onto its own family, like single reads).
+		perCF := make(map[int][][]byte, len(r.cfs))
+		perCF[int(id%uint64(len(r.cfs)))] = [][]byte{append([]byte(nil), key...)}
+		for n := 1; n < r.Spec.MultiGetBatch; n++ {
+			kid := t.dist.Next(t.rng)
+			perCF[int(kid%uint64(len(r.cfs)))] = append(perCF[int(kid%uint64(len(r.cfs)))],
+				append([]byte(nil), t.keys.Key(kid)...))
+		}
+		for ci, keys := range perCF {
+			vals, errs := r.DB.MultiGetCF(nil, r.cfs[ci], keys)
+			for i := range keys {
+				if errs[i] == lsm.ErrNotFound {
+					t.readMiss++
+				}
+				t.bytes += int64(len(keys[i]) + len(vals[i]))
+			}
+		}
+		t.pendingRead = true
+		return
+	}
 	if isRead {
 		_, err := r.DB.GetCF(nil, cf, key)
 		if err == lsm.ErrNotFound {

@@ -36,6 +36,10 @@ type Spec struct {
 	// WriterThreads dedicates the first N threads to pure writes while the
 	// rest follow ReadFraction (readwhilewriting).
 	WriterThreads int
+	// MultiGetBatch > 0 turns each read operation into a MultiGet of that
+	// many keys drawn from the key distribution (readmulti). Against a
+	// sharded server this exercises the cross-shard fan-out/gather path.
+	MultiGetBatch int
 	// Seed drives all workload randomness.
 	Seed int64
 	// ColumnFamilies routes traffic across named families: each key id maps
@@ -71,6 +75,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.ValueSize <= 0 {
 		return fmt.Errorf("bench: value_size must be positive")
+	}
+	if s.MultiGetBatch < 0 {
+		return fmt.Errorf("bench: multiget batch %d negative", s.MultiGetBatch)
 	}
 	return nil
 }
@@ -216,6 +223,16 @@ func SeekRandom(num int64, scanLength, valueSize int, seed int64) *Spec {
 	}
 }
 
+// ReadMulti reads `reads` batches of `batch` keys each via MultiGet from a
+// preloaded database — the MultiGet (and, over the network, cross-shard
+// fan-out/gather) counterpart of readrandom.
+func ReadMulti(reads int64, preload uint64, batch, valueSize int, seed int64) *Spec {
+	s := ReadRandom(reads, preload, valueSize, seed)
+	s.Name = "readmulti"
+	s.MultiGetBatch = batch
+	return s
+}
+
 // ReadWhileWriting runs one dedicated writer thread against reader threads,
 // db_bench style.
 func ReadWhileWriting(totalOps int64, valueSize int, seed int64) *Spec {
@@ -255,6 +272,8 @@ func WorkloadByName(name string, num int64, valueSize int, seed int64) (*Spec, e
 		return Mixgraph(num, valueSize, seed), nil
 	case "seekrandom":
 		return SeekRandom(num, 10, valueSize, seed), nil
+	case "readmulti", "multireadrandom":
+		return ReadMulti(num, uint64(num)*5/2, 8, valueSize, seed), nil
 	case "readwhilewriting":
 		return ReadWhileWriting(num, valueSize, seed), nil
 	default:

@@ -1,0 +1,42 @@
+package lsm
+
+// AggregateMetrics folds point-in-time metrics from several independent DB
+// instances (e.g. the shard router's embedded engines) into one view: level
+// shapes, memtable/cache footprints and background activity sum; LastSequence
+// is the max (each shard numbers its own writes); ColumnFamilies is the
+// union in first-appearance order.
+func AggregateMetrics(ms []Metrics) Metrics {
+	var out Metrics
+	seenCF := map[string]bool{}
+	for _, m := range ms {
+		for len(out.LevelFiles) < len(m.LevelFiles) {
+			out.LevelFiles = append(out.LevelFiles, 0)
+			out.LevelBytes = append(out.LevelBytes, 0)
+		}
+		for l := range m.LevelFiles {
+			out.LevelFiles[l] += m.LevelFiles[l]
+			out.LevelBytes[l] += m.LevelBytes[l]
+		}
+		out.MemtableBytes += m.MemtableBytes
+		out.ImmutableCount += m.ImmutableCount
+		out.PendingCompactionBytes += m.PendingCompactionBytes
+		out.BlockCacheUsed += m.BlockCacheUsed
+		out.BlockCacheHits += m.BlockCacheHits
+		out.BlockCacheMisses += m.BlockCacheMisses
+		out.RunningFlushes += m.RunningFlushes
+		out.RunningCompactions += m.RunningCompactions
+		out.TotalSSTBytes += m.TotalSSTBytes
+		out.StatsHistoryCount += m.StatsHistoryCount
+		out.StatsHistoryBytes += m.StatsHistoryBytes
+		if m.LastSequence > out.LastSequence {
+			out.LastSequence = m.LastSequence
+		}
+		for _, name := range m.ColumnFamilies {
+			if !seenCF[name] {
+				seenCF[name] = true
+				out.ColumnFamilies = append(out.ColumnFamilies, name)
+			}
+		}
+	}
+	return out
+}

@@ -27,6 +27,29 @@ type cacheShard struct {
 	used       int64
 	capacity   int64
 	stats      *Statistics
+	// byID indexes this shard's entries by owning table, so eraseID (run on
+	// every table deletion) walks only the blocks the table owns instead of
+	// scanning the whole shard map — O(blocks owned), not O(entries).
+	byID map[uint64]map[*cacheEntry]struct{}
+}
+
+// indexAdd registers an entry under its table id.
+func (s *cacheShard) indexAdd(e *cacheEntry) {
+	set := s.byID[e.key.id]
+	if set == nil {
+		set = make(map[*cacheEntry]struct{})
+		s.byID[e.key.id] = set
+	}
+	set[e] = struct{}{}
+}
+
+// indexRemove drops an entry from the per-table index.
+func (s *cacheShard) indexRemove(e *cacheEntry) {
+	set := s.byID[e.key.id]
+	delete(set, e)
+	if len(set) == 0 {
+		delete(s.byID, e.key.id)
+	}
 }
 
 func (s *cacheShard) unlink(e *cacheEntry) {
@@ -78,6 +101,7 @@ func (s *cacheShard) insert(k cacheKey, v []byte) {
 	} else {
 		e := &cacheEntry{key: k, value: v, charge: charge}
 		s.m[k] = e
+		s.indexAdd(e)
 		s.pushFront(e)
 		s.used += charge
 	}
@@ -88,6 +112,7 @@ func (s *cacheShard) insert(k cacheKey, v []byte) {
 		victim := s.tail
 		s.unlink(victim)
 		delete(s.m, victim.key)
+		s.indexRemove(victim)
 		s.used -= victim.charge
 		s.stats.Add(TickerBlockCacheEvict, 1)
 	}
@@ -96,13 +121,12 @@ func (s *cacheShard) insert(k cacheKey, v []byte) {
 func (s *cacheShard) eraseID(id uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for k, e := range s.m {
-		if k.id == id {
-			s.unlink(e)
-			delete(s.m, k)
-			s.used -= e.charge
-		}
+	for e := range s.byID[id] {
+		s.unlink(e)
+		delete(s.m, e.key)
+		s.used -= e.charge
 	}
+	delete(s.byID, id)
 }
 
 const cacheShards = 16
@@ -125,6 +149,7 @@ func newBlockCache(capacity int64) *blockCache {
 	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]*cacheEntry)
+		c.shards[i].byID = make(map[uint64]map[*cacheEntry]struct{})
 		c.shards[i].capacity = per
 	}
 	return c

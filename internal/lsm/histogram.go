@@ -205,6 +205,41 @@ func (ah *atomicHistogram) percentile(p float64, count int64, minUs, maxUs float
 	return maxUs
 }
 
+// Merge folds another histogram set's observations into h, bucket by
+// bucket. Both sides may be recording concurrently; the merged result is a
+// racy-but-consistent-enough snapshot, like Data. Used by the shard router
+// to aggregate per-shard engine histograms into one view.
+func (h *HistogramStats) Merge(o *HistogramStats) {
+	if h == nil || o == nil {
+		return
+	}
+	for t := range o.hists {
+		src, dst := &o.hists[t], &h.hists[t]
+		if src.count.Load() == 0 {
+			continue
+		}
+		for i := range src.buckets {
+			if v := src.buckets[i].Load(); v != 0 {
+				dst.buckets[i].Add(v)
+			}
+		}
+		dst.count.Add(src.count.Load())
+		dst.sum.Add(src.sum.Load())
+		for {
+			cur, v := dst.min.Load(), src.min.Load()
+			if v >= cur || dst.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+		for {
+			cur, v := dst.max.Load(), src.max.Load()
+			if v <= cur || dst.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
 // Snapshot returns a summary of every histogram that has observations,
 // ordered by histogram type.
 func (h *HistogramStats) Snapshot() []HistogramData {

@@ -19,6 +19,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -39,7 +40,17 @@ type Source interface {
 // Exporter serves Prometheus text-format metrics for a swappable Source.
 // The zero value is usable (serves only a comment until Set is called).
 type Exporter struct {
-	src atomic.Value // Source
+	src   atomic.Value // Source
+	extra atomic.Value // func(io.Writer)
+}
+
+// SetExtra installs an additional collector rendered after the engine
+// metrics on every scrape — the kvserver mounts its request/latency/
+// connection gauges here so one /metrics endpoint covers engine and server.
+func (e *Exporter) SetExtra(fn func(w io.Writer)) {
+	if fn != nil {
+		e.extra.Store(fn)
+	}
 }
 
 // NewExporter returns an exporter, optionally pre-bound to a source.
@@ -68,16 +79,19 @@ func sanitize(name string) string {
 func (e *Exporter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p, _ := e.src.Load().(*Source)
-	if p == nil {
-		fmt.Fprintln(w, "# no engine attached yet")
-		return
-	}
-	src := *p
 	var b strings.Builder
-	writeTickers(&b, src.Statistics())
-	writeHistograms(&b, src.Histograms())
-	writeGauges(&b, src.GetMetrics())
-	writePerf(&b, src)
+	if p == nil {
+		fmt.Fprintln(&b, "# no engine attached yet")
+	} else {
+		src := *p
+		writeTickers(&b, src.Statistics())
+		writeHistograms(&b, src.Histograms())
+		writeGauges(&b, src.GetMetrics())
+		writePerf(&b, src)
+	}
+	if fn, _ := e.extra.Load().(func(w io.Writer)); fn != nil {
+		fn(&b)
+	}
 	w.Write([]byte(b.String()))
 }
 

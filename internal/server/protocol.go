@@ -1,0 +1,477 @@
+// Package server is the networked front end of the engine: a length-prefixed
+// binary protocol over TCP (Put/Get/Delete/MultiGet/Scan/WriteBatch, all
+// column-family aware), a shard router that hash-partitions the keyspace
+// across N embedded lsm.DB instances, a per-connection pipelined server, and
+// the matching client. Everything is stdlib-only.
+//
+// Wire format: every message (request or response) travels as one frame,
+//
+//	uint32(BE) body length | body
+//
+// A request body is an opcode byte followed by opcode-specific fields; a
+// response body is a status byte followed by status/opcode-specific fields.
+// Variable-length fields (keys, values, CF names) are uvarint-length-prefixed
+// byte strings. Responses on a connection are returned strictly in request
+// order, which is what makes client-side pipelining trivial: N requests may
+// be in flight and the N responses match them positionally.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes. The zero value is invalid on purpose: an all-zero frame is
+// garbage, not a Put.
+const (
+	opInvalid byte = iota
+	OpPut
+	OpGet
+	OpDelete
+	OpMultiGet
+	OpScan
+	OpBatch
+	OpStats
+	opMax // one past the last valid opcode
+)
+
+// opNames maps opcodes to the labels used by metrics and errors.
+var opNames = [...]string{
+	opInvalid:  "invalid",
+	OpPut:      "put",
+	OpGet:      "get",
+	OpDelete:   "delete",
+	OpMultiGet: "multiget",
+	OpScan:     "scan",
+	OpBatch:    "batch",
+	OpStats:    "stats",
+}
+
+// OpName returns a human-readable opcode label.
+func OpName(op byte) string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// Response status codes.
+const (
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusErr      byte = 2
+)
+
+// MaxFrameSize bounds a single frame. Anything larger is treated as a
+// protocol violation (a garbage length prefix would otherwise make the
+// reader allocate gigabytes).
+const MaxFrameSize = 32 << 20
+
+// ErrProtocol marks malformed frames: bad opcode, truncated fields, trailing
+// bytes, oversized lengths. Connections are dropped on it.
+var ErrProtocol = errors.New("kvserver: protocol error")
+
+// ErrNotFound is the client-side mapping of StatusNotFound.
+var ErrNotFound = errors.New("kvserver: not found")
+
+// BatchEntry is one operation inside an OpBatch request. A false IsDelete is
+// a put.
+type BatchEntry struct {
+	IsDelete bool
+	CF       string
+	Key      []byte
+	Value    []byte
+}
+
+// Request is the decoded form of one request frame. Field use depends on Op:
+//
+//	OpPut       CF, Key, Value
+//	OpGet       CF, Key
+//	OpDelete    CF, Key
+//	OpMultiGet  CF, Keys
+//	OpScan      CF, Key (start, may be empty), Limit
+//	OpBatch     Batch
+//	OpStats     (nothing)
+type Request struct {
+	Op    byte
+	CF    string
+	Key   []byte
+	Value []byte
+	Keys  [][]byte
+	Limit int
+	Batch []BatchEntry
+}
+
+// KV is one key-value pair in a scan response.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// Response is the decoded form of one response frame. Status is always set;
+// the rest depends on the request's opcode:
+//
+//	get        Value (when found)
+//	multiget   Found + Values, positional with the request's Keys
+//	scan       Pairs
+//	stats      Text
+//	errors     Err (human-readable message, Status == StatusErr)
+type Response struct {
+	Status byte
+	Err    string
+	Value  []byte
+	Found  []bool
+	Values [][]byte
+	Pairs  []KV
+	Text   string
+}
+
+// appendBytes appends a uvarint-length-prefixed byte string.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// reader consumes decoded fields from a frame body.
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		return 0, ErrProtocol
+	}
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.buf)) {
+		return nil, ErrProtocol
+	}
+	out := r.buf[:n:n]
+	r.buf = r.buf[n:]
+	return out, nil
+}
+
+func (r *reader) string() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) byte() (byte, error) {
+	if len(r.buf) < 1 {
+		return 0, ErrProtocol
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b, nil
+}
+
+// done errors unless the frame was consumed exactly.
+func (r *reader) done() error {
+	if len(r.buf) != 0 {
+		return ErrProtocol
+	}
+	return nil
+}
+
+// EncodeRequest appends the request's frame body (no length prefix) to dst.
+func EncodeRequest(dst []byte, req *Request) ([]byte, error) {
+	dst = append(dst, req.Op)
+	switch req.Op {
+	case OpPut:
+		dst = appendString(dst, req.CF)
+		dst = appendBytes(dst, req.Key)
+		dst = appendBytes(dst, req.Value)
+	case OpGet, OpDelete:
+		dst = appendString(dst, req.CF)
+		dst = appendBytes(dst, req.Key)
+	case OpMultiGet:
+		dst = appendString(dst, req.CF)
+		dst = binary.AppendUvarint(dst, uint64(len(req.Keys)))
+		for _, k := range req.Keys {
+			dst = appendBytes(dst, k)
+		}
+	case OpScan:
+		dst = appendString(dst, req.CF)
+		dst = appendBytes(dst, req.Key)
+		dst = binary.AppendUvarint(dst, uint64(req.Limit))
+	case OpBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(req.Batch)))
+		for _, e := range req.Batch {
+			kind := byte(0)
+			if e.IsDelete {
+				kind = 1
+			}
+			dst = append(dst, kind)
+			dst = appendString(dst, e.CF)
+			dst = appendBytes(dst, e.Key)
+			if !e.IsDelete {
+				dst = appendBytes(dst, e.Value)
+			}
+		}
+	case OpStats:
+		// no payload
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, req.Op)
+	}
+	return dst, nil
+}
+
+// DecodeRequest parses a request frame body.
+func DecodeRequest(body []byte) (*Request, error) {
+	r := reader{body}
+	op, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if op == opInvalid || op >= opMax {
+		return nil, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
+	}
+	req := &Request{Op: op}
+	switch op {
+	case OpPut:
+		if req.CF, err = r.string(); err != nil {
+			return nil, err
+		}
+		if req.Key, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		if req.Value, err = r.bytes(); err != nil {
+			return nil, err
+		}
+	case OpGet, OpDelete:
+		if req.CF, err = r.string(); err != nil {
+			return nil, err
+		}
+		if req.Key, err = r.bytes(); err != nil {
+			return nil, err
+		}
+	case OpMultiGet:
+		if req.CF, err = r.string(); err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.buf)) { // each key costs >= 1 byte
+			return nil, ErrProtocol
+		}
+		req.Keys = make([][]byte, n)
+		for i := range req.Keys {
+			if req.Keys[i], err = r.bytes(); err != nil {
+				return nil, err
+			}
+		}
+	case OpScan:
+		if req.CF, err = r.string(); err != nil {
+			return nil, err
+		}
+		if req.Key, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		req.Limit = int(n)
+	case OpBatch:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.buf)) { // each entry costs >= 1 byte
+			return nil, ErrProtocol
+		}
+		req.Batch = make([]BatchEntry, n)
+		for i := range req.Batch {
+			kind, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			if kind > 1 {
+				return nil, fmt.Errorf("%w: bad batch entry kind %d", ErrProtocol, kind)
+			}
+			e := &req.Batch[i]
+			e.IsDelete = kind == 1
+			if e.CF, err = r.string(); err != nil {
+				return nil, err
+			}
+			if e.Key, err = r.bytes(); err != nil {
+				return nil, err
+			}
+			if !e.IsDelete {
+				if e.Value, err = r.bytes(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case OpStats:
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EncodeResponse appends the response frame body for the given request
+// opcode (the opcode selects which fields travel).
+func EncodeResponse(dst []byte, op byte, resp *Response) []byte {
+	dst = append(dst, resp.Status)
+	if resp.Status == StatusErr {
+		return appendString(dst, resp.Err)
+	}
+	switch op {
+	case OpGet:
+		if resp.Status == StatusOK {
+			dst = appendBytes(dst, resp.Value)
+		}
+	case OpMultiGet:
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Found)))
+		for i, ok := range resp.Found {
+			if ok {
+				dst = append(dst, 1)
+				dst = appendBytes(dst, resp.Values[i])
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	case OpScan:
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Pairs)))
+		for _, kv := range resp.Pairs {
+			dst = appendBytes(dst, kv.Key)
+			dst = appendBytes(dst, kv.Value)
+		}
+	case OpStats:
+		dst = appendString(dst, resp.Text)
+	}
+	return dst
+}
+
+// DecodeResponse parses a response frame body for the given request opcode.
+func DecodeResponse(op byte, body []byte) (*Response, error) {
+	r := reader{body}
+	status, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Status: status}
+	if status == StatusErr {
+		if resp.Err, err = r.string(); err != nil {
+			return nil, err
+		}
+		return resp, r.done()
+	}
+	if status != StatusOK && status != StatusNotFound {
+		return nil, fmt.Errorf("%w: unknown status %d", ErrProtocol, status)
+	}
+	switch op {
+	case OpGet:
+		if status == StatusOK {
+			if resp.Value, err = r.bytes(); err != nil {
+				return nil, err
+			}
+		}
+	case OpMultiGet:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.buf)) { // each result costs >= 1 byte
+			return nil, ErrProtocol
+		}
+		resp.Found = make([]bool, n)
+		resp.Values = make([][]byte, n)
+		for i := range resp.Found {
+			flag, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			switch flag {
+			case 1:
+				resp.Found[i] = true
+				if resp.Values[i], err = r.bytes(); err != nil {
+					return nil, err
+				}
+			case 0:
+			default:
+				return nil, fmt.Errorf("%w: bad multiget flag %d", ErrProtocol, flag)
+			}
+		}
+	case OpScan:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.buf)) { // each pair costs >= 2 bytes
+			return nil, ErrProtocol
+		}
+		resp.Pairs = make([]KV, n)
+		for i := range resp.Pairs {
+			if resp.Pairs[i].Key, err = r.bytes(); err != nil {
+				return nil, err
+			}
+			if resp.Pairs[i].Value, err = r.bytes(); err != nil {
+				return nil, err
+			}
+		}
+	case OpStats:
+		if resp.Text, err = r.string(); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body. Oversized lengths are a
+// protocol error; a clean EOF before the first header byte returns io.EOF.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated frame header", ErrProtocol)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame body", ErrProtocol)
+	}
+	return buf, nil
+}

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lsm"
+)
+
+// pipelineDepth is how many decoded-but-unexecuted (and executed-but-
+// unwritten) requests a connection may hold in flight between its pipeline
+// stages. Deep enough that a bursty pipelined client keeps the executor fed;
+// shallow enough to bound per-connection memory.
+const pipelineDepth = 128
+
+// Metrics is the server's own observability surface: connection gauges,
+// per-opcode request counters, byte counters and a request-latency
+// histogram. All fields are atomics; WritePrometheus renders them for the
+// /metrics mux next to the engine's gauges.
+type Metrics struct {
+	ConnsActive  atomic.Int64
+	ConnsTotal   atomic.Int64
+	ProtoErrors  atomic.Int64
+	OpErrors     atomic.Int64
+	BytesIn      atomic.Int64
+	BytesOut     atomic.Int64
+	requests     [opMax]atomic.Int64
+	requestMicro [opMax]atomic.Int64
+}
+
+// book records one finished request.
+func (m *Metrics) book(op byte, d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	m.requests[op].Add(1)
+	m.requestMicro[op].Add(int64(d / time.Microsecond))
+	if failed {
+		m.OpErrors.Add(1)
+	}
+}
+
+// Requests returns the total request count for one opcode.
+func (m *Metrics) Requests(op byte) int64 { return m.requests[op].Load() }
+
+// WritePrometheus renders the server metrics in the text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	gauge("kvserver_connections_active", m.ConnsActive.Load())
+	counter := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	counter("kvserver_connections_total", m.ConnsTotal.Load())
+	counter("kvserver_protocol_errors_total", m.ProtoErrors.Load())
+	counter("kvserver_op_errors_total", m.OpErrors.Load())
+	counter("kvserver_bytes_in_total", m.BytesIn.Load())
+	counter("kvserver_bytes_out_total", m.BytesOut.Load())
+	fmt.Fprintf(w, "# TYPE kvserver_requests_total counter\n")
+	for op := byte(1); op < opMax; op++ {
+		fmt.Fprintf(w, "kvserver_requests_total{op=%q} %d\n", OpName(op), m.requests[op].Load())
+	}
+	fmt.Fprintf(w, "# TYPE kvserver_request_micros_sum counter\n")
+	for op := byte(1); op < opMax; op++ {
+		fmt.Fprintf(w, "kvserver_request_micros_sum{op=%q} %d\n", OpName(op), m.requestMicro[op].Load())
+	}
+}
+
+// Server accepts TCP connections and serves the kvserver protocol against a
+// shard router. Each connection runs a three-stage pipeline — read/decode,
+// execute, encode/write — in separate goroutines, so a client may keep many
+// requests in flight on one connection: while one request executes, the next
+// is already decoded and the previous response is being written. Concurrent
+// in-flight writes across stages and connections land in the embedded
+// engines' group-commit write threads together.
+type Server struct {
+	router  *Router
+	ln      net.Listener
+	metrics *Metrics
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts accepting connections on ln. It owns ln: Close stops the
+// accept loop and every live connection.
+func Serve(ln net.Listener, router *Router) *Server {
+	s := &Server{
+		router:  router,
+		ln:      ln,
+		metrics: &Metrics{},
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Metrics returns the server's observability counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Router returns the shard router the server fronts.
+func (s *Server) Router() *Router { return s.router }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.ConnsTotal.Add(1)
+		s.metrics.ConnsActive.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// inflight carries one request between pipeline stages.
+type inflight struct {
+	req *Request
+}
+
+// serveConn runs one connection's pipeline until EOF, protocol error, or
+// server shutdown.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.metrics.ConnsActive.Add(-1)
+	}()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+
+	reqCh := make(chan inflight, pipelineDepth)
+	respCh := make(chan []byte, pipelineDepth)
+
+	// Stage 2: execute. Owns request order for the connection — responses
+	// are produced strictly in request order, which is the pipelining
+	// contract with the client.
+	var execWG sync.WaitGroup
+	execWG.Add(1)
+	go func() {
+		defer execWG.Done()
+		defer close(respCh)
+		for f := range reqCh {
+			start := time.Now()
+			resp := s.exec(f.req)
+			s.metrics.book(f.req.Op, time.Since(start), resp.Status == StatusErr)
+			respCh <- EncodeResponse(nil, f.req.Op, resp)
+		}
+	}()
+
+	// Stage 3: encode/write. Flushes only when no further response is
+	// immediately ready, so bursts of pipelined responses coalesce into few
+	// syscalls.
+	var writeWG sync.WaitGroup
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		bw := bufio.NewWriterSize(c, 64<<10)
+		for body := range respCh {
+			if err := writeFrame(bw, body); err != nil {
+				// Sink the rest; the reader will notice the closed conn.
+				for range respCh {
+				}
+				return
+			}
+			s.metrics.BytesOut.Add(int64(len(body) + 4))
+			if len(respCh) == 0 {
+				if err := bw.Flush(); err != nil {
+					for range respCh {
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	// Stage 1: read/decode, on this goroutine. Each frame gets a fresh
+	// buffer: the decoded request aliases it and lives on through the later
+	// pipeline stages.
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		body, err := readFrame(br, nil)
+		if err != nil {
+			if errors.Is(err, ErrProtocol) {
+				s.metrics.ProtoErrors.Add(1)
+			}
+			break // EOF, protocol violation, or closed connection
+		}
+		s.metrics.BytesIn.Add(int64(len(body) + 4))
+		req, err := DecodeRequest(body)
+		if err != nil {
+			// Malformed body: the stream cannot be trusted past this point.
+			// Drop the connection (after the in-flight tail drains).
+			s.metrics.ProtoErrors.Add(1)
+			break
+		}
+		reqCh <- inflight{req: req}
+	}
+	close(reqCh)
+	execWG.Wait()
+	writeWG.Wait()
+}
+
+// exec runs one decoded request against the router.
+func (s *Server) exec(req *Request) *Response {
+	switch req.Op {
+	case OpPut:
+		if err := s.router.Put(req.CF, req.Key, req.Value); err != nil {
+			return &Response{Status: StatusErr, Err: err.Error()}
+		}
+		return &Response{Status: StatusOK}
+	case OpGet:
+		v, err := s.router.Get(req.CF, req.Key)
+		switch {
+		case err == nil:
+			return &Response{Status: StatusOK, Value: v}
+		case errors.Is(err, lsm.ErrNotFound):
+			return &Response{Status: StatusNotFound}
+		default:
+			return &Response{Status: StatusErr, Err: err.Error()}
+		}
+	case OpDelete:
+		if err := s.router.Delete(req.CF, req.Key); err != nil {
+			return &Response{Status: StatusErr, Err: err.Error()}
+		}
+		return &Response{Status: StatusOK}
+	case OpMultiGet:
+		vals, errs := s.router.MultiGet(req.CF, req.Keys)
+		resp := &Response{Status: StatusOK, Found: make([]bool, len(req.Keys)), Values: make([][]byte, len(req.Keys))}
+		for i, err := range errs {
+			switch {
+			case err == nil:
+				resp.Found[i] = true
+				resp.Values[i] = vals[i]
+			case errors.Is(err, lsm.ErrNotFound):
+			default:
+				return &Response{Status: StatusErr, Err: err.Error()}
+			}
+		}
+		return resp
+	case OpScan:
+		pairs, err := s.router.Scan(req.CF, req.Key, req.Limit)
+		if err != nil {
+			return &Response{Status: StatusErr, Err: err.Error()}
+		}
+		return &Response{Status: StatusOK, Pairs: pairs}
+	case OpBatch:
+		if err := s.router.ApplyBatch(req.Batch); err != nil {
+			return &Response{Status: StatusErr, Err: err.Error()}
+		}
+		return &Response{Status: StatusOK}
+	case OpStats:
+		return &Response{Status: StatusOK, Text: s.router.StatsText()}
+	default:
+		return &Response{Status: StatusErr, Err: fmt.Sprintf("unknown opcode %d", req.Op)}
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// per-connection pipelines to drain. The router (and its shard databases)
+// is NOT closed — the caller owns it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kvserver on %s (%d shards)", s.ln.Addr(), s.router.NumShards())
+	return b.String()
+}

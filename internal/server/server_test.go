@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startServer opens an n-shard router over a temp dir and serves it on an
+// ephemeral port. Cleanup closes the server and the shards.
+func startServer(t *testing.T, shards int) (*Server, string) {
+	t.Helper()
+	router, err := OpenRouter(t.TempDir(), shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		router.Close()
+		t.Fatal(err)
+	}
+	srv := Serve(ln, router)
+	t.Cleanup(func() {
+		srv.Close()
+		if err := router.Close(); err != nil {
+			t.Errorf("router close: %v", err)
+		}
+	})
+	return srv, srv.Addr().String()
+}
+
+func TestServerBasicOps(t *testing.T) {
+	_, addr := startServer(t, 2)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Default family and a named family hold independent values for one key.
+	if err := c.Put("", []byte("k"), []byte("default-v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("hot", []byte("k"), []byte("hot-v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Get("", []byte("k")); err != nil || string(v) != "default-v" {
+		t.Fatalf("get default: %q, %v", v, err)
+	}
+	if v, err := c.Get("hot", []byte("k")); err != nil || string(v) != "hot-v" {
+		t.Fatalf("get hot: %q, %v", v, err)
+	}
+	if _, err := c.Get("", []byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing: %v, want ErrNotFound", err)
+	}
+	if err := c.Delete("", []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("", []byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get deleted: %v, want ErrNotFound", err)
+	}
+	// The hot family is untouched by the default-family delete.
+	if v, err := c.Get("hot", []byte("k")); err != nil || string(v) != "hot-v" {
+		t.Fatalf("get hot after delete: %q, %v", v, err)
+	}
+
+	// Batch across families, then MultiGet with hits and misses mixed.
+	err = c.Batch([]BatchEntry{
+		{CF: "", Key: []byte("b1"), Value: []byte("v1")},
+		{CF: "", Key: []byte("b2"), Value: []byte("v2")},
+		{CF: "hot", Key: []byte("b3"), Value: []byte("v3")},
+		{IsDelete: true, CF: "hot", Key: []byte("k")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, errs := c.MultiGet("", [][]byte{[]byte("b1"), []byte("nope"), []byte("b2")})
+	if errs[0] != nil || string(vals[0]) != "v1" {
+		t.Fatalf("multiget[0]: %q, %v", vals[0], errs[0])
+	}
+	if !errors.Is(errs[1], ErrNotFound) {
+		t.Fatalf("multiget[1]: %v, want ErrNotFound", errs[1])
+	}
+	if errs[2] != nil || string(vals[2]) != "v2" {
+		t.Fatalf("multiget[2]: %q, %v", vals[2], errs[2])
+	}
+
+	text, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"KVServer aggregated stats (2 shards)", "Block cache (per shard)", "** Shard 1 **"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stats dump missing %q", want)
+		}
+	}
+}
+
+// TestServerScanMerge loads keys that hash across all four shards and checks
+// the merged scan is globally sorted and complete.
+func TestServerScanMerge(t *testing.T) {
+	_, addr := startServer(t, 4)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 200
+	want := make([]string, 0, n)
+	var entries []BatchEntry
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		want = append(want, k)
+		entries = append(entries, BatchEntry{Key: []byte(k), Value: []byte(fmt.Sprintf("val-%04d", i))})
+	}
+	if err := c.Batch(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	pairs, err := c.Scan("", nil, n+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != n {
+		t.Fatalf("scan returned %d pairs, want %d", len(pairs), n)
+	}
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool {
+		return bytes.Compare(pairs[i].Key, pairs[j].Key) < 0
+	}) {
+		t.Error("merged scan is not sorted")
+	}
+	for i, kv := range pairs {
+		if string(kv.Key) != want[i] {
+			t.Fatalf("pair %d: key %q, want %q", i, kv.Key, want[i])
+		}
+		if wantV := "val-" + want[i][4:]; string(kv.Value) != wantV {
+			t.Fatalf("pair %d: value %q, want %q", i, kv.Value, wantV)
+		}
+	}
+
+	// Bounded scan from the middle.
+	pairs, err = c.Scan("", []byte("key-0100"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 5 || string(pairs[0].Key) != "key-0100" || string(pairs[4].Key) != "key-0104" {
+		t.Fatalf("bounded scan wrong: %d pairs, first %q", len(pairs), pairs[0].Key)
+	}
+}
+
+// TestServerGarbageFrame checks that a malformed frame drops only the
+// offending connection while the server keeps serving others.
+func TestServerGarbageFrame(t *testing.T) {
+	srv, addr := startServer(t, 2)
+
+	good, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Put("", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw connection sending an all-zero body: opcode 0 is invalid.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[:4], 4)
+	if _, err := raw.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection without replying.
+	if n, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatalf("read after garbage frame returned %d bytes, want close", n)
+	}
+
+	if got := srv.Metrics().ProtoErrors.Load(); got == 0 {
+		t.Error("protocol error counter not incremented")
+	}
+	// The healthy connection is unaffected.
+	if v, err := good.Get("", []byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("healthy connection broken after garbage on another: %q, %v", v, err)
+	}
+}
+
+// TestServerConcurrentOracle hammers a 4-shard server from many pipelined
+// connections, each worker owning a disjoint key range it mirrors in a local
+// oracle map. Run under -race this exercises the full pipeline: concurrent
+// decode/execute/encode stages, cross-shard MultiGet and scans, shared
+// Statistics across shards.
+func TestServerConcurrentOracle(t *testing.T) {
+	_, addr := startServer(t, 4)
+
+	const (
+		conns      = 16
+		workers    = 32 // two workers share each connection: pipeline depth 2
+		opsPer     = 300
+		keysPerW   = 40
+		scanEvery  = 64
+		multiEvery = 16
+	)
+	clients := make([]*Client, conns)
+	for i := range clients {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w%conns]
+			cf := ""
+			if w%3 == 0 {
+				cf = "hot"
+			}
+			prefix := fmt.Sprintf("w%03d-", w)
+			oracle := make(map[string]string)
+			key := func(i int) string { return fmt.Sprintf("%s%06d", prefix, i%keysPerW) }
+			for i := 0; i < opsPer; i++ {
+				k := key(i)
+				switch {
+				case i%multiEvery == multiEvery-1:
+					ks := [][]byte{[]byte(key(i)), []byte(key(i + 7)), []byte(key(i + 13))}
+					vals, errs := c.MultiGet(cf, ks)
+					for j, kb := range ks {
+						want, ok := oracle[string(kb)]
+						switch {
+						case ok && (errs[j] != nil || string(vals[j]) != want):
+							errCh <- fmt.Errorf("w%d multiget %q: got %q/%v want %q", w, kb, vals[j], errs[j], want)
+							return
+						case !ok && !errors.Is(errs[j], ErrNotFound):
+							errCh <- fmt.Errorf("w%d multiget %q: got %q/%v want not-found", w, kb, vals[j], errs[j])
+							return
+						}
+					}
+				case i%scanEvery == scanEvery-1:
+					pairs, err := c.Scan(cf, []byte(prefix), keysPerW*2)
+					if err != nil {
+						errCh <- fmt.Errorf("w%d scan: %v", w, err)
+						return
+					}
+					last := ""
+					for _, kv := range pairs {
+						ks := string(kv.Key)
+						if ks <= last {
+							errCh <- fmt.Errorf("w%d scan out of order: %q after %q", w, ks, last)
+							return
+						}
+						last = ks
+						if !strings.HasPrefix(ks, prefix) {
+							continue // another worker's key; its value is not ours to judge
+						}
+						if want, ok := oracle[ks]; !ok || want != string(kv.Value) {
+							errCh <- fmt.Errorf("w%d scan %q: got %q want %q (known=%v)", w, ks, kv.Value, want, ok)
+							return
+						}
+					}
+				case i%5 == 4 && len(oracle) > 0:
+					if err := c.Delete(cf, []byte(k)); err != nil {
+						errCh <- fmt.Errorf("w%d delete: %v", w, err)
+						return
+					}
+					delete(oracle, k)
+				case i%2 == 0:
+					v := fmt.Sprintf("v-%d-%d", w, i)
+					if err := c.Put(cf, []byte(k), []byte(v)); err != nil {
+						errCh <- fmt.Errorf("w%d put: %v", w, err)
+						return
+					}
+					oracle[k] = v
+				default:
+					v, err := c.Get(cf, []byte(k))
+					want, ok := oracle[k]
+					switch {
+					case ok && (err != nil || string(v) != want):
+						errCh <- fmt.Errorf("w%d get %q: got %q/%v want %q", w, k, v, err, want)
+						return
+					case !ok && !errors.Is(err, ErrNotFound):
+						errCh <- fmt.Errorf("w%d get %q: got %q/%v want not-found", w, k, v, err)
+						return
+					}
+				}
+			}
+			// Quiesced final check over the whole owned range via MultiGet.
+			var ks [][]byte
+			for i := 0; i < keysPerW; i++ {
+				ks = append(ks, []byte(key(i)))
+			}
+			vals, errs := c.MultiGet(cf, ks)
+			for j, kb := range ks {
+				want, ok := oracle[string(kb)]
+				switch {
+				case ok && (errs[j] != nil || string(vals[j]) != want):
+					errCh <- fmt.Errorf("w%d final %q: got %q/%v want %q", w, kb, vals[j], errs[j], want)
+					return
+				case !ok && !errors.Is(errs[j], ErrNotFound):
+					errCh <- fmt.Errorf("w%d final %q: want not-found, got %v", w, kb, errs[j])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestRouterSharedStatistics verifies the multi-instance aggregation: all
+// shards feed one Statistics sink, and the stats dump's block-cache table
+// covers every shard.
+func TestRouterSharedStatistics(t *testing.T) {
+	router, err := OpenRouter(t.TempDir(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	for i := 0; i < 300; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if err := router.Put("", k, []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if router.Shard(i).Statistics() != router.Statistics() {
+			t.Fatalf("shard %d has a private Statistics sink", i)
+		}
+	}
+	// 300 hashed keys cannot all land on one shard (FNV spreads them), so
+	// every shard must have advanced its sequence, and the shared tickers
+	// must account for all of the writes.
+	for i := 0; i < 3; i++ {
+		if seq := router.Shard(i).GetMetrics().LastSequence; seq == 0 {
+			t.Errorf("shard %d saw no writes", i)
+		}
+	}
+	snap := router.Statistics().Snapshot()
+	perKey := int64(len("key-00000") + len("value"))
+	if got := snap["rocksdb.bytes.written"]; got < 300*perKey {
+		t.Errorf("shared ticker saw %d bytes written, want >= %d", got, 300*perKey)
+	}
+	text := router.StatsText()
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(text, fmt.Sprintf("** Shard %d **", i)) {
+			t.Errorf("stats dump missing shard %d section", i)
+		}
+	}
+}
