@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race crashtest equivalence serverbench verify clean
+.PHONY: build test vet race crashtest equivalence serverbench liveretune verify clean
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,8 @@ vet:
 # sessions run ~20x slower under -race, past go test's default 10m limit.
 # internal/server and internal/bench carry the pipelined kvserver tests
 # (including the 256-connection NetRunner run), which only mean anything
-# with -race on.
+# with -race on; internal/lsm's TestSetOptionsRace and internal/core's live
+# retuning tests hammer reads/writes/iterators while options flip mid-flight.
 race:
 	$(GO) test -race -timeout 30m ./internal/lsm ./internal/core ./internal/server ./internal/bench
 
@@ -39,7 +40,14 @@ equivalence:
 serverbench:
 	./scripts/serverbench.sh
 
-verify: build vet test race equivalence serverbench
+# End-to-end smoke of live retuning: start kvserver, put it under load, and
+# let elmotune (mock LLM) retune the RUNNING instance through the SetOptions
+# wire op — at least one round must apply in place, with the trace and the
+# cross-session insight file written.
+liveretune:
+	./scripts/liveretune.sh
+
+verify: build vet test race equivalence serverbench liveretune
 
 clean:
 	$(GO) clean ./...

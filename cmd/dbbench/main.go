@@ -16,7 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -49,6 +52,7 @@ func main() {
 		conns      = flag.Int("connections", 8, "client mode: number of pipelined TCP connections")
 		pipeDepth  = flag.Int("pipeline", 4, "client mode: concurrent in-flight requests per connection")
 		mgetBatch  = flag.Int("multiget_batch", 0, "override MultiGet batch size (>0 turns reads into MultiGets)")
+		applyCyc   = flag.Int("apply_downtime_cycles", 0, "measure config-apply downtime instead of a workload: flip write_buffer_size this many times under write load, once via live SetOptions and once via close/reopen, and print the downtime histogram")
 	)
 	flag.Parse()
 
@@ -169,6 +173,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving Prometheus metrics on http://%s/metrics\n", addr)
 	}
 
+	if *applyCyc > 0 {
+		runApplyDowntime(dir, db, *applyCyc)
+		return
+	}
+
 	var rep *bench.Report
 	if *traceIn != "" {
 		f, err := os.Open(*traceIn)
@@ -236,6 +245,87 @@ func writeTraceRecord(traceFile *os.File, rep *bench.Report, path string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "appended benchmark record to %s\n", path)
+}
+
+// runApplyDowntime quantifies what a configuration change costs a running
+// instance: under a steady write load it flips write_buffer_size repeatedly,
+// applying each flip twice — live through SetOptions and again through a full
+// close/reopen — and prints both downtime distributions side by side (the
+// numbers behind live retuning vs. the restart it replaces; see
+// results/apply_downtime.txt).
+func runApplyDowntime(dir string, db *lsm.DB, cycles int) {
+	target := core.NewEmbeddedTarget(dir, db)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := make([]byte, 256)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("w%d-%07d", w, i)
+				// Errors during a reopen window ARE the downtime; keep going.
+				_ = target.DB().Put(nil, []byte(key), val)
+			}
+		}(w)
+	}
+
+	base := target.DB().Options().WriteBufferSize
+	sizes := []int64{base / 2, base}
+	var inplace, reopen []time.Duration
+	for c := 0; c < cycles; c++ {
+		v := fmt.Sprintf("%d", sizes[c%2])
+		start := time.Now()
+		if err := target.ApplyLive("", map[string]string{"write_buffer_size": v}); err != nil {
+			fatal(err)
+		}
+		inplace = append(inplace, time.Since(start))
+
+		cfg, err := target.Config()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cfg.Default.SetByName("write_buffer_size", v); err != nil {
+			fatal(err)
+		}
+		start = time.Now()
+		if err := target.Reopen(cfg); err != nil {
+			fatal(err)
+		}
+		reopen = append(reopen, time.Since(start))
+	}
+	close(stop)
+	wg.Wait()
+	defer target.DB().Close()
+
+	fmt.Printf("CONFIG-APPLY DOWNTIME (write_buffer_size flip under 4-writer load, %d cycles each)\n", cycles)
+	fmt.Printf("%-9s %6s %12s %12s %12s %12s\n", "mode", "count", "avg", "p50", "p99", "max")
+	printDowntime("in_place", inplace)
+	printDowntime("reopen", reopen)
+}
+
+// printDowntime renders one mode's downtime distribution row.
+func printDowntime(mode string, ds []time.Duration) {
+	if len(ds) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	fmt.Printf("%-9s %6d %12s %12s %12s %12s\n",
+		mode, len(sorted), sum/time.Duration(len(sorted)), pct(0.5), pct(0.99), sorted[len(sorted)-1])
 }
 
 func fatal(err error) {

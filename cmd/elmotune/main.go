@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/metrics"
 	"repro/internal/mockllm"
+	"repro/internal/server"
 	"repro/internal/sysmon"
 )
 
@@ -45,6 +47,11 @@ func main() {
 		metricsA = flag.String("metrics_addr", "", "serve Prometheus /metrics for the live iteration's engine (e.g. :9090)")
 		traceF   = flag.String("trace", "", "write the tuning-loop JSONL trace (one record per iteration) to this file")
 		cfList   = flag.String("column_family", "", "comma-separated column families to benchmark and tune alongside \"default\"")
+		live     = flag.Bool("live", false, "retune a RUNNING kvserver in place via SetOptions (requires -server)")
+		srvAddr  = flag.String("server", "", "kvserver address for -live, e.g. 127.0.0.1:4930")
+		window   = flag.Duration("window", 3*time.Second, "observation window per live round (-live)")
+		watch    = flag.Int("watch", 0, "post-tuning watch windows; drift past 0.5 re-triggers a live retune (-live)")
+		insightF = flag.String("insights", "", "cross-session insight memory file (JSON); best configs are recalled for similar workloads")
 	)
 	flag.Parse()
 	var cfNames []string
@@ -68,6 +75,7 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+		InsightPath: *insightF,
 	}
 	if *llmURL != "" {
 		cfg.Client = llm.NewHTTPClient(*llmURL, *llmKey, *model)
@@ -91,6 +99,13 @@ func main() {
 		}
 		defer f.Close()
 		cfg.Trace = f
+	}
+	if *live {
+		if *srvAddr == "" {
+			fatal(fmt.Errorf("-live requires -server <addr>"))
+		}
+		runLive(cfg, *srvAddr, *workload, *iters, *window, *watch, *insightF, *traceF, *out, cfNames)
+		return
 	}
 	var res *core.Result
 	var session *experiments.Session
@@ -124,6 +139,7 @@ func main() {
 			StallLimit:    *iters + 1,
 			Logf:          cfg.Logf,
 			Trace:         cfg.Trace,
+			InsightPath:   cfg.InsightPath,
 		})
 		if err != nil {
 			fatal(err)
@@ -181,6 +197,65 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote tuned configuration to %s\n", *out)
+}
+
+// runLive retunes a running kvserver in place: accepted changes land through
+// the SetOptions wire op — never a restart — and the loop keeps watching for
+// workload drift afterwards.
+func runLive(cfg experiments.Config, addr, workload string, rounds int, window time.Duration, watch int, insightPath, traceF, out string, cfNames []string) {
+	client, err := server.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+	var trace *core.TraceWriter
+	if traceF != "" {
+		f, err := os.Create(traceF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		trace = core.NewTraceWriter(f)
+	}
+	fmt.Fprintf(os.Stderr, "ELMo-Tune LIVE: retuning kvserver at %s (%s windows, %d round(s), watch %d), model %s\n",
+		addr, window, rounds, watch, cfg.Client.Name())
+	res, err := core.RunLive(context.Background(), core.LiveConfig{
+		Client:        cfg.Client,
+		Target:        newServerTarget(client, cfNames),
+		Monitor:       sysmon.NewOSMonitor(),
+		WorkloadName:  workload,
+		ObserveWindow: window,
+		MaxRounds:     rounds,
+		WatchWindows:  watch,
+		InsightPath:   insightPath,
+		Logf:          cfg.Logf,
+		Trace:         trace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nLive retuning: %d round(s), %d drift-triggered, best %.0f ops/sec\n",
+		len(res.Rounds), res.DriftRetunes, res.BestThroughput)
+	for _, r := range res.Rounds {
+		status := "kept"
+		if !r.Kept {
+			status = "rolled back"
+		}
+		if len(r.AppliedDiff) == 0 {
+			status = "no change"
+		}
+		fmt.Printf("  round %d (%s): %d change(s) %s", r.Number, r.Trigger, len(r.AppliedDiff), status)
+		if r.ApplyMode != "" {
+			fmt.Printf(" via %s, downtime %s", r.ApplyMode, r.Downtime)
+		}
+		fmt.Println()
+	}
+	if out != "" {
+		if err := res.FinalConfig.ToINI().Save(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote live-tuned configuration to %s\n", out)
+	}
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 //	ldb -db /path listcfs               (list column families)
 //	ldb -db /path stats | levelstats | statshistory | dump_options
 //	ldb -db /path compact [from [to]]   (manual compaction; honors -column_family)
+//	ldb -db /path setoptions k=v [k=v ...]  (live SetOptions; honors -column_family)
 //	ldb -db /path verify                (offline integrity check; DB must be closed)
 //	ldb -db /path repair                (rebuild manifest from surviving SSTables)
 //	ldb diff_options <OPTIONS-a> <OPTIONS-b>
@@ -129,6 +130,11 @@ func main() {
 			to = args[2]
 		}
 		err = tool.Compact(from, to)
+	case "setoptions":
+		if len(args) < 2 {
+			usage()
+		}
+		err = tool.SetOptions(args[1:])
 	default:
 		usage()
 	}
@@ -141,6 +147,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ldb [-db DIR] [-limit N] [-column_family CF] <command> [args]
 commands: get put delete scan listcfs stats levelstats statshistory dump_options
           compact [from [to]] (honors -column_family)
+          setoptions k=v [k=v ...] (live mutable-option change; honors -column_family)
           verify repair (offline; -db required; honor -column_family)
           diff_options <A> <B>   list_options [filter]`)
 	os.Exit(2)

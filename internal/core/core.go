@@ -107,6 +107,10 @@ type Config struct {
 	// contains no usable changes (default true semantics: set
 	// DisableFormatRetry to turn off).
 	DisableFormatRetry bool
+	// InsightPath, when set, names the cross-session insight-memory file:
+	// the session loads it, feeds the insight nearest to the measured
+	// workload into every prompt, and appends its own outcome on completion.
+	InsightPath string
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 	// Trace, when set, receives one JSONL TraceRecord per iteration
@@ -207,6 +211,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	enforcer.Blacklist(cfg.ExtraBlacklist...)
 	flag := flagger.New()
 
+	var insights *InsightStore
+	if cfg.InsightPath != "" {
+		var err error
+		if insights, err = LoadInsights(cfg.InsightPath); err != nil {
+			logf("insights: %v (continuing without)", err)
+			insights = nil
+		}
+	}
+
 	// Iteration 0: the out-of-box baseline.
 	logf("iteration 0: measuring baseline (%s)", cfg.WorkloadName)
 	baseline, err := runBench(initial, nil)
@@ -291,6 +304,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Histograms:          lastHistograms,
 			Workload:            lastWorkload,
 			History:             history,
+			Insights:            insights.Nearest(lastWorkload, 1.0).PromptLines(),
 			Deteriorated:        deteriorated,
 			DeteriorationNote:   detNote,
 		}
@@ -453,6 +467,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				stalled, cfg.MinImprovement*100)
 			res.StoppedEarly = true
 			break
+		}
+	}
+	if insights != nil {
+		insights.Add(insightFrom(cfg.WorkloadName, lastWorkload, res.BestMetrics.Throughput,
+			ini.Diff(initial.ToINI(), res.BestConfig.ToINI())))
+		if err := insights.Save(); err != nil {
+			logf("insights: save: %v", err)
 		}
 	}
 	return res, nil

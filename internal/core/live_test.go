@@ -1,0 +1,242 @@
+package core_test
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/lsm"
+)
+
+// scriptedLLM replays canned responses in order (repeating the last one).
+type scriptedLLM struct {
+	responses []string
+	calls     atomic.Int32
+}
+
+func (s *scriptedLLM) Complete(_ context.Context, _ []llm.Message) (string, error) {
+	n := int(s.calls.Add(1)) - 1
+	if n >= len(s.responses) {
+		n = len(s.responses) - 1
+	}
+	return s.responses[n], nil
+}
+
+func (s *scriptedLLM) Name() string { return "scripted" }
+
+// liveHarness opens an OS-env DB, drives phased traffic against it, and
+// wraps it in an EmbeddedTarget. The returned flip() switches the traffic
+// from write-heavy to read-heavy (a drift the watch phase must catch).
+func liveHarness(t *testing.T) (*core.EmbeddedTarget, func(), func()) {
+	t.Helper()
+	dir := t.TempDir()
+	opts := lsm.DefaultOptions()
+	opts.DisableInfoLog = true
+	db, err := lsm.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := core.NewEmbeddedTarget(dir, db)
+
+	stop := make(chan struct{})
+	var reading atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		key := make([]byte, 16)
+		val := make([]byte, 128)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db := target.DB()
+			copy(key, []byte("key-"))
+			for j := 0; j < 8; j++ {
+				key[4+j] = byte('a' + (i>>uint(j*3))&7)
+			}
+			if reading.Load() {
+				db.Get(nil, key)
+			} else {
+				if err := db.Put(nil, key, val); err != nil {
+					return
+				}
+			}
+			i++
+			if i%64 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	flip := func() { reading.Store(true) }
+	cleanup := func() {
+		close(stop)
+		<-done
+		target.DB().Close()
+	}
+	return target, flip, cleanup
+}
+
+// TestRunLiveAppliesInPlace proves the loop retunes a RUNNING database: the
+// scripted model's mutable changes must land through SetOptions (no reopen),
+// with measured downtime, and be visible in the live DB's effective options.
+func TestRunLiveAppliesInPlace(t *testing.T) {
+	target, _, cleanup := liveHarness(t)
+	defer cleanup()
+
+	res, err := core.RunLive(context.Background(), core.LiveConfig{
+		Client:        &scriptedLLM{responses: []string{"write_buffer_size=1048576\nmax_background_jobs=6"}},
+		Target:        target,
+		WorkloadName:  "livewrite",
+		ObserveWindow: 50 * time.Millisecond,
+		MaxRounds:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1", len(res.Rounds))
+	}
+	r := res.Rounds[0]
+	if r.ApplyMode != "in_place" {
+		t.Fatalf("apply mode = %q, want in_place", r.ApplyMode)
+	}
+	if len(r.AppliedDiff) == 0 {
+		t.Fatal("no applied diff recorded")
+	}
+	if r.Downtime < 0 {
+		t.Fatalf("downtime = %v", r.Downtime)
+	}
+	o := target.DB().Options()
+	if o.WriteBufferSize != 1048576 || o.MaxBackgroundJobs != 6 {
+		t.Fatalf("live options not applied: wbs=%d jobs=%d", o.WriteBufferSize, o.MaxBackgroundJobs)
+	}
+}
+
+// TestRunLiveReopenForImmutable proves immutable knobs still apply — through
+// a measured reopen — when the target supports it.
+func TestRunLiveReopenForImmutable(t *testing.T) {
+	target, _, cleanup := liveHarness(t)
+	defer cleanup()
+
+	res, err := core.RunLive(context.Background(), core.LiveConfig{
+		Client:        &scriptedLLM{responses: []string{"num_levels=5\nwrite_buffer_size=1048576"}},
+		Target:        target,
+		WorkloadName:  "livewrite",
+		ObserveWindow: 50 * time.Millisecond,
+		MaxRounds:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rounds[0]
+	if r.ApplyMode != "reopen" {
+		t.Fatalf("apply mode = %q, want reopen", r.ApplyMode)
+	}
+	if r.Downtime <= 0 {
+		t.Fatalf("reopen downtime = %v, want > 0", r.Downtime)
+	}
+	o := target.DB().Options()
+	if r.Kept && o.NumLevels != 5 {
+		t.Fatalf("kept round but num_levels = %d", o.NumLevels)
+	}
+	if !r.Kept && o.NumLevels != lsm.DefaultOptions().NumLevels {
+		t.Fatalf("rolled-back round but num_levels = %d", o.NumLevels)
+	}
+}
+
+// TestRunLiveDriftRetunes proves the watch phase re-triggers tuning when the
+// measured workload shape flips (write-heavy -> read-heavy).
+func TestRunLiveDriftRetunes(t *testing.T) {
+	target, flip, cleanup := liveHarness(t)
+	defer cleanup()
+
+	// Flip the traffic to reads shortly after the initial round finishes.
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		flip()
+	}()
+	res, err := core.RunLive(context.Background(), core.LiveConfig{
+		Client: &scriptedLLM{responses: []string{
+			"write_buffer_size=1048576",
+			"block_cache=16777216", // the "retuned for reads" suggestion
+		}},
+		Target:         target,
+		WorkloadName:   "livemixed",
+		ObserveWindow:  60 * time.Millisecond,
+		MaxRounds:      1,
+		WatchWindows:   20,
+		DriftThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DriftRetunes == 0 {
+		t.Fatal("workload flipped write->read but no drift retune fired")
+	}
+	found := false
+	for _, r := range res.Rounds {
+		if r.Trigger == "drift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no round recorded with trigger=drift")
+	}
+}
+
+// TestInsightMemoryRoundTrip proves a session's outcome is persisted and the
+// nearest-fingerprint lookup surfaces it for a later session's prompt.
+func TestInsightMemoryRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/insights.json"
+	target, _, cleanup := liveHarness(t)
+	defer cleanup()
+
+	_, err := core.RunLive(context.Background(), core.LiveConfig{
+		Client:        &scriptedLLM{responses: []string{"write_buffer_size=1048576"}},
+		Target:        target,
+		WorkloadName:  "livewrite",
+		ObserveWindow: 50 * time.Millisecond,
+		MaxRounds:     1,
+		InsightPath:   path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("insight file not written: %v", err)
+	}
+	store, err := core.LoadInsights(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(store.Insights) != 1 {
+		t.Fatalf("insights = %d, want 1", len(store.Insights))
+	}
+	ins := store.Insights[0]
+	if ins.Workload != "livewrite" {
+		t.Errorf("workload = %q", ins.Workload)
+	}
+	// The harness writes (plus the loop's reads of stats) — write-dominated.
+	if ins.WriteFraction < 0.5 {
+		t.Errorf("write fraction = %v, want write-heavy fingerprint", ins.WriteFraction)
+	}
+	// A same-shape later session finds it.
+	near := store.Nearest(&lsm.WorkloadSnapshot{WriteFraction: 1}, 1.0)
+	if near == nil {
+		t.Fatal("Nearest returned nil for a matching fingerprint")
+	}
+	if lines := near.PromptLines(); len(lines) == 0 {
+		t.Fatal("no prompt lines from insight")
+	}
+	// A completely different shape (beyond maxDist) finds nothing.
+	if store.Nearest(&lsm.WorkloadSnapshot{ScanFraction: 1}, 0.5) != nil {
+		t.Error("Nearest matched a far fingerprint within a tight radius")
+	}
+}

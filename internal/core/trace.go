@@ -46,6 +46,14 @@ type TraceRecord struct {
 	WorkloadSnap *lsm.WorkloadSnapshot `json:"workload_snapshot,omitempty"`
 
 	LLMMillis int64 `json:"llm_millis,omitempty"`
+
+	// Live-retuning fields: how an accepted change set reached the running
+	// database ("in_place" via SetOptions, "reopen" for immutable knobs) and
+	// how long the apply blocked traffic.
+	ApplyMode           string `json:"apply_mode,omitempty"`
+	ApplyDowntimeMillis int64  `json:"apply_downtime_millis,omitempty"`
+	// Drift is the workload-drift score that triggered a live retune.
+	Drift float64 `json:"drift,omitempty"`
 }
 
 // traceWriter emits JSONL records; a nil receiver or nil writer is a no-op.

@@ -42,6 +42,10 @@ type Config struct {
 	// Trace, when set, receives the tuning loop's JSONL trace (one
 	// core.TraceRecord per iteration).
 	Trace io.Writer
+	// InsightPath, when set, names the cross-session insight memory file:
+	// the session recalls the best configuration found for similar workload
+	// fingerprints and records its own outcome at the end.
+	InsightPath string
 	// ColumnFamilies, when non-empty, opens every session database with
 	// these named families (beyond "default"), spreads workload traffic
 	// across them, and lets the tuner adjust each family's CFOptions
@@ -226,6 +230,7 @@ func RunSession(ctx context.Context, dev *device.Model, prof device.Profile, wor
 		EarlyStopCheckAfter: 30 * time.Second / time.Duration(cfg.Scale),
 		Logf:                cfg.Logf,
 		Trace:               cfg.Trace,
+		InsightPath:         cfg.InsightPath,
 	})
 	if err != nil {
 		return nil, err

@@ -156,6 +156,40 @@ func (t *Tool) DumpOptions() error {
 	return nil
 }
 
+// SetOptions applies knob=value changes to the running database without a
+// reopen — the ldb face of DB.SetOptions/SetDBOptions. Changes are split by
+// registry scope (DB-wide vs column family); CF-scoped changes land on the
+// family selected with UseColumnFamily. Only registry-mutable knobs are
+// accepted; anything else errors naming the knob.
+func (t *Tool) SetOptions(pairs []string) error {
+	dbScope := make(map[string]string)
+	cfScope := make(map[string]string)
+	for _, p := range pairs {
+		name, value, ok := strings.Cut(p, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("ldb: bad option %q (want name=value)", p)
+		}
+		if spec, ok := lsm.LookupOption(name); ok && spec.Section == lsm.SectionDB {
+			dbScope[name] = value
+		} else {
+			// Unknown names fall through so the engine reports them verbatim.
+			cfScope[name] = value
+		}
+	}
+	if len(dbScope) > 0 {
+		if err := t.DB.SetDBOptions(dbScope); err != nil {
+			return err
+		}
+	}
+	if len(cfScope) > 0 {
+		if err := t.DB.SetOptions(t.cf, cfScope); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(t.Out, "OK (%d option(s) applied)\n", len(dbScope)+len(cfScope))
+	return nil
+}
+
 // Compact runs a manual compaction of [from, to) on the selected column
 // family ("" bounds are open). Manual compactions use the database's full
 // max_subcompactions width.
@@ -268,6 +302,9 @@ func ListOptions(out io.Writer, filter string) {
 		kind := "recorded"
 		if s.Honored {
 			kind = "honored"
+		}
+		if s.Mutable {
+			kind += ",mutable"
 		}
 		if s.Deprecated {
 			kind += ",deprecated"

@@ -422,3 +422,27 @@ func TestVerifyAndRepair(t *testing.T) {
 		}
 	}
 }
+
+func TestToolSetOptions(t *testing.T) {
+	tool, out := newToolDB(t)
+	// Mixed DB- and CF-scoped changes apply in one command.
+	if err := tool.SetOptions([]string{"write_buffer_size=1048576", "max_background_jobs=6"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 option(s) applied") {
+		t.Errorf("output %q", out.String())
+	}
+	o := tool.DB.Options()
+	if o.WriteBufferSize != 1048576 || o.MaxBackgroundJobs != 6 {
+		t.Errorf("options not applied: wbs=%d jobs=%d", o.WriteBufferSize, o.MaxBackgroundJobs)
+	}
+	// Immutable knobs are refused, naming the knob.
+	err := tool.SetOptions([]string{"num_levels=5"})
+	if err == nil || !strings.Contains(err.Error(), "num_levels") {
+		t.Errorf("immutable knob: err = %v", err)
+	}
+	// Malformed pairs are rejected up front.
+	if err := tool.SetOptions([]string{"write_buffer_size"}); err == nil {
+		t.Error("bare name accepted")
+	}
+}

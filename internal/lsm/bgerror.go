@@ -105,7 +105,7 @@ func (db *DB) setBGErrorLocked(cause error, reason string) {
 	db.stats.Add(TickerBgError, 1)
 	db.notifyBackgroundError(BackgroundErrorInfo{Reason: reason, Severity: sev, Err: cause})
 	if recoverable && db.sim == nil && !db.recovering && !db.closed &&
-		db.opts.MaxBgErrorResumeCount > 0 {
+		db.options().MaxBgErrorResumeCount > 0 {
 		db.recovering = true
 		go db.autoRecoverLoop()
 	}
@@ -185,7 +185,7 @@ func (db *DB) bgErrSnapshot() error {
 // error clears, turns fatal, the DB closes, or MaxBgErrorResumeCount attempts
 // are spent. Runs in its own goroutine; db.recovering guards re-entry.
 func (db *DB) autoRecoverLoop() {
-	base := time.Duration(db.opts.BgErrorResumeRetryInterval) * time.Microsecond
+	base := time.Duration(db.options().BgErrorResumeRetryInterval) * time.Microsecond
 	if base <= 0 {
 		base = time.Millisecond
 	}
@@ -196,7 +196,7 @@ func (db *DB) autoRecoverLoop() {
 		db.recovering = false
 		db.mu.Unlock()
 	}()
-	for attempt := 1; attempt <= db.opts.MaxBgErrorResumeCount; attempt++ {
+	for attempt := 1; attempt <= db.options().MaxBgErrorResumeCount; attempt++ {
 		time.Sleep(backoff)
 		if backoff < maxBackoff {
 			backoff *= 2

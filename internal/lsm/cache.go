@@ -193,6 +193,49 @@ func (c *blockCache) EraseID(id uint64) {
 	}
 }
 
+// setCapacity resizes one shard, evicting LRU entries down to the new
+// budget. Unlike insert's eviction there is no fresh entry to protect, so
+// the shard may drain completely when the budget shrinks below its smallest
+// entry.
+func (s *cacheShard) setCapacity(capacity int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capacity = capacity
+	for s.used > s.capacity && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		s.indexRemove(victim)
+		s.used -= victim.charge
+		s.stats.Add(TickerBlockCacheEvict, 1)
+	}
+}
+
+// SetCapacity resizes the cache to a new total byte budget, evicting LRU
+// entries in every shard that exceeds its share. Growing never evicts;
+// shrinking evicts synchronously so the new budget holds on return. This is
+// the live side of the block_cache option (SetOptions path).
+func (c *blockCache) SetCapacity(capacity int64) {
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].setCapacity(per)
+	}
+}
+
+// Capacity returns the cache's total byte budget across shards.
+func (c *blockCache) Capacity() int64 {
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].capacity
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
 // Used returns the cached byte total across shards.
 func (c *blockCache) Used() int64 {
 	var n int64

@@ -23,11 +23,14 @@ var ErrColumnFamilyNotFound = errors.New("lsm: column family not found")
 type columnFamily struct {
 	id   uint32
 	name string
-	// opts carries this family's effective options. CF-scoped knobs
-	// (write_buffer_size, triggers, compaction style, table options, ...)
-	// are read from here; DB-scoped knobs (WAL sync policy, background
-	// slots, stall rates, ...) are always read from DB.opts.
-	opts *Options
+	// opts carries this family's effective options as an atomically
+	// swappable immutable snapshot: readers call options() (lock-free),
+	// DB.SetOptions/SetDBOptions clone-modify-swap under db.mu. CF-scoped
+	// knobs (write_buffer_size, triggers, compaction style, table options,
+	// ...) are read from here; DB-scoped knobs (WAL sync policy, background
+	// slots, stall rates, ...) are always read from the default family's
+	// snapshot via DB.options().
+	opts atomic.Pointer[Options]
 
 	mem           *memtable
 	imm           []*memtable // oldest first
@@ -41,6 +44,12 @@ type columnFamily struct {
 	writeOps atomic.Int64
 	scanOps  atomic.Int64
 }
+
+// options returns the family's current effective-options snapshot. The
+// returned Options must be treated as immutable; a SetOptions call swaps the
+// whole snapshot, so capture it once per decision when within-decision
+// consistency matters.
+func (cf *columnFamily) options() *Options { return cf.opts.Load() }
 
 // ColumnFamilyHandle names a column family to the public API. A nil handle
 // everywhere means the default family.
@@ -180,7 +189,7 @@ func (db *DB) createColumnFamilyLocked(name string, opts *Options) (*ColumnFamil
 		return nil, fmt.Errorf("lsm: empty column family name")
 	}
 	if opts == nil {
-		opts = db.opts
+		opts = db.options()
 	}
 	opts = opts.Clone()
 	opts.Env = db.env
@@ -204,9 +213,9 @@ func (db *DB) createColumnFamilyLocked(name string, opts *Options) (*ColumnFamil
 	cf := &columnFamily{
 		id:      id,
 		name:    name,
-		opts:    opts,
 		levelIO: make([]levelIOStats, opts.NumLevels),
 	}
+	cf.opts.Store(opts)
 	db.memSeed++
 	cf.mem = newMemtable(db.memSeed, db.walNum)
 	db.registerCFLocked(cf)
@@ -287,6 +296,14 @@ type readState struct {
 	cf   *columnFamily
 }
 
+// release drops the version reference captureReadState took. Lock-free;
+// must be called exactly once when the read completes.
+func (st *readState) release() {
+	if st.v != nil {
+		st.v.refs.Add(-1)
+	}
+}
+
 // captureReadState snapshots a family's read inputs under db.mu.
 func (db *DB) captureReadState(h *ColumnFamilyHandle, ro *ReadOptions) (readState, error) {
 	if db.perf.TimeEnabled() {
@@ -314,6 +331,10 @@ func (db *DB) captureReadState(h *ColumnFamilyHandle, ro *ReadOptions) (readStat
 		// finished its memtable inserts are not yet visible.
 		seq: db.publishedSeq.Load(),
 	}
+	// Hold the version's tables on disk until the read finishes: a
+	// compaction (or one kicked off by a live SetOptions change) may retire
+	// and delete them while the lookup runs outside db.mu.
+	db.refVersionLocked(st.v)
 	if ro.Snapshot != nil {
 		st.seq = ro.Snapshot.seq
 	}
@@ -418,6 +439,7 @@ func (db *DB) GetCF(ro *ReadOptions, h *ColumnFamilyHandle, key []byte) ([]byte,
 	if err != nil {
 		return nil, err
 	}
+	defer st.release()
 	st.cf.readOps.Add(1)
 	return db.lookupInState(st, key)
 }
@@ -451,6 +473,7 @@ func (db *DB) MultiGetCF(ro *ReadOptions, h *ColumnFamilyHandle, keys [][]byte) 
 		}
 		return vals, errs
 	}
+	defer st.release()
 	st.cf.readOps.Add(int64(len(keys)))
 	var bytesRead int64
 	for i, key := range keys {

@@ -310,7 +310,7 @@ func (db *DB) planSubcompactionBoundaries(c *compaction, outSize int64) [][]byte
 	// Gather split candidates from every input table's index block.
 	var anchors []indexAnchor
 	for _, f := range c.allInputs() {
-		r, err := openTable(db.env, tableFileName(db.dir, f.Number), f.Number, nil, db.opts.Stats, db.bgIOClass(), nil, nil)
+		r, err := openTable(db.env, tableFileName(db.dir, f.Number), f.Number, nil, db.options().Stats, db.bgIOClass(), nil, nil)
 		if err != nil {
 			return nil
 		}
@@ -389,9 +389,9 @@ func (db *DB) runCompaction(c *compaction, v *Version) (*compactionResult, error
 		return res, nil
 	}
 
-	cfOpts := db.opts
+	cfOpts := db.options()
 	if c.cf != nil {
-		cfOpts = c.cf.opts
+		cfOpts = c.cf.options()
 	}
 	res.ios = db.newBGIOStats(cfOpts)
 	// Snapshot-drop decisions are taken once, before slicing, so every
@@ -471,7 +471,7 @@ func (db *DB) runCompactionSlice(c *compaction, v *Version, cfOpts *Options, s s
 		}
 	}()
 	openBG := func(num uint64) (*tableReader, error) {
-		r, err := openTable(db.env, tableFileName(db.dir, num), num, nil, db.opts.Stats, db.bgIOClass(), nil, ios)
+		r, err := openTable(db.env, tableFileName(db.dir, num), num, nil, db.options().Stats, db.bgIOClass(), nil, ios)
 		if err == nil {
 			readers = append(readers, r)
 		}

@@ -153,7 +153,7 @@ func runCrashCycle(t *testing.T, combo crashCombo, seed int64) {
 			acked := st.acked[key]
 			v, err := db2.Get(nil, []byte(key))
 			if errors.Is(err, ErrNotFound) {
-				if acked > 0 && !db2.opts.DisableWAL {
+				if acked > 0 && !db2.options().DisableWAL {
 					t.Fatalf("seed %d: worker %d: acked key %s (v%d) lost", seed, w, key, acked)
 				}
 				continue
@@ -165,7 +165,7 @@ func runCrashCycle(t *testing.T, combo crashCombo, seed int64) {
 			if perr != nil || ver < 1 {
 				t.Fatalf("seed %d: key %s holds garbage %q", seed, key, v)
 			}
-			if !db2.opts.DisableWAL && ver < acked {
+			if !db2.options().DisableWAL && ver < acked {
 				t.Fatalf("seed %d: worker %d: key %s rolled back to v%d, acked v%d", seed, w, key, ver, acked)
 			}
 			if ver > attempted {

@@ -69,7 +69,6 @@ type levelIOStats struct {
 // log, records tagged with CF ids), the write thread, the block/table caches,
 // and the manifest.
 type DB struct {
-	opts      *Options // default family's options; DB-scoped knobs read here
 	env       Env
 	sim       *SimEnv // non-nil when env is a simulation
 	dir       string
@@ -113,13 +112,17 @@ type DB struct {
 	compactActive int
 	stallCond     StallCondition
 	busyFiles     map[uint64]bool
-	simJobs       []simJob
-	simJobSeq     uint64
-	bgErr         error
-	recovering    bool // auto-resume goroutine active
-	closed        bool
-	snapMu        sync.Mutex
-	snapshots     *list.List // live *Snapshot, oldest first
+	// refVersions holds every version a reader (Get capture or open
+	// iterator) may still be scanning. deleteObsoleteFilesLocked treats
+	// their files as live and prunes entries whose refcount has drained.
+	refVersions map[*Version]struct{}
+	simJobs     []simJob
+	simJobSeq   uint64
+	bgErr       error
+	recovering  bool // auto-resume goroutine active
+	closed      bool
+	snapMu      sync.Mutex
+	snapshots   *list.List // live *Snapshot, oldest first
 
 	// Sim-mode write pipeline state (guarded by mu): the virtual times the
 	// WAL and memtable stages free up, the write position (for leader
@@ -148,6 +151,12 @@ type DB struct {
 	// wl holds the workload-characterization window state.
 	wl workloadState
 }
+
+// options returns the DB-scoped effective-options snapshot: the default
+// family's current options (the two are one pointer, swapped together by
+// SetDBOptions). Lock-free; safe from any goroutine once Open has installed
+// the default family.
+func (db *DB) options() *Options { return db.defaultCF.options() }
 
 // Open opens (creating if allowed) the database in dir with a single set of
 // options shared by the default family. Families already in the manifest are
@@ -188,17 +197,17 @@ func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
 	}
 	env := opts.Env
 	db := &DB{
-		opts:      opts,
-		cfg:       cfg,
-		env:       env,
-		dir:       dir,
-		stats:     opts.Stats,
-		hists:     NewHistogramStats(),
-		listeners: append([]EventListener(nil), opts.Listeners...),
-		busyFiles: make(map[uint64]bool),
-		memSeed:   opts.Seed + 1,
-		cfs:       make(map[uint32]*columnFamily),
-		cfNames:   make(map[string]*columnFamily),
+		cfg:         cfg,
+		env:         env,
+		dir:         dir,
+		stats:       opts.Stats,
+		hists:       NewHistogramStats(),
+		listeners:   append([]EventListener(nil), opts.Listeners...),
+		busyFiles:   make(map[uint64]bool),
+		refVersions: make(map[*Version]struct{}),
+		memSeed:     opts.Seed + 1,
+		cfs:         make(map[uint32]*columnFamily),
+		cfNames:     make(map[string]*columnFamily),
 	}
 	if se, ok := env.(*SimEnv); ok {
 		db.sim = se
@@ -257,9 +266,9 @@ func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
 			cf := &columnFamily{
 				id:      id,
 				name:    st.name,
-				opts:    cfOpts,
 				levelIO: make([]levelIOStats, st.current.NumLevels()),
 			}
+			cf.opts.Store(cfOpts)
 			if id == 0 {
 				db.defaultCF = cf
 			}
@@ -275,9 +284,9 @@ func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
 		cf := &columnFamily{
 			id:      0,
 			name:    DefaultColumnFamilyName,
-			opts:    opts,
 			levelIO: make([]levelIOStats, opts.NumLevels),
 		}
+		cf.opts.Store(opts)
 		db.defaultCF = cf
 		db.registerCFLocked(cf)
 		if err := db.rotateWALLocked(); err != nil {
@@ -334,7 +343,7 @@ func OpenConfig(dir string, cfg *ConfigSet) (*DB, error) {
 // bgIOClass returns the IO class for flush/compaction files under the
 // direct-I/O option.
 func (db *DB) bgIOClass() IOClass {
-	if db.opts.UseDirectIOForFlushAndCompaction {
+	if db.options().UseDirectIOForFlushAndCompaction {
 		return IOBackgroundDirect
 	}
 	return IOBackground
@@ -348,11 +357,11 @@ func (db *DB) engineMemory() int64 {
 	var m int64
 	if snap := db.cfSnap.Load(); snap != nil {
 		for _, cf := range *snap {
-			m += int64(1+len(cf.imm)) * cf.opts.WriteBufferSize
+			m += int64(1+len(cf.imm)) * cf.options().WriteBufferSize
 		}
 	}
-	if !db.opts.NoBlockCache {
-		m += db.opts.BlockCacheSize
+	if !db.options().NoBlockCache {
+		m += db.options().BlockCacheSize
 	}
 	return m
 }
@@ -365,7 +374,7 @@ func (db *DB) rotateWALLocked() error {
 	if err != nil {
 		return err
 	}
-	db.wal = newWALWriter(wrapWritableFile(f, db.iostats), db.opts)
+	db.wal = newWALWriter(wrapWritableFile(f, db.iostats), db.options())
 	db.wal.onSync = db.notifyWALSync
 	db.walNum = logNum
 	return nil
@@ -406,8 +415,8 @@ func (db *DB) replayWALsLocked() error {
 	for i, num := range logs {
 		logNum := num
 		name := logFileName(db.dir, num)
-		info, err := walReplayMode(db.env, name, db.opts.WALRecoveryMode,
-			db.opts.ParanoidChecks, db.stats, func(payload []byte) error {
+		info, err := walReplayMode(db.env, name, db.options().WALRecoveryMode,
+			db.options().ParanoidChecks, db.stats, func(payload []byte) error {
 				return decodeBatch(payload, func(seq uint64, cfID uint32, kind ValueKind, key, value []byte) error {
 					if seq > maxSeq {
 						maxSeq = seq
@@ -430,7 +439,7 @@ func (db *DB) replayWALsLocked() error {
 			db.infoLog.logf("[wal] %s: replayed %d records, dropped %d bytes (%d corrupt records)",
 				name, info.records, info.droppedBytes, info.corruptRecords)
 		}
-		if db.opts.WALRecoveryMode == WALRecoverPointInTime && info.droppedBytes > 0 && i < len(logs)-1 {
+		if db.options().WALRecoveryMode == WALRecoverPointInTime && info.droppedBytes > 0 && i < len(logs)-1 {
 			// Point-in-time recovery: nothing after the first damage is
 			// replayed, including later log files.
 			db.infoLog.logf("[wal] point-in-time recovery stops at %s; ignoring %d later log(s)",
@@ -553,13 +562,16 @@ func (db *DB) makeRoomForWriteLocked(cf *columnFamily, batchBytes int64) error {
 		if v == nil {
 			return fmt.Errorf("%w: id %d", ErrColumnFamilyNotFound, cf.id)
 		}
+		// One snapshot per controller decision: a concurrent SetOptions swap
+		// takes effect on the next loop iteration, never mid-judgment.
+		o := cf.options()
 		l0 := v.NumLevelFiles(0)
-		pending := v.pendingCompactionBytes(cf.opts)
-		auto := !cf.opts.DisableAutoCompactions
+		pending := v.pendingCompactionBytes(o)
+		auto := !o.DisableAutoCompactions
 
 		// Hard stops.
-		if auto && (l0 >= cf.opts.Level0StopWritesTrigger ||
-			(cf.opts.HardPendingCompactionBytesLimit > 0 && pending >= cf.opts.HardPendingCompactionBytesLimit)) {
+		if auto && (l0 >= o.Level0StopWritesTrigger ||
+			(o.HardPendingCompactionBytesLimit > 0 && pending >= o.HardPendingCompactionBytesLimit)) {
 			db.setStallConditionLocked(StallStopped, l0, pending)
 			db.stats.Add(TickerStoppedWrites, 1)
 			if err := db.waitForBackgroundLocked(); err != nil {
@@ -569,10 +581,10 @@ func (db *DB) makeRoomForWriteLocked(cf *columnFamily, batchBytes int64) error {
 		}
 		// Slowdown: writes proceed at delayed_write_rate (applied once).
 		if auto && !delayed &&
-			(l0 >= cf.opts.Level0SlowdownWritesTrigger ||
-				(cf.opts.SoftPendingCompactionBytesLimit > 0 && pending >= cf.opts.SoftPendingCompactionBytesLimit)) {
+			(l0 >= o.Level0SlowdownWritesTrigger ||
+				(o.SoftPendingCompactionBytesLimit > 0 && pending >= o.SoftPendingCompactionBytesLimit)) {
 			db.setStallConditionLocked(StallDelayed, l0, pending)
-			delay := time.Duration(float64(batchBytes) / float64(db.opts.delayedWriteRate()) * 1e9)
+			delay := time.Duration(float64(batchBytes) / float64(db.options().delayedWriteRate()) * 1e9)
 			if delay < 50*time.Microsecond {
 				delay = 50 * time.Microsecond
 			}
@@ -583,13 +595,13 @@ func (db *DB) makeRoomForWriteLocked(cf *columnFamily, batchBytes int64) error {
 			delayed = true
 			continue
 		}
-		if cf.mem.approximateBytes() < cf.opts.WriteBufferSize && db.wal.size() < db.opts.maxTotalWALSize() {
+		if cf.mem.approximateBytes() < o.WriteBufferSize && db.wal.size() < db.options().maxTotalWALSize() {
 			db.setStallConditionLocked(StallNormal, l0, pending)
 			return nil
 		}
 		// Memtable full (or the shared WAL outgrew its cap): switch, unless
 		// the buffer count limit stalls us.
-		if len(cf.imm)+1 >= cf.opts.MaxWriteBufferNumber {
+		if len(cf.imm)+1 >= o.MaxWriteBufferNumber {
 			db.setStallConditionLocked(StallStopped, l0, pending)
 			db.stats.Add(TickerStoppedWrites, 1)
 			db.maybeScheduleFlushLocked(true)
@@ -645,11 +657,11 @@ func (db *DB) maybeScheduleFlushLocked(force bool) {
 		return
 	}
 	for _, cf := range db.cfOrder {
-		if db.flushActive >= db.opts.backgroundFlushSlots() {
+		if db.flushActive >= db.options().backgroundFlushSlots() {
 			return
 		}
 		avail := len(cf.imm) - cf.flushingCount
-		need := effectiveMinMerge(cf.opts)
+		need := effectiveMinMerge(cf.options())
 		if force {
 			need = 1
 		}
@@ -674,7 +686,7 @@ func (db *DB) runFlushSimLocked(cf *columnFamily, mems []*memtable) {
 	var end time.Duration
 	if err == nil {
 		end = db.sim.ScheduleBackgroundIO(0, res.writeBytes, 0,
-			db.opts.BytesPerSync > 0, db.opts.UseDirectIOForFlushAndCompaction,
+			db.options().BytesPerSync > 0, db.options().UseDirectIOForFlushAndCompaction,
 			res.cpu, db.rateFloor(res.writeBytes), 1)
 	} else {
 		end = db.env.Now()
@@ -685,10 +697,10 @@ func (db *DB) runFlushSimLocked(cf *columnFamily, mems []*memtable) {
 // rateFloor returns the minimum job duration under the background rate
 // limiter.
 func (db *DB) rateFloor(bytes int64) time.Duration {
-	if db.opts.RateLimiterBytesPerSec <= 0 {
+	if db.options().RateLimiterBytesPerSec <= 0 {
 		return 0
 	}
-	return time.Duration(float64(bytes) / float64(db.opts.RateLimiterBytesPerSec) * 1e9)
+	return time.Duration(float64(bytes) / float64(db.options().RateLimiterBytesPerSec) * 1e9)
 }
 
 // flushWorker is the OS-mode background flush goroutine.
@@ -756,7 +768,7 @@ func (db *DB) recordBgIOLocked(cf *columnFamily, level int, res *compactionResul
 		return
 	}
 	db.iostats.merge(res.ios)
-	if !cf.opts.ReportBgIOStats || level < 0 || level >= len(cf.levelIO) {
+	if !cf.options().ReportBgIOStats || level < 0 || level >= len(cf.levelIO) {
 		return
 	}
 	cf.levelIO[level].bgReadNanos += res.ios.readNanos.Load()
@@ -821,16 +833,16 @@ func (db *DB) maybeScheduleCompactionLocked() {
 	if db.bgErr != nil || db.closed {
 		return
 	}
-	for db.compactActive < db.opts.backgroundCompactionSlots() {
+	for db.compactActive < db.options().backgroundCompactionSlots() {
 		progress := false
 		for _, cf := range db.cfOrder {
-			if db.compactActive >= db.opts.backgroundCompactionSlots() {
+			if db.compactActive >= db.options().backgroundCompactionSlots() {
 				return
 			}
-			if cf.opts.DisableAutoCompactions {
+			if cf.options().DisableAutoCompactions {
 				continue
 			}
-			c := pickCompaction(db.vs.head(cf.id), cf.opts, db.busyFiles)
+			c := pickCompaction(db.vs.head(cf.id), cf.options(), db.busyFiles)
 			if c == nil {
 				continue
 			}
@@ -842,11 +854,11 @@ func (db *DB) maybeScheduleCompactionLocked() {
 			// granted up to max_subcompactions slots, capped by whatever is
 			// free, and holds them all until it installs. The loop guard
 			// guarantees at least one free slot here.
-			grant := db.opts.MaxSubcompactions
+			grant := db.options().MaxSubcompactions
 			if grant < 1 {
 				grant = 1
 			}
-			if free := db.opts.backgroundCompactionSlots() - db.compactActive; grant > free {
+			if free := db.options().backgroundCompactionSlots() - db.compactActive; grant > free {
 				grant = free
 			}
 			c.maxParallel = grant
@@ -872,8 +884,8 @@ func (db *DB) runCompactionSimLocked(c *compaction) {
 	var end time.Duration
 	if err == nil {
 		end = db.sim.ScheduleBackgroundIO(res.readBytes, res.writeBytes,
-			db.opts.CompactionReadaheadSize, db.opts.BytesPerSync > 0,
-			db.opts.UseDirectIOForFlushAndCompaction, res.cpu,
+			db.options().CompactionReadaheadSize, db.options().BytesPerSync > 0,
+			db.options().UseDirectIOForFlushAndCompaction, res.cpu,
 			db.rateFloor(res.readBytes+res.writeBytes), res.slices)
 	} else {
 		end = db.env.Now()
@@ -995,6 +1007,19 @@ func (db *DB) deleteObsoleteFilesLocked() {
 		return
 	}
 	live := db.vs.liveFileNumbers()
+	// Files of versions still referenced by in-flight reads or open
+	// iterators stay live; drained versions fall out of the set here.
+	for v := range db.refVersions {
+		if v.refs.Load() <= 0 {
+			delete(db.refVersions, v)
+			continue
+		}
+		for _, files := range v.levels {
+			for _, f := range files {
+				live[f.Number] = true
+			}
+		}
+	}
 	minLog := db.vs.minLogNumber()
 	for _, name := range names {
 		kind, num := parseFileName(name)
@@ -1018,6 +1043,16 @@ func (db *DB) deleteObsoleteFilesLocked() {
 			}
 		}
 	}
+}
+
+// refVersionLocked takes one reader reference on a version, registering it
+// for the obsolete-file scan. Release with v.refs.Add(-1) (no lock needed).
+func (db *DB) refVersionLocked(v *Version) {
+	if v == nil {
+		return
+	}
+	v.refs.Add(1)
+	db.refVersions[v] = struct{}{}
 }
 
 // pendingOutputLocked reports whether a table number may belong to a
@@ -1121,12 +1156,12 @@ func (db *DB) CompactRangeCF(h *ColumnFamilyHandle, start, end []byte) error {
 	if err != nil {
 		return err
 	}
-	for level := 0; level < cf.opts.NumLevels-1; level++ {
+	for level := 0; level < cf.options().NumLevels-1; level++ {
 		for len(db.vs.head(cf.id).overlappingFiles(level, start, end)) > 0 && db.bgErr == nil {
 			v := db.vs.head(cf.id)
 			// Manual compactions run inline and hold no background slots,
 			// so they get the full configured subcompaction width.
-			c := &compaction{cf: cf, level: level, outputLevel: level + 1, maxParallel: db.opts.MaxSubcompactions}
+			c := &compaction{cf: cf, level: level, outputLevel: level + 1, maxParallel: db.options().MaxSubcompactions}
 			c.inputs[0] = append([]*FileMeta(nil), v.overlappingFiles(level, start, end)...)
 			if level == 0 {
 				// L0 files overlap each other: widen to every L0 file
@@ -1187,7 +1222,7 @@ func (db *DB) WaitForBackgroundIdle() error {
 // returned.
 func (db *DB) Close() error {
 	var firstErr error
-	if !db.opts.AvoidFlushDuringShutdown {
+	if !db.options().AvoidFlushDuringShutdown {
 		if err := db.Flush(); err != nil && !errors.Is(err, ErrClosed) {
 			firstErr = err
 		}
@@ -1305,7 +1340,7 @@ func (db *DB) accumulateCFMetricsLocked(cf *columnFamily, m *Metrics) {
 	}
 	m.MemtableBytes += cf.mem.approximateBytes()
 	m.ImmutableCount += len(cf.imm)
-	m.PendingCompactionBytes += v.pendingCompactionBytes(cf.opts)
+	m.PendingCompactionBytes += v.pendingCompactionBytes(cf.options())
 	for l := 0; l < v.NumLevels(); l++ {
 		for len(m.LevelFiles) <= l {
 			m.LevelFiles = append(m.LevelFiles, 0)
@@ -1318,7 +1353,19 @@ func (db *DB) accumulateCFMetricsLocked(cf *columnFamily, m *Metrics) {
 }
 
 // Options returns the default family's effective options (a copy).
-func (db *DB) Options() *Options { return db.opts.Clone() }
+func (db *DB) Options() *Options { return db.options().Clone() }
+
+// OptionsCF returns one family's effective options (a copy). A nil handle
+// targets the default family.
+func (db *DB) OptionsCF(h *ColumnFamilyHandle) (*Options, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cf, err := db.resolveCFLocked(h)
+	if err != nil {
+		return nil, err
+	}
+	return cf.options().Clone(), nil
+}
 
 // Config returns the DB's effective multi-family configuration (a copy).
 func (db *DB) Config() *ConfigSet {

@@ -9,7 +9,7 @@ import (
 // are kept (deeper levels may hold the key). The caller installs the
 // returned edit.
 func (db *DB) runFlush(cf *columnFamily, mems []*memtable) (*compactionResult, error) {
-	res := &compactionResult{edit: &versionEdit{}, ios: db.newBGIOStats(cf.opts)}
+	res := &compactionResult{edit: &versionEdit{}, ios: db.newBGIOStats(cf.options())}
 	defer func(start time.Time) { res.dur = time.Since(start) }(time.Now())
 	iters := make([]internalIterator, 0, len(mems))
 	var inputBytes int64
@@ -32,7 +32,7 @@ func (db *DB) runFlush(cf *columnFamily, mems []*memtable) (*compactionResult, e
 		return nil, err
 	}
 	f = wrapWritableFile(f, res.ios)
-	builder := newTableBuilder(f, cf.opts)
+	builder := newTableBuilder(f, cf.options())
 	var entries int64
 	var lastUserKey []byte
 	haveLast := false
@@ -80,7 +80,7 @@ func (db *DB) runFlush(cf *columnFamily, mems []*memtable) (*compactionResult, e
 		Smallest: append(internalKey(nil), builder.smallest()...),
 		Largest:  append(internalKey(nil), builder.largest()...),
 	}
-	if cf.opts.ParanoidFileChecks {
+	if cf.options().ParanoidFileChecks {
 		if err := verifyTableFile(db.env, tableFileName(db.dir, num), meta, db.bgIOClass()); err != nil {
 			return nil, err
 		}
@@ -88,7 +88,7 @@ func (db *DB) runFlush(cf *columnFamily, mems []*memtable) (*compactionResult, e
 	res.edit.newFiles = append(res.edit.newFiles, newFile{0, meta})
 	res.writeBytes = props.FileSize
 	perEntry := 300 * time.Nanosecond
-	if cf.opts.Compression != NoCompression {
+	if cf.options().Compression != NoCompression {
 		perEntry += 500 * time.Nanosecond
 	}
 	res.cpu = time.Duration(entries) * perEntry

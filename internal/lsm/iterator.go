@@ -14,6 +14,11 @@ type Iterator struct {
 	seq   uint64
 	cf    *columnFamily
 
+	// v is the referenced version this iterator scans; the reference keeps
+	// its tables on disk while a compaction (possibly triggered by a live
+	// SetOptions change) retires the version mid-scan. Released by Close.
+	v *Version
+
 	// Child-iterator counts captured at construction, booked into the
 	// PerfContext on every Seek/SeekToFirst.
 	memChildren int
@@ -69,13 +74,19 @@ func (db *DB) NewIteratorCF(ro *ReadOptions, h *ColumnFamilyHandle) *Iterator {
 		}
 		children = append(children, newLevelIter(v.LevelFiles(level), HintRandom, open))
 	}
+	// Reference the captured version: tables open lazily, so without the
+	// reference a compaction installing before the first Seek could delete
+	// them out from under the scan.
+	db.refVersionLocked(v)
+	memChildren := 1 + len(cf.imm)
 	db.mu.Unlock()
 	return &Iterator{
 		db:          db,
 		merge:       newMergeIter(children),
 		seq:         seq,
 		cf:          cf,
-		memChildren: 1 + len(cf.imm),
+		v:           v,
+		memChildren: memChildren,
 		numChildren: len(children),
 	}
 }
@@ -229,4 +240,10 @@ func (it *Iterator) Value() []byte { return it.value }
 func (it *Iterator) Err() error { return it.merge.Err() }
 
 // Close releases the iterator.
-func (it *Iterator) Close() error { return it.merge.Err() }
+func (it *Iterator) Close() error {
+	if it.v != nil {
+		it.v.refs.Add(-1)
+		it.v = nil
+	}
+	return it.merge.Err()
+}

@@ -113,6 +113,24 @@ type ErrorRecoveryInfo struct {
 	Attempts int
 }
 
+// OptionChange records one knob's old and new value in a SetOptions /
+// SetDBOptions apply.
+type OptionChange struct {
+	Name string
+	Old  string
+	New  string
+}
+
+// OptionsChangedInfo describes a successful dynamic options change.
+type OptionsChangedInfo struct {
+	// ColumnFamily is the family whose options were swapped ("" for a
+	// DB-scoped SetDBOptions change, which lands on the default family's
+	// snapshot).
+	ColumnFamily string
+	// Changes lists the applied knobs old->new, sorted by name.
+	Changes []OptionChange
+}
+
 // EventListener receives engine lifecycle callbacks, in the spirit of
 // rocksdb::EventListener. Callbacks may fire from background goroutines and
 // may hold internal engine locks: implementations must be fast and must not
@@ -124,6 +142,7 @@ type EventListener interface {
 	OnWALSync(WALSyncInfo)
 	OnBackgroundError(BackgroundErrorInfo)
 	OnErrorRecovery(ErrorRecoveryInfo)
+	OnOptionsChanged(OptionsChangedInfo)
 }
 
 // ListenerFuncs adapts optional funcs to EventListener; nil fields are
@@ -135,6 +154,7 @@ type ListenerFuncs struct {
 	WALSync               func(WALSyncInfo)
 	BackgroundError       func(BackgroundErrorInfo)
 	ErrorRecovery         func(ErrorRecoveryInfo)
+	OptionsChanged        func(OptionsChangedInfo)
 }
 
 // OnFlushCompleted implements EventListener.
@@ -176,6 +196,13 @@ func (l *ListenerFuncs) OnBackgroundError(info BackgroundErrorInfo) {
 func (l *ListenerFuncs) OnErrorRecovery(info ErrorRecoveryInfo) {
 	if l.ErrorRecovery != nil {
 		l.ErrorRecovery(info)
+	}
+}
+
+// OnOptionsChanged implements EventListener.
+func (l *ListenerFuncs) OnOptionsChanged(info OptionsChangedInfo) {
+	if l.OptionsChanged != nil {
+		l.OptionsChanged(info)
 	}
 }
 
@@ -285,6 +312,25 @@ func (l *logListener) OnErrorRecovery(info ErrorRecoveryInfo) {
 		mode = "auto"
 	}
 	l.logf("[recovery] %s attempts=%d cleared: %v", mode, info.Attempts, info.PriorErr)
+}
+
+// OnOptionsChanged implements EventListener: one LOG line per applied knob,
+// old -> new.
+func (l *logListener) OnOptionsChanged(info OptionsChangedInfo) {
+	scope := "db"
+	if info.ColumnFamily != "" {
+		scope = fmt.Sprintf("cf %q", info.ColumnFamily)
+	}
+	for _, ch := range info.Changes {
+		l.logf("[set_options] %s: %s %s -> %s", scope, ch.Name, ch.Old, ch.New)
+	}
+}
+
+// notifyOptionsChanged dispatches a dynamic options change to listeners.
+func (db *DB) notifyOptionsChanged(info OptionsChangedInfo) {
+	for _, l := range db.listeners {
+		l.OnOptionsChanged(info)
+	}
 }
 
 // notifyFlush dispatches a flush completion to every listener.

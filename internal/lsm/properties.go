@@ -46,7 +46,7 @@ func (db *DB) GetProperty(name string) (string, bool) {
 	case name == "rocksdb.estimate-pending-compaction-bytes":
 		var total int64
 		for _, cf := range db.cfOrder {
-			total += db.vs.head(cf.id).pendingCompactionBytes(cf.opts)
+			total += db.vs.head(cf.id).pendingCompactionBytes(cf.options())
 		}
 		return strconv.FormatInt(total, 10), true
 	case name == "rocksdb.cur-size-all-mem-tables":
@@ -120,14 +120,14 @@ func (db *DB) statsStringLocked() string {
 		db.stats.Get(TickerCompactWriteBytes))
 	fmt.Fprintf(&b, "Subcompactions: %d slices across %d compactions (max_subcompactions=%d)\n",
 		db.stats.Get(TickerSubcompactionScheduled), db.stats.Get(TickerCompactCount),
-		db.opts.MaxSubcompactions)
+		db.options().MaxSubcompactions)
 	fmt.Fprintf(&b, "Block cache: %d hits, %d misses\n",
 		db.stats.Get(TickerBlockCacheHit), db.stats.Get(TickerBlockCacheMiss))
 	fmt.Fprintf(&b, "Bloom: %d probes passed, %d excluded\n",
 		db.stats.Get(TickerBloomChecked), db.stats.Get(TickerBloomUseful))
 	var pending int64
 	for _, cf := range db.cfOrder {
-		pending += db.vs.head(cf.id).pendingCompactionBytes(cf.opts)
+		pending += db.vs.head(cf.id).pendingCompactionBytes(cf.options())
 	}
 	b.WriteString(db.levelStatsLocked(db.defaultCF))
 	fmt.Fprintf(&b, "Pending compaction bytes: %d\n", pending)
@@ -145,7 +145,7 @@ func (db *DB) statsStringLocked() string {
 func (db *DB) compactionStatsLocked(cf *columnFamily) string {
 	var b strings.Builder
 	v := db.vs.head(cf.id)
-	bgIO := cf.opts.ReportBgIOStats
+	bgIO := cf.options().ReportBgIOStats
 	fmt.Fprintf(&b, "** Compaction Stats [%s] **\n", cf.name)
 	header := "Level    Files   Size(MB)   Read(MB)  Write(MB)  Comp(cnt)  Comp(sec)"
 	if bgIO {

@@ -46,7 +46,10 @@ func SectionTableName(name string) string {
 // OptionSpec describes one named option: its syntax, bounds, and whether the
 // engine honors it mechanically (Honored) or merely records it (the long
 // tail RocksDB exposes — still valid to set, visible in OPTIONS files, and
-// therefore tunable surface for the LLM).
+// therefore tunable surface for the LLM). Mutable marks the dynamic subset
+// that DB.SetOptions/SetDBOptions may change on a running database without a
+// reopen (RocksDB's dynamically-changeable options); everything else is
+// fixed at Open.
 type OptionSpec struct {
 	Name       string
 	Section    string
@@ -55,6 +58,7 @@ type OptionSpec struct {
 	Min, Max   float64 // numeric bounds; both zero = unbounded
 	Enum       []string
 	Honored    bool
+	Mutable    bool
 	Deprecated bool
 	Help       string
 }
@@ -254,9 +258,58 @@ var optionAliases = map[string]string{
 	"max_background_jobs_total": "max_background_jobs",
 }
 
+// mutableOptionNames is the dynamic subset: options DB.SetOptions /
+// DB.SetDBOptions may change on a running database without a reopen. It
+// mirrors RocksDB's dynamically-changeable set restricted to knobs this
+// engine honors mechanically — every consumer of these re-reads the current
+// options snapshot, so a swap takes effect at the next decision point
+// (flush sizing, compaction pick, stall check, cache insert, stats tick).
+var mutableOptionNames = map[string]bool{
+	// DBOptions (SetDBOptions scope).
+	"max_background_jobs":        true,
+	"max_background_compactions": true,
+	"max_background_flushes":     true,
+	"max_subcompactions":         true,
+	"bytes_per_sync":             true,
+	"wal_bytes_per_sync":         true,
+	"compaction_readahead_size":  true,
+	"delayed_write_rate":         true,
+	"rate_limiter_bytes_per_sec": true,
+	"max_total_wal_size":         true,
+	"dump_malloc_stats":          true,
+	"stats_dump_period_sec":      true,
+	"stats_persist_period_sec":   true,
+	"stats_history_buffer_size":  true,
+	"perf_level":                 true,
+	// CFOptions (SetOptions scope).
+	"write_buffer_size":                    true,
+	"max_write_buffer_number":              true,
+	"min_write_buffer_number_to_merge":     true,
+	"level0_file_num_compaction_trigger":   true,
+	"level0_slowdown_writes_trigger":       true,
+	"level0_stop_writes_trigger":           true,
+	"target_file_size_base":                true,
+	"target_file_size_multiplier":          true,
+	"max_bytes_for_level_base":             true,
+	"max_bytes_for_level_multiplier":       true,
+	"max_compaction_bytes":                 true,
+	"disable_auto_compactions":             true,
+	"soft_pending_compaction_bytes_limit":  true,
+	"hard_pending_compaction_bytes_limit":  true,
+	"report_bg_io_stats":                   true,
+	"compression":                          true,
+	"level_compaction_dynamic_level_bytes": true,
+	"paranoid_file_checks":                 true,
+	// TableOptions: block-cache capacity resizes live with eviction.
+	"block_cache": true,
+}
+
 var specIndex = func() map[string]*OptionSpec {
 	m := make(map[string]*OptionSpec, len(optionSpecs))
 	for i := range optionSpecs {
+		if mutableOptionNames[optionSpecs[i].Name] {
+			optionSpecs[i].Mutable = true
+		}
 		m[optionSpecs[i].Name] = &optionSpecs[i]
 	}
 	return m
@@ -291,6 +344,27 @@ func HonoredOptionNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// MutableOptionNames returns the names of the dynamically-changeable
+// options, sorted.
+func MutableOptionNames() []string {
+	var out []string
+	for _, s := range optionSpecs {
+		if s.Mutable {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsMutableOption reports whether the named option (or alias) may be changed
+// on a running database via SetOptions/SetDBOptions. Unknown names are not
+// mutable.
+func IsMutableOption(name string) bool {
+	s, ok := LookupOption(name)
+	return ok && s.Mutable
 }
 
 func parseBool(v string) (bool, error) {
@@ -350,6 +424,11 @@ func checkValue(s OptionSpec, v string) (string, error) {
 // ErrUnknownOption is returned (wrapped) by SetByName for names outside the
 // registry — the hallucination signal the Safeguard Enforcer keys on.
 var ErrUnknownOption = fmt.Errorf("unknown option")
+
+// ErrImmutableOption is returned (wrapped) by SetOptions/SetDBOptions when a
+// change targets an option the registry does not mark Mutable — such knobs
+// only take effect through a close+reopen cycle.
+var ErrImmutableOption = fmt.Errorf("option is immutable at runtime")
 
 // SetByName assigns a string-keyed option onto the typed Options, validating
 // syntax and bounds. Unknown names return an error wrapping

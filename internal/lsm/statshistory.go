@@ -80,6 +80,26 @@ func (h *statsHistory) add(s StatsSnapshot) {
 	}
 }
 
+// setLimit swaps the byte budget (stats_history_buffer_size via
+// SetDBOptions), trimming oldest-first when the ring shrank below its
+// current footprint.
+func (h *statsHistory) setLimit(limit int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.limit = limit
+	evict := 0
+	for (h.limit <= 0 || h.bytes > h.limit) && evict < len(h.snaps) {
+		h.bytes -= h.snaps[evict].size
+		evict++
+	}
+	if evict > 0 {
+		h.snaps = append([]StatsSnapshot(nil), h.snaps[evict:]...)
+	}
+}
+
 // between returns retained snapshots with start <= Time < end, oldest
 // first.
 func (h *statsHistory) between(start, end time.Duration) []StatsSnapshot {
@@ -120,11 +140,11 @@ func (db *DB) GetStatsHistory(start, end time.Duration) []StatsSnapshot {
 // measure "at least this long since the last one", not a fixed phase).
 func (db *DB) maybePeriodicStatsLocked(now time.Duration) {
 	if db.nextStatsDump > 0 && now >= db.nextStatsDump {
-		db.nextStatsDump = now + db.opts.statsDumpEvery()
+		db.nextStatsDump = now + db.options().statsDumpEvery()
 		db.dumpStatsToLogLocked()
 	}
 	if db.nextStatsPersist > 0 && now >= db.nextStatsPersist {
-		db.nextStatsPersist = now + db.opts.statsPersistEvery()
+		db.nextStatsPersist = now + db.options().statsPersistEvery()
 		db.history.add(db.statsSnapshot(now))
 	}
 }
@@ -150,12 +170,13 @@ func (db *DB) statsSnapshot(now time.Duration) StatsSnapshot {
 	}
 }
 
-// statsPump is the OS-mode timer goroutine: it polls the shared deadlines
-// at a fraction of the smallest configured period until Close signals stop.
-// Sim-mode DBs never start it (drainSimLocked checks the deadlines).
-func (db *DB) statsPump() {
-	interval := db.opts.statsDumpEvery()
-	if p := db.opts.statsPersistEvery(); p > 0 && (interval == 0 || p < interval) {
+// statsPumpInterval derives the poll interval from the current option
+// snapshot: a fraction of the smallest configured period, clamped to
+// [10ms, 1s]. Both periods off yields the 1s idle poll — cheap, and it lets
+// a later SetDBOptions enable stats timers without spawning anything.
+func statsPumpInterval(o *Options) time.Duration {
+	interval := o.statsDumpEvery()
+	if p := o.statsPersistEvery(); p > 0 && (interval == 0 || p < interval) {
 		interval = p
 	}
 	interval /= 4
@@ -165,7 +186,17 @@ func (db *DB) statsPump() {
 	if interval > time.Second {
 		interval = time.Second
 	}
-	t := time.NewTicker(interval)
+	return interval
+}
+
+// statsPump is the OS-mode timer goroutine: it polls the shared deadlines
+// at a fraction of the smallest configured period until Close signals stop.
+// The interval is re-derived from the current options snapshot every tick,
+// so a live stats_dump_period_sec / stats_persist_period_sec change adjusts
+// the cadence without restarting the goroutine. Sim-mode DBs never start it
+// (drainSimLocked checks the deadlines).
+func (db *DB) statsPump() {
+	t := time.NewTimer(statsPumpInterval(db.options()))
 	defer t.Stop()
 	for {
 		select {
@@ -179,6 +210,7 @@ func (db *DB) statsPump() {
 			}
 			db.maybePeriodicStatsLocked(db.env.Now())
 			db.mu.Unlock()
+			t.Reset(statsPumpInterval(db.options()))
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // FileMeta describes one live SSTable.
@@ -24,6 +25,12 @@ func (f *FileMeta) String() string {
 // levels 1+ are key-sorted and disjoint.
 type Version struct {
 	levels [][]*FileMeta
+
+	// refs counts readers (Get/MultiGet captures, open iterators) holding
+	// this version. While positive, deleteObsoleteFilesLocked keeps the
+	// version's files on disk even after newer versions retire them.
+	// Incremented under db.mu; decremented lock-free on read completion.
+	refs atomic.Int32
 }
 
 // newVersion allocates an empty version with n levels.

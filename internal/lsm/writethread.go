@@ -152,9 +152,9 @@ func insertBatch(mems memSet, b *WriteBatch) error {
 // yield repeatedly runs long (cores oversubscribed — RocksDB's
 // write_thread_slow_yield_usec heuristic).
 func (db *DB) awaitStateChange(w *writeRequest) int32 {
-	if db.opts.EnableWriteThreadAdaptiveYield && db.opts.WriteThreadMaxYieldUsec > 0 {
-		deadline := time.Now().Add(time.Duration(db.opts.WriteThreadMaxYieldUsec) * time.Microsecond)
-		slow := time.Duration(db.opts.WriteThreadSlowYieldUsec) * time.Microsecond
+	if db.options().EnableWriteThreadAdaptiveYield && db.options().WriteThreadMaxYieldUsec > 0 {
+		deadline := time.Now().Add(time.Duration(db.options().WriteThreadMaxYieldUsec) * time.Microsecond)
+		slow := time.Duration(db.options().WriteThreadSlowYieldUsec) * time.Microsecond
 		slowCount := 0
 		for time.Now().Before(deadline) {
 			if s := w.state.Load(); s != writerPending {
@@ -191,7 +191,7 @@ func (db *DB) writeOS(wo *WriteOptions, batch *WriteBatch) error {
 	w := &writeRequest{
 		batch:      batch,
 		sync:       wo.Sync,
-		disableWAL: wo.DisableWAL || db.opts.DisableWAL,
+		disableWAL: wo.DisableWAL || db.options().DisableWAL,
 		wake:       make(chan struct{}, 2),
 	}
 	if !db.wt.enqueue(w) {
@@ -324,7 +324,7 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 	}
 	db.commitMu.Unlock()
 
-	pipelined := db.opts.EnablePipelinedWrite
+	pipelined := db.options().EnablePipelinedWrite
 	if pipelined {
 		// Promote the next leader now so its WAL stage overlaps our
 		// memtable stage.
@@ -343,7 +343,7 @@ func (db *DB) leadGroup(leader *writeRequest) error {
 		if leaderCommits {
 			followers = commit[1:]
 		}
-		if db.opts.AllowConcurrentMemtableWrite && len(followers) > 0 {
+		if db.options().AllowConcurrentMemtableWrite && len(followers) > 0 {
 			var wg sync.WaitGroup
 			wg.Add(len(followers))
 			for _, w := range followers {
@@ -484,7 +484,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	if group < 1 {
 		group = 1
 	}
-	concurrent := db.opts.AllowConcurrentMemtableWrite && group > 1
+	concurrent := db.options().AllowConcurrentMemtableWrite && group > 1
 
 	pos := db.simWritePos
 	db.simWritePos++
@@ -498,7 +498,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	// enable_time runs stay reproducible on the virtual clock.
 	db.sim.ChargeCPU(walCPU)
 	db.perf.AddTime(PerfWriteWALTime, walCPU)
-	disableWAL := wo.DisableWAL || db.opts.DisableWAL
+	disableWAL := wo.DisableWAL || db.options().DisableWAL
 	if !disableWAL {
 		if err := db.wal.addRecord(batch.rep); err != nil {
 			db.setBGErrorLocked(err, "wal")
@@ -539,7 +539,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	// their serialized cost; arriving while a stage is busy costs the queue
 	// wait plus a handoff overhead set by the yield knobs.
 	var queueWait time.Duration
-	if db.opts.EnablePipelinedWrite {
+	if db.options().EnablePipelinedWrite {
 		// Two stages: this write's memtable stage overlaps the next write's
 		// WAL stage. With concurrent inserts the memtable stage leaves the
 		// serialized timeline entirely.
@@ -572,15 +572,15 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 	}
 	if queueWait > 0 {
 		overhead := simWriteWakeLatency
-		if db.opts.EnableWriteThreadAdaptiveYield &&
-			queueWait <= time.Duration(db.opts.WriteThreadMaxYieldUsec)*time.Microsecond &&
+		if db.options().EnableWriteThreadAdaptiveYield &&
+			queueWait <= time.Duration(db.options().WriteThreadMaxYieldUsec)*time.Microsecond &&
 			!db.sim.Oversubscribed() {
 			// Spinning caught the handoff: cheaper than a block + wake.
 			// When background jobs oversubscribe the cores the yields come
 			// back slower than write_thread_slow_yield_usec and the writer
 			// gives up spinning and blocks (RocksDB's adaptive-yield abort),
 			// so compaction-heavy phases pay the full wake latency.
-			overhead = time.Duration(db.opts.WriteThreadSlowYieldUsec) * time.Microsecond
+			overhead = time.Duration(db.options().WriteThreadSlowYieldUsec) * time.Microsecond
 		}
 		db.sim.ChargeLatency(queueWait + overhead)
 		db.hists.Record(HistWriteJoinMicros, queueWait+overhead)
@@ -589,7 +589,7 @@ func (db *DB) writeSim(wo *WriteOptions, batch *WriteBatch) error {
 		// occupies the pipeline too (this is what makes the yield knobs an
 		// aggregate-throughput effect, not just a latency one).
 		db.simWALFreeAt += overhead
-		if !db.opts.EnablePipelinedWrite {
+		if !db.options().EnablePipelinedWrite {
 			db.simMemFreeAt = db.simWALFreeAt
 		}
 	}

@@ -47,6 +47,13 @@ type Inputs struct {
 	Workload *lsm.WorkloadSnapshot
 	// History summarizes prior iterations ("iter 3: 120000 ops/sec ...").
 	History []string
+	// Insights carries cross-session memory: the best configuration a
+	// previous tuning session found for a similar workload fingerprint.
+	Insights []string
+	// Live marks a running-instance session: changes are applied through
+	// SetOptions without a reopen, so only runtime-mutable options take
+	// effect immediately.
+	Live bool
 	// Deteriorated marks the intermediate prompt after a reverted
 	// iteration; DeteriorationNote carries the diff and the numbers.
 	Deteriorated      bool
@@ -85,6 +92,19 @@ func Build(in Inputs) []llm.Message {
 	fmt.Fprintf(&b, "Benchmark: %s\n", in.WorkloadName)
 	if in.WorkloadDescription != "" {
 		fmt.Fprintf(&b, "Expected workload: %s\n", in.WorkloadDescription)
+	}
+	if in.Live {
+		b.WriteString("\nThis database is RUNNING and will be retuned in place via SetOptions.\n" +
+			"Prefer options that are mutable at runtime (write buffers, triggers,\n" +
+			"background jobs, block cache size); options needing a reopen cost a\n" +
+			"service interruption and may be rejected.\n")
+	}
+	if len(in.Insights) > 0 {
+		b.WriteString("\n## Insights from previous tuning sessions\n")
+		for _, line := range in.Insights {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
 	}
 	if len(in.History) > 0 {
 		b.WriteString("\n## Tuning history\n")

@@ -31,6 +31,9 @@ const (
 	DeprecatedAccepted
 	// NoOp changes restate the current value.
 	NoOp
+	// ImmutableLive options exist and the value is fine, but the knob
+	// cannot be changed on a running database (LiveMode) without a reopen.
+	ImmutableLive
 )
 
 // String renders the verdict.
@@ -48,6 +51,8 @@ func (v Verdict) String() string {
 		return "deprecated"
 	case NoOp:
 		return "no-op"
+	case ImmutableLive:
+		return "immutable-live"
 	default:
 		return fmt.Sprintf("verdict(%d)", int(v))
 	}
@@ -84,6 +89,11 @@ type Enforcer struct {
 	// AllowDeprecated applies deprecated options (flagged); when false
 	// they are rejected outright.
 	AllowDeprecated bool
+	// LiveMode vets changes destined for a RUNNING database (SetOptions /
+	// SetDBOptions rather than a config file + reopen). Options the engine
+	// registry does not flag as mutable are rejected with ImmutableLive,
+	// naming the knob, instead of accepted.
+	LiveMode bool
 }
 
 // New builds an enforcer with the default blacklist.
@@ -164,6 +174,10 @@ func (e *Enforcer) vetOne(cur *lsm.Options, c parser.Change) Decision {
 	}
 	if e.blacklist[spec.Name] { // alias resolved onto a blacklisted name
 		return Decision{c, Blacklisted, "resolves to blacklisted option " + spec.Name}
+	}
+	if e.LiveMode && !spec.Mutable {
+		return Decision{c, ImmutableLive,
+			fmt.Sprintf("option %q is immutable at runtime: it cannot be applied to a running database without a reopen", spec.Name)}
 	}
 	// Validate the value by applying to a scratch clone.
 	scratch := cur.Clone()

@@ -1,6 +1,7 @@
 package safeguard
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/lsm"
@@ -276,5 +277,33 @@ func TestVetAliasOfBlacklisted(t *testing.T) {
 	d := vetOne(t, e, "bloom_bits_per_key", "10")
 	if d.Verdict != Blacklisted {
 		t.Fatalf("alias bypassed blacklist: %v", d.Verdict)
+	}
+}
+
+func TestVetLiveModeImmutable(t *testing.T) {
+	e := New()
+	e.LiveMode = true
+	// Mutable knobs still pass in live mode.
+	if d := vetOne(t, e, "write_buffer_size", "1048576"); d.Verdict != Accepted {
+		t.Fatalf("write_buffer_size: verdict = %v (%s)", d.Verdict, d.Reason)
+	}
+	if d := vetOne(t, e, "max_background_jobs", "4"); d.Verdict != Accepted {
+		t.Fatalf("max_background_jobs: verdict = %v (%s)", d.Verdict, d.Reason)
+	}
+	// Immutable knobs are rejected with an error naming the knob.
+	for _, name := range []string{"num_levels", "max_open_files", "use_direct_reads"} {
+		d := vetOne(t, e, name, "7")
+		if d.Verdict != ImmutableLive {
+			t.Errorf("%s: verdict = %v, want immutable-live (%s)", name, d.Verdict, d.Reason)
+			continue
+		}
+		if !strings.Contains(d.Reason, name) {
+			t.Errorf("%s: reason %q does not name the knob", name, d.Reason)
+		}
+	}
+	// Off live mode the same knob is accepted (reopen path applies it).
+	e.LiveMode = false
+	if d := vetOne(t, e, "num_levels", "5"); d.Verdict != Accepted {
+		t.Fatalf("num_levels off live mode: verdict = %v (%s)", d.Verdict, d.Reason)
 	}
 }

@@ -249,3 +249,15 @@ func (c *Client) Close() error {
 	c.wg.Wait()
 	return err
 }
+
+// SetOptions applies dynamic option changes to the server's running shards —
+// the remote face of lsm.DB.SetOptions/SetDBOptions. cf scopes column-family
+// knobs ("" = default family); DB-scoped names in the same call are routed to
+// SetDBOptions server-side. Returns the server's human-readable summary.
+func (c *Client) SetOptions(cf string, changes []OptionKV) (string, error) {
+	resp, err := c.Call(&Request{Op: OpSetOptions, CF: cf, Options: changes})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}

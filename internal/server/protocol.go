@@ -34,19 +34,21 @@ const (
 	OpScan
 	OpBatch
 	OpStats
+	OpSetOptions
 	opMax // one past the last valid opcode
 )
 
 // opNames maps opcodes to the labels used by metrics and errors.
 var opNames = [...]string{
-	opInvalid:  "invalid",
-	OpPut:      "put",
-	OpGet:      "get",
-	OpDelete:   "delete",
-	OpMultiGet: "multiget",
-	OpScan:     "scan",
-	OpBatch:    "batch",
-	OpStats:    "stats",
+	opInvalid:    "invalid",
+	OpPut:        "put",
+	OpGet:        "get",
+	OpDelete:     "delete",
+	OpMultiGet:   "multiget",
+	OpScan:       "scan",
+	OpBatch:      "batch",
+	OpStats:      "stats",
+	OpSetOptions: "setoptions",
 }
 
 // OpName returns a human-readable opcode label.
@@ -91,17 +93,25 @@ type BatchEntry struct {
 //	OpGet       CF, Key
 //	OpDelete    CF, Key
 //	OpMultiGet  CF, Keys
-//	OpScan      CF, Key (start, may be empty), Limit
-//	OpBatch     Batch
-//	OpStats     (nothing)
+//	OpScan        CF, Key (start, may be empty), Limit
+//	OpBatch       Batch
+//	OpStats       (nothing)
+//	OpSetOptions  CF ("" = DB/default scope), Options (sorted name/value pairs)
 type Request struct {
-	Op    byte
-	CF    string
-	Key   []byte
-	Value []byte
-	Keys  [][]byte
-	Limit int
-	Batch []BatchEntry
+	Op      byte
+	CF      string
+	Key     []byte
+	Value   []byte
+	Keys    [][]byte
+	Limit   int
+	Batch   []BatchEntry
+	Options []OptionKV
+}
+
+// OptionKV is one name=value pair in an OpSetOptions request.
+type OptionKV struct {
+	Name  string
+	Value string
 }
 
 // KV is one key-value pair in a scan response.
@@ -113,11 +123,12 @@ type KV struct {
 // Response is the decoded form of one response frame. Status is always set;
 // the rest depends on the request's opcode:
 //
-//	get        Value (when found)
-//	multiget   Found + Values, positional with the request's Keys
-//	scan       Pairs
-//	stats      Text
-//	errors     Err (human-readable message, Status == StatusErr)
+//	get         Value (when found)
+//	multiget    Found + Values, positional with the request's Keys
+//	scan        Pairs
+//	stats       Text
+//	setoptions  Text (human-readable applied summary)
+//	errors      Err (human-readable message, Status == StatusErr)
 type Response struct {
 	Status byte
 	Err    string
@@ -226,6 +237,13 @@ func EncodeRequest(dst []byte, req *Request) ([]byte, error) {
 		}
 	case OpStats:
 		// no payload
+	case OpSetOptions:
+		dst = appendString(dst, req.CF)
+		dst = binary.AppendUvarint(dst, uint64(len(req.Options)))
+		for _, kv := range req.Options {
+			dst = appendString(dst, kv.Name)
+			dst = appendString(dst, kv.Value)
+		}
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, req.Op)
 	}
@@ -322,6 +340,26 @@ func DecodeRequest(body []byte) (*Request, error) {
 			}
 		}
 	case OpStats:
+	case OpSetOptions:
+		if req.CF, err = r.string(); err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.buf)) { // each pair costs >= 2 bytes
+			return nil, ErrProtocol
+		}
+		req.Options = make([]OptionKV, n)
+		for i := range req.Options {
+			if req.Options[i].Name, err = r.string(); err != nil {
+				return nil, err
+			}
+			if req.Options[i].Value, err = r.string(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := r.done(); err != nil {
 		return nil, err
@@ -357,7 +395,7 @@ func EncodeResponse(dst []byte, op byte, resp *Response) []byte {
 			dst = appendBytes(dst, kv.Key)
 			dst = appendBytes(dst, kv.Value)
 		}
-	case OpStats:
+	case OpStats, OpSetOptions:
 		dst = appendString(dst, resp.Text)
 	}
 	return dst
@@ -430,7 +468,7 @@ func DecodeResponse(op byte, body []byte) (*Response, error) {
 				return nil, err
 			}
 		}
-	case OpStats:
+	case OpStats, OpSetOptions:
 		if resp.Text, err = r.string(); err != nil {
 			return nil, err
 		}

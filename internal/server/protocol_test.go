@@ -35,6 +35,14 @@ func reqEqual(a, b *Request) bool {
 			return false
 		}
 	}
+	if len(a.Options) != len(b.Options) {
+		return false
+	}
+	for i := range a.Options {
+		if a.Options[i] != b.Options[i] {
+			return false
+		}
+	}
 	return true
 }
 
@@ -56,6 +64,13 @@ func testRequests() []*Request {
 			{CF: "cold", Key: []byte("k3"), Value: []byte{}},
 		}},
 		{Op: OpStats},
+		{Op: OpSetOptions, CF: "", Options: []OptionKV{
+			{Name: "write_buffer_size", Value: "1048576"},
+			{Name: "max_background_jobs", Value: "4"},
+		}},
+		{Op: OpSetOptions, CF: "hot", Options: []OptionKV{
+			{Name: "level0_slowdown_writes_trigger", Value: "12"},
+		}},
 	}
 }
 
@@ -94,13 +109,13 @@ func TestRequestTruncationRejected(t *testing.T) {
 
 func TestRequestGarbageRejected(t *testing.T) {
 	cases := [][]byte{
-		{},                      // empty body
-		{0},                     // opInvalid
-		{byte(opMax)},           // one past the last opcode
-		{0xff, 0x01, 0x02},      // far out of range
-		{OpStats, 0xaa},         // trailing byte after a complete request
-		{OpMultiGet, 0, 0xff},   // key count with no key bytes to back it
-		{OpBatch, 1, 2},         // bad batch entry kind
+		{},                    // empty body
+		{0},                   // opInvalid
+		{byte(opMax)},         // one past the last opcode
+		{0xff, 0x01, 0x02},    // far out of range
+		{OpStats, 0xaa},       // trailing byte after a complete request
+		{OpMultiGet, 0, 0xff}, // key count with no key bytes to back it
+		{OpBatch, 1, 2},       // bad batch entry kind
 		append([]byte{OpPut, 0}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), // 2^63 key length
 	}
 	for i, body := range cases {

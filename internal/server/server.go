@@ -280,6 +280,17 @@ func (s *Server) exec(req *Request) *Response {
 		return &Response{Status: StatusOK}
 	case OpStats:
 		return &Response{Status: StatusOK, Text: s.router.StatsText()}
+	case OpSetOptions:
+		if err := s.router.SetOptions(req.CF, req.Options); err != nil {
+			return &Response{Status: StatusErr, Err: err.Error()}
+		}
+		parts := make([]string, len(req.Options))
+		for i, kv := range req.Options {
+			parts[i] = kv.Name + "=" + kv.Value
+		}
+		return &Response{Status: StatusOK,
+			Text: fmt.Sprintf("applied %d option(s) to %d shard(s): %s",
+				len(req.Options), s.router.NumShards(), strings.Join(parts, " "))}
 	default:
 		return &Response{Status: StatusErr, Err: fmt.Sprintf("unknown opcode %d", req.Op)}
 	}

@@ -367,3 +367,62 @@ func TestRouterSharedStatistics(t *testing.T) {
 		}
 	}
 }
+
+// TestServerSetOptions drives a live retune through the wire: a mixed
+// DB/CF-scoped change must land on every shard, an immutable knob must be
+// rejected with an error naming it, and the CF variant must retarget a named
+// family without touching the default one.
+func TestServerSetOptions(t *testing.T) {
+	srv, addr := startServer(t, 3)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	text, err := c.SetOptions("", []OptionKV{
+		{Name: "write_buffer_size", Value: "1048576"},
+		{Name: "max_background_jobs", Value: "7"},
+	})
+	if err != nil {
+		t.Fatalf("SetOptions: %v", err)
+	}
+	if !strings.Contains(text, "3 shard(s)") {
+		t.Errorf("summary %q does not mention shard count", text)
+	}
+	for i := 0; i < srv.router.NumShards(); i++ {
+		o := srv.router.Shard(i).Options()
+		if o.WriteBufferSize != 1048576 {
+			t.Errorf("shard %d write_buffer_size = %d, want 1048576", i, o.WriteBufferSize)
+		}
+		if o.MaxBackgroundJobs != 7 {
+			t.Errorf("shard %d max_background_jobs = %d, want 7", i, o.MaxBackgroundJobs)
+		}
+	}
+
+	// Immutable knobs are refused server-side; the error names the knob.
+	if _, err := c.SetOptions("", []OptionKV{{Name: "num_levels", Value: "5"}}); err == nil {
+		t.Fatal("SetOptions(num_levels) succeeded, want error")
+	} else if !strings.Contains(err.Error(), "num_levels") {
+		t.Errorf("error %q does not name the knob", err)
+	}
+
+	// CF-scoped change against a named family leaves the default alone.
+	if err := c.Put("hot", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SetOptions("hot", []OptionKV{{Name: "write_buffer_size", Value: "2097152"}}); err != nil {
+		t.Fatalf("SetOptions(hot): %v", err)
+	}
+	db := srv.router.Shard(0)
+	h, err := db.GetColumnFamily("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, err := db.OptionsCF(h); err != nil || o.WriteBufferSize != 2097152 {
+		t.Errorf("hot write_buffer_size = %v (%v), want 2097152", o, err)
+	}
+	if db.Options().WriteBufferSize != 1048576 {
+		t.Errorf("default family changed: %d", db.Options().WriteBufferSize)
+	}
+}

@@ -1,0 +1,95 @@
+#!/bin/sh
+# liveretune: smoke-test live retuning end to end through the server path.
+#
+# Builds kvserver, dbbench and elmotune, starts a 2-shard server on an
+# ephemeral port, drives a background mixed workload against it, then runs
+# the tuning loop with the mock LLM in -live mode: accepted changes must
+# reach the running server through the SetOptions wire op (no restart), and
+# the session must report at least one applied round.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+trap 'status=$?; [ -n "${LOAD_PID:-}" ] && kill "$LOAD_PID" 2>/dev/null; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null; wait 2>/dev/null || true; rm -rf "$WORK"; exit $status' EXIT INT TERM
+
+echo "liveretune: building binaries"
+$GO build -o "$WORK/kvserver" ./cmd/kvserver
+$GO build -o "$WORK/dbbench" ./cmd/dbbench
+$GO build -o "$WORK/elmotune" ./cmd/elmotune
+
+echo "liveretune: starting kvserver"
+"$WORK/kvserver" -addr 127.0.0.1:0 -db "$WORK/db" -shards 2 \
+    -ready_file "$WORK/addr" >"$WORK/server.log" 2>&1 &
+SRV_PID=$!
+
+i=0
+while [ ! -f "$WORK/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "liveretune: FAIL: server never became ready" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "liveretune: FAIL: server exited during startup" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/addr")
+echo "liveretune: server ready on $ADDR"
+
+echo "liveretune: starting background load"
+"$WORK/dbbench" -server "$ADDR" -benchmarks readrandomwriterandom \
+    -num 2000000 -value_size 128 -connections 8 -pipeline 4 \
+    >"$WORK/load.out" 2>&1 &
+LOAD_PID=$!
+
+echo "liveretune: retuning the RUNNING server with the mock LLM"
+"$WORK/elmotune" -live -server "$ADDR" -workload readrandomwriterandom \
+    -iters 2 -window 1s -insights "$WORK/insights.json" \
+    -trace "$WORK/live.jsonl" -out "$WORK/OPTIONS-live" \
+    >"$WORK/tune.out" 2>&1
+cat "$WORK/tune.out"
+
+# The loop must have applied at least one change set in place.
+if ! grep -q "via in_place" "$WORK/tune.out"; then
+    echo "liveretune: FAIL: no in-place applied round reported" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+fi
+# The trace must record the live rounds with their apply mode.
+if ! grep -q '"kind":"live_round"' "$WORK/live.jsonl"; then
+    echo "liveretune: FAIL: no live_round records in the trace" >&2
+    exit 1
+fi
+# A cross-session insight must have been persisted.
+if ! grep -q '"workload"' "$WORK/insights.json"; then
+    echo "liveretune: FAIL: no insight recorded" >&2
+    exit 1
+fi
+# The tuned OPTIONS file must exist and parse as ini.
+if [ ! -s "$WORK/OPTIONS-live" ]; then
+    echo "liveretune: FAIL: no OPTIONS file written" >&2
+    exit 1
+fi
+
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+LOAD_PID=
+
+echo "liveretune: asking server to shut down"
+kill -INT "$SRV_PID"
+wait "$SRV_PID" || {
+    echo "liveretune: FAIL: server exited nonzero" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+}
+SRV_PID=
+if ! grep -q "clean shutdown" "$WORK/server.log"; then
+    echo "liveretune: FAIL: no clean-shutdown marker in server log" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+fi
+echo "liveretune: PASS"
