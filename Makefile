@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race crashtest equivalence serverbench liveretune verify clean
+.PHONY: build test vet race crashtest equivalence serverbench liveretune allocgate verify clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,14 @@ equivalence:
 serverbench:
 	./scripts/serverbench.sh
 
+# Allocation regression gates: testing.AllocsPerRun bounds on the cache-hit
+# Get path, reused block iteration, and the per-frame server/client paths.
+# The limits are measured steady-state values plus noise headroom — a pooled
+# codec, buffer, or iterator falling out of reuse trips them immediately.
+# -count=1 defeats the test cache so verify always re-measures.
+allocgate:
+	$(GO) test -count=1 -run TestAllocGate ./internal/lsm ./internal/server
+
 # End-to-end smoke of live retuning: start kvserver, put it under load, and
 # let elmotune (mock LLM) retune the RUNNING instance through the SetOptions
 # wire op — at least one round must apply in place, with the trace and the
@@ -47,7 +55,7 @@ serverbench:
 liveretune:
 	./scripts/liveretune.sh
 
-verify: build vet test race equivalence serverbench liveretune
+verify: build vet test race equivalence allocgate serverbench liveretune
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -53,8 +55,14 @@ func main() {
 		pipeDepth  = flag.Int("pipeline", 4, "client mode: concurrent in-flight requests per connection")
 		mgetBatch  = flag.Int("multiget_batch", 0, "override MultiGet batch size (>0 turns reads into MultiGets)")
 		applyCyc   = flag.Int("apply_downtime_cycles", 0, "measure config-apply downtime instead of a workload: flip write_buffer_size this many times under write load, once via live SetOptions and once via close/reopen, and print the downtime histogram")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		gcSum      = flag.Bool("gc_summary", false, "print a GC/allocation summary (runtime.ReadMemStats) to stderr at exit")
 	)
 	flag.Parse()
+
+	stopProfiling := startProfiling(*cpuProf, *memProf, *gcSum)
+	defer stopProfiling()
 
 	// Open the trace file before the (possibly long) run so a bad path
 	// fails immediately, not after the benchmark.
@@ -326,6 +334,57 @@ func printDowntime(mode string, ds []time.Duration) {
 	}
 	fmt.Printf("%-9s %6d %12s %12s %12s %12s\n",
 		mode, len(sorted), sum/time.Duration(len(sorted)), pct(0.5), pct(0.99), sorted[len(sorted)-1])
+}
+
+// startProfiling wires -cpuprofile/-memprofile/-gc_summary. The returned
+// function stops the CPU profile, writes the heap profile, and prints the GC
+// summary; main defers it immediately after flag parsing so every exit path —
+// embedded run, client mode, trace generation, and apply-downtime — is
+// covered. fatal() exits without profiles, which is fine: a failed run has
+// nothing worth profiling.
+func startProfiling(cpuPath, memPath string, gcSummary bool) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", memPath)
+		}
+		if gcSummary {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Fprintf(os.Stderr,
+				"GC SUMMARY: total_alloc=%d B  mallocs=%d  frees=%d  heap_alloc=%d B  num_gc=%d  pause_total=%s\n",
+				ms.TotalAlloc, ms.Mallocs, ms.Frees, ms.HeapAlloc, ms.NumGC,
+				time.Duration(ms.PauseTotalNs))
+		}
+	}
 }
 
 func fatal(err error) {

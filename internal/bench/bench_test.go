@@ -400,15 +400,19 @@ func BenchmarkWriteParallel(b *testing.B) {
 			})
 			defer db.Close()
 			var ctr int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
-				// KeyGen reuses its buffer: one per worker goroutine.
+				// KeyGen reuses its buffer: one per worker goroutine, and
+				// one WriteBatch reused via Clear (Write leaves the batch
+				// reusable once it returns).
 				kg := NewKeyGen(16)
 				rng := rand.New(rand.NewSource(atomicAdd(&ctr, 1)))
 				val := make([]byte, 128)
 				wo := lsm.DefaultWriteOptions()
+				batch := lsm.NewWriteBatch()
 				for pb.Next() {
-					batch := lsm.NewWriteBatch()
+					batch.Clear()
 					for k := 0; k < 4; k++ {
 						batch.Put(kg.Key(rng.Uint64()%1e6), val)
 					}
@@ -439,6 +443,7 @@ func BenchmarkGetParallel(b *testing.B) {
 		}
 	}
 	var ctr int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		// KeyGen reuses its buffer: one per worker goroutine.

@@ -162,12 +162,21 @@ func (r *NetRunner) preload(clients []*server.Client) error {
 			rng := rand.New(rand.NewSource(r.Spec.Seed*31337 + int64(ci)))
 			values := NewValueGen(rng, 0.5)
 			keys := NewKeyGen(r.Spec.KeySize)
-			var entries []server.BatchEntry
+			// Per-slot key/value buffers reused across batches: the key and
+			// value generators recycle their own buffers, so each entry
+			// needs a private copy, but Batch encodes the frame before
+			// returning, after which the slot buffers are free again.
+			keyBufs := make([][]byte, batchSize)
+			valBufs := make([][]byte, batchSize)
+			entries := make([]server.BatchEntry, 0, batchSize)
 			for id := lo; id < hi; id++ {
+				slot := len(entries)
+				keyBufs[slot] = append(keyBufs[slot][:0], keys.Key(id)...)
+				valBufs[slot] = append(valBufs[slot][:0], values.Value(r.Spec.ValueSize)...)
 				entries = append(entries, server.BatchEntry{
 					CF:    r.cfName(id),
-					Key:   append([]byte(nil), keys.Key(id)...),
-					Value: append([]byte(nil), values.Value(r.Spec.ValueSize)...),
+					Key:   keyBufs[slot],
+					Value: valBufs[slot],
 				})
 				if len(entries) >= batchSize || id == hi-1 {
 					if err := c.Batch(entries); err != nil {

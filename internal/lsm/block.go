@@ -83,35 +83,60 @@ func (b *blockBuilder) reset() {
 	b.entries = 0
 }
 
-// blockIter iterates a decoded block.
+// blockIter iterates a decoded block. The restart array is read in place
+// from the block's trailer rather than materialized, so an iterator carries
+// no per-block state beyond its (reusable) key buffer — init lets one
+// blockIter be re-pointed at successive blocks without allocating.
 type blockIter struct {
 	data        []byte
-	restarts    []uint32
 	off         uint32 // offset of next entry to decode
 	key         []byte
 	val         []byte
 	valid       bool
 	err         error
 	dataLimit   uint32 // offset where entries end (start of restart array)
-	currentSize uint32 // encoded size of current entry (for prev/debug)
+	numRestarts int
 }
 
-// newBlockIter parses the restart trailer; returns an error for corrupt data.
-func newBlockIter(data []byte) (*blockIter, error) {
+// init parses the restart trailer and re-points the iterator at data,
+// keeping the key buffer's capacity; returns an error for corrupt data
+// (leaving the iterator invalid).
+func (it *blockIter) init(data []byte) error {
+	it.valid = false
+	it.err = nil
+	it.off = 0
+	it.val = nil
+	if it.key != nil {
+		it.key = it.key[:0]
+	}
 	if len(data) < 4 {
-		return nil, fmt.Errorf("lsm: block too short (%d bytes)", len(data))
+		it.data = nil
+		return fmt.Errorf("lsm: block too short (%d bytes)", len(data))
 	}
 	numRestarts := binary.LittleEndian.Uint32(data[len(data)-4:])
 	trailer := 4 * (int(numRestarts) + 1)
 	if numRestarts == 0 || trailer > len(data) {
-		return nil, fmt.Errorf("lsm: bad restart count %d in %d-byte block", numRestarts, len(data))
+		it.data = nil
+		return fmt.Errorf("lsm: bad restart count %d in %d-byte block", numRestarts, len(data))
 	}
-	restartStart := len(data) - trailer
-	restarts := make([]uint32, numRestarts)
-	for i := range restarts {
-		restarts[i] = binary.LittleEndian.Uint32(data[restartStart+4*i:])
+	it.data = data
+	it.numRestarts = int(numRestarts)
+	it.dataLimit = uint32(len(data) - trailer)
+	return nil
+}
+
+// restart returns the i-th restart offset, read from the trailer in place.
+func (it *blockIter) restart(i int) uint32 {
+	return binary.LittleEndian.Uint32(it.data[int(it.dataLimit)+4*i:])
+}
+
+// newBlockIter parses the restart trailer; returns an error for corrupt data.
+func newBlockIter(data []byte) (*blockIter, error) {
+	it := &blockIter{}
+	if err := it.init(data); err != nil {
+		return nil, err
 	}
-	return &blockIter{data: data, restarts: restarts, dataLimit: uint32(restartStart)}, nil
+	return it, nil
 }
 
 // Valid reports whether the iterator is positioned on an entry.
@@ -185,11 +210,11 @@ func (it *blockIter) Next() {
 // binary search over restart points then a linear scan.
 func (it *blockIter) Seek(target []byte, cmp func(a, b []byte) int) {
 	// Binary search the last restart whose key < target.
-	lo, hi := 0, len(it.restarts)-1
+	lo, hi := 0, it.numRestarts-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		it.key = it.key[:0]
-		if _, ok := it.decodeAt(it.restarts[mid]); !ok {
+		if _, ok := it.decodeAt(it.restart(mid)); !ok {
 			return
 		}
 		if cmp(it.key, target) < 0 {
@@ -199,7 +224,7 @@ func (it *blockIter) Seek(target []byte, cmp func(a, b []byte) int) {
 		}
 	}
 	it.key = it.key[:0]
-	off, ok := it.decodeAt(it.restarts[lo])
+	off, ok := it.decodeAt(it.restart(lo))
 	if !ok {
 		return
 	}

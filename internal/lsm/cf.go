@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -394,32 +395,62 @@ func (db *DB) lookupInState(st readState, key []byte) ([]byte, error) {
 	return val, err
 }
 
+// lookupKeyPool recycles the internal-key buffer a point lookup probes
+// tables with; it never escapes lookupInTables (tableReader.get copies the
+// value out of the block before returning).
+var lookupKeyPool = sync.Pool{
+	New: func() any { return new(internalKey) },
+}
+
+// probeTable checks one file for the lookup key. done reports that the
+// lookup is resolved (value hit, tombstone, or error) and the search must
+// stop. val is a private copy the caller may mutate freely.
+func (db *DB) probeTable(fm *FileMeta, lookup internalKey) (val []byte, done bool, err error) {
+	r, err := db.tcache.get(fm.Number)
+	if err != nil {
+		return nil, true, err
+	}
+	val, found, deleted, err := r.get(lookup)
+	if err != nil {
+		return nil, true, err
+	}
+	if !found {
+		return nil, false, nil
+	}
+	if deleted {
+		db.stats.Add(TickerGetMiss, 1)
+		return nil, true, ErrNotFound
+	}
+	db.stats.Add(TickerGetHit, 1)
+	db.stats.Add(TickerBytesRead, int64(len(val)))
+	return val, true, nil
+}
+
 // lookupInTables is the SST phase of a lookup: probe the levels of the
-// captured version newest-data-first through the table cache.
+// captured version newest-data-first through the table cache. Levels are
+// walked directly (overlapping L0 files newest-first, then the at-most-one
+// candidate per disjoint level) rather than materializing filesForGet's
+// per-level slices.
 func (db *DB) lookupInTables(st readState, key []byte) ([]byte, error) {
-	lookup := makeInternalKey(nil, key, st.seq, KindValue)
-	for _, files := range st.v.filesForGet(key) {
-		for _, fm := range files {
-			r, err := db.tcache.get(fm.Number)
-			if err != nil {
-				return nil, err
-			}
-			val, found, deleted, err := r.get(lookup)
-			if err != nil {
-				return nil, err
-			}
-			if found {
-				if deleted {
-					db.stats.Add(TickerGetMiss, 1)
-					return nil, ErrNotFound
-				}
-				db.stats.Add(TickerGetHit, 1)
-				db.stats.Add(TickerBytesRead, int64(len(val)))
-				// val is already a private copy (tableReader.get copies out
-				// of the block), so the caller may mutate it freely without
-				// corrupting cached block bytes.
-				return val, nil
-			}
+	kp := lookupKeyPool.Get().(*internalKey)
+	lookup := makeInternalKey((*kp)[:0], key, st.seq, KindValue)
+	*kp = lookup
+	defer lookupKeyPool.Put(kp)
+	for _, fm := range st.v.LevelFiles(0) {
+		if !overlapsRange(fm, key, key) {
+			continue
+		}
+		if val, done, err := db.probeTable(fm, lookup); done {
+			return val, err
+		}
+	}
+	for level := 1; level < st.v.NumLevels(); level++ {
+		fm := st.v.levelFileForGet(level, key)
+		if fm == nil {
+			continue
+		}
+		if val, done, err := db.probeTable(fm, lookup); done {
+			return val, err
 		}
 	}
 	db.stats.Add(TickerGetMiss, 1)
@@ -429,7 +460,7 @@ func (db *DB) lookupInTables(st readState, key []byte) ([]byte, error) {
 // GetCF returns the value stored for key in the given family.
 func (db *DB) GetCF(ro *ReadOptions, h *ColumnFamilyHandle, key []byte) ([]byte, error) {
 	if ro == nil {
-		ro = DefaultReadOptions()
+		ro = defaultReadOptions
 	}
 	defer func(start time.Time) {
 		db.hists.Record(HistGetMicros, time.Since(start))
@@ -456,7 +487,7 @@ func (db *DB) MultiGet(ro *ReadOptions, keys [][]byte) ([][]byte, []error) {
 // keys get a nil value and ErrNotFound in errs.
 func (db *DB) MultiGetCF(ro *ReadOptions, h *ColumnFamilyHandle, keys [][]byte) ([][]byte, []error) {
 	if ro == nil {
-		ro = DefaultReadOptions()
+		ro = defaultReadOptions
 	}
 	vals := make([][]byte, len(keys))
 	errs := make([]error, len(keys))

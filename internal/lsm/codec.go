@@ -1,0 +1,131 @@
+package lsm
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+// Pooled codec state for the block compress/decompress hot paths.
+//
+// A flate.Writer carries ~600 KB of window and hash-chain state and a
+// flate.Reader ~40 KB of history; constructing either per block makes codec
+// setup the dominant compaction CPU line. Both types support Reset, so the
+// pools below recycle them across blocks, flushes, compactions, and tables.
+//
+// Ownership rules (see DESIGN §13):
+//   - getFlateWriter/putFlateWriter pair around one block's compression; the
+//     writer must be Closed before it is put back.
+//   - getFlateReader/putFlateReader pair around one block's decompression;
+//     put is safe after a decode error because Reset discards all state.
+//   - codecScratch is private to one readBlockRaw call; nothing it holds may
+//     escape the call (the decompressed output is copied out before put).
+
+// flateWriterPools holds one pool per flate level (1..9); level 0 is unused
+// because NoCompression never constructs a writer.
+var flateWriterPools [10]sync.Pool
+
+// clampFlateLevel keeps pool indexing in range for any Compression value.
+func clampFlateLevel(level int) int {
+	if level < 1 {
+		return 1
+	}
+	if level > 9 {
+		return 9
+	}
+	return level
+}
+
+// getFlateWriter returns a pooled flate.Writer reset to write to dst.
+func getFlateWriter(dst io.Writer, level int) *flate.Writer {
+	level = clampFlateLevel(level)
+	if fw, ok := flateWriterPools[level].Get().(*flate.Writer); ok {
+		fw.Reset(dst)
+		return fw
+	}
+	fw, err := flate.NewWriter(dst, level)
+	if err != nil {
+		// Unreachable: level is clamped to a valid range.
+		panic(err)
+	}
+	return fw
+}
+
+// putFlateWriter recycles a writer obtained at the same level.
+func putFlateWriter(fw *flate.Writer, level int) {
+	flateWriterPools[clampFlateLevel(level)].Put(fw)
+}
+
+// flateReaderPool recycles flate.Readers; every reader the stdlib returns
+// implements flate.Resetter.
+var flateReaderPool sync.Pool
+
+func getFlateReader(src io.Reader) io.ReadCloser {
+	if fr, ok := flateReaderPool.Get().(io.ReadCloser); ok {
+		fr.(flate.Resetter).Reset(src, nil)
+		return fr
+	}
+	return flate.NewReader(src)
+}
+
+func putFlateReader(fr io.ReadCloser) {
+	fr.Close()
+	flateReaderPool.Put(fr)
+}
+
+// compressBufPool recycles the staging buffers writeBlock compresses into;
+// the payload is appended to the file (which copies) before the buffer is
+// returned.
+var compressBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+func getCompressBuf() *bytes.Buffer {
+	return compressBufPool.Get().(*bytes.Buffer)
+}
+
+func putCompressBuf(b *bytes.Buffer) {
+	b.Reset()
+	compressBufPool.Put(b)
+}
+
+// codecScratch is the per-call scratch for readBlockRaw's decompress path:
+// a reusable source reader over the compressed payload and a staging buffer
+// the plaintext inflates into before being copied to its final destination.
+type codecScratch struct {
+	src bytes.Reader
+	buf bytes.Buffer
+}
+
+var codecScratchPool = sync.Pool{
+	New: func() any { return new(codecScratch) },
+}
+
+// decompressBlock inflates payload into dst (reusing its capacity when it
+// fits, allocating exactly-sized storage otherwise) and returns the result.
+// payload may alias dst's backing array: the plaintext is staged in pooled
+// scratch and only copied out after the decode fully completes.
+func decompressBlock(dst, payload []byte) ([]byte, error) {
+	scr := codecScratchPool.Get().(*codecScratch)
+	scr.src.Reset(payload)
+	fr := getFlateReader(&scr.src)
+	scr.buf.Reset()
+	_, err := scr.buf.ReadFrom(fr)
+	putFlateReader(fr)
+	if err != nil {
+		scr.buf.Reset()
+		codecScratchPool.Put(scr)
+		return nil, err
+	}
+	n := scr.buf.Len()
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]byte, n)
+	}
+	copy(dst, scr.buf.Bytes())
+	scr.buf.Reset()
+	codecScratchPool.Put(scr)
+	return dst, nil
+}

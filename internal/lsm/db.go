@@ -41,6 +41,10 @@ func DefaultWriteOptions() *WriteOptions { return &WriteOptions{} }
 // DefaultReadOptions fills the cache.
 func DefaultReadOptions() *ReadOptions { return &ReadOptions{FillCache: true} }
 
+// defaultReadOptions is the shared instance used when a caller passes nil,
+// so the per-op paths don't allocate one. Never mutated.
+var defaultReadOptions = &ReadOptions{FillCache: true}
+
 // simJob is a background completion scheduled on the virtual clock.
 type simJob struct {
 	end time.Duration

@@ -26,6 +26,7 @@ type Iterator struct {
 
 	key   []byte
 	value []byte
+	skip  []byte // reusable skip-key buffer for Next (see findNextVisible)
 	valid bool
 }
 
@@ -38,7 +39,7 @@ func (db *DB) NewIterator(ro *ReadOptions) *Iterator {
 // An iterator over a dropped family is empty (valid never becomes true).
 func (db *DB) NewIteratorCF(ro *ReadOptions, h *ColumnFamilyHandle) *Iterator {
 	if ro == nil {
-		ro = DefaultReadOptions()
+		ro = defaultReadOptions
 	}
 	db.mu.Lock()
 	db.drainSimLocked()
@@ -51,12 +52,12 @@ func (db *DB) NewIteratorCF(ro *ReadOptions, h *ColumnFamilyHandle) *Iterator {
 		db.mu.Unlock()
 		return &Iterator{db: db, merge: newMergeIter(nil), seq: seq}
 	}
-	var children []internalIterator
+	v := db.vs.head(cf.id)
+	children := make([]internalIterator, 0, 1+len(cf.imm)+len(v.LevelFiles(0))+v.NumLevels())
 	children = append(children, cf.mem.iterator())
 	for i := len(cf.imm) - 1; i >= 0; i-- {
 		children = append(children, cf.imm[i].iterator())
 	}
-	v := db.vs.head(cf.id)
 	open := func(num uint64) (*tableReader, error) { return db.tcache.get(num) }
 	for _, f := range v.LevelFiles(0) {
 		fm := f
@@ -134,13 +135,10 @@ func (l *lazyTableIter) Err() error {
 }
 
 // findNextVisible advances the underlying merge iterator to the next user
-// key whose newest visible version is a live value.
-func (it *Iterator) findNextVisible(skipCurrent []byte) {
+// key whose newest visible version is a live value. skip is scratch owned by
+// the caller (it.skip or nil); its contents are overwritten freely.
+func (it *Iterator) findNextVisible(skip []byte) {
 	it.valid = false
-	var skip []byte
-	if skipCurrent != nil {
-		skip = append(skip, skipCurrent...)
-	}
 	for it.merge.Valid() {
 		ik := it.merge.Key()
 		uk := ik.userKey()
@@ -222,9 +220,14 @@ func (it *Iterator) Next() {
 	}(time.Now())
 	it.db.env.ChargeCPU(300 * time.Nanosecond)
 	it.db.stats.Add(TickerNextCount, 1)
-	cur := append([]byte(nil), it.key...)
+	it.skip = append(it.skip[:0], it.key...)
 	it.merge.Next()
-	it.findNextVisible(cur)
+	if len(it.skip) == 0 {
+		// Preserve nil-skip semantics for an empty current key.
+		it.findNextVisible(nil)
+	} else {
+		it.findNextVisible(it.skip)
+	}
 }
 
 // Valid reports whether the iterator is positioned on a key.

@@ -2,11 +2,10 @@ package lsm
 
 import (
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"io"
+	"sync"
 	"time"
 )
 
@@ -206,20 +205,24 @@ func (b *tableBuilder) flushDataBlock() {
 }
 
 // writeBlock compresses (maybe), appends payload+trailer, returns its handle.
+// The compressor and its staging buffer come from pools; both are released
+// before returning (Append copies the payload into the file).
 func (b *tableBuilder) writeBlock(raw []byte, comp Compression) (blockHandle, error) {
 	payload := raw
 	ctype := byte(0)
 	if comp != NoCompression {
-		var buf bytes.Buffer
-		fw, err := flate.NewWriter(&buf, comp.flateLevel())
-		if err != nil {
-			return blockHandle{}, err
+		level := comp.flateLevel()
+		buf := getCompressBuf()
+		defer putCompressBuf(buf)
+		fw := getFlateWriter(buf, level)
+		_, werr := fw.Write(raw)
+		cerr := fw.Close()
+		putFlateWriter(fw, level)
+		if werr != nil {
+			return blockHandle{}, werr
 		}
-		if _, err := fw.Write(raw); err != nil {
-			return blockHandle{}, err
-		}
-		if err := fw.Close(); err != nil {
-			return blockHandle{}, err
+		if cerr != nil {
+			return blockHandle{}, cerr
 		}
 		if buf.Len() < len(raw)-len(raw)/8 { // keep only if ≥12.5% saved
 			payload = buf.Bytes()
@@ -362,13 +365,14 @@ func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *S
 	if cache != nil {
 		t.cacheID = cache.NewID()
 	}
-	t.indexRaw, err = t.readBlockRaw(indexHandle, HintRandom)
+	// nil scratch: index and filter are retained for the table's lifetime.
+	t.indexRaw, err = t.readBlockRaw(indexHandle, HintRandom, nil)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	if filterHandle.length > 0 {
-		t.filter, err = t.readBlockRaw(filterHandle, HintRandom)
+		t.filter, err = t.readBlockRaw(filterHandle, HintRandom, nil)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -378,8 +382,21 @@ func openTable(env Env, name string, fileNum uint64, cache *blockCache, stats *S
 }
 
 // readBlockRaw reads and verifies one block payload, decompressing if needed.
-func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint) ([]byte, error) {
-	buf := make([]byte, h.length+blockTrailerSize)
+//
+// scratch is an optional caller-owned buffer: when its capacity suffices the
+// returned block aliases it, letting iterator-style callers recycle one
+// buffer across blocks. Callers that retain the result indefinitely (the
+// block cache, openTable's index/filter) must pass nil so the block gets
+// private, exactly-sized storage. Decompression runs through pooled codec
+// state either way (see codec.go).
+func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint, scratch []byte) ([]byte, error) {
+	need := int(h.length) + blockTrailerSize
+	buf := scratch
+	if cap(buf) >= need {
+		buf = buf[:need]
+	} else {
+		buf = make([]byte, need)
+	}
 	var start time.Time
 	timed := t.perf.TimeEnabled()
 	if timed {
@@ -397,7 +414,7 @@ func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint) ([]byte, erro
 	ctype := buf[h.length]
 	wantCRC := binary.LittleEndian.Uint32(buf[h.length+1:])
 	crc := crc32.ChecksumIEEE(payload)
-	crc = crc32.Update(crc, crc32.IEEETable, []byte{ctype})
+	crc = crc32.Update(crc, crc32.IEEETable, buf[h.length:h.length+1])
 	if crc != wantCRC {
 		return nil, fmt.Errorf("%w: block checksum mismatch at offset %d (file %d)", ErrCorruption, h.offset, t.fileNum)
 	}
@@ -405,8 +422,10 @@ func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint) ([]byte, erro
 	case 0:
 		return payload, nil
 	case 1:
-		fr := flate.NewReader(bytes.NewReader(payload))
-		out, err := io.ReadAll(fr)
+		// The plaintext is staged in pooled scratch and copied into buf
+		// (which payload aliases) only after the decode completes, so
+		// reusing the read buffer as the destination is safe.
+		out, err := decompressBlock(buf[:0], payload)
 		if err != nil {
 			return nil, fmt.Errorf("lsm: decompress block at %d: %w", h.offset, err)
 		}
@@ -419,8 +438,13 @@ func (t *tableReader) readBlockRaw(h blockHandle, hint AccessHint) ([]byte, erro
 	}
 }
 
-// readBlock returns a decoded block through the block cache.
-func (t *tableReader) readBlock(h blockHandle, hint AccessHint) ([]byte, error) {
+// readBlock returns a decoded block, consulting the block cache when one is
+// configured. Ownership of the returned slice depends on the reader: with a
+// cache the block is shared (freshly read blocks are handed to the cache,
+// which retains them — callers must treat them as immutable and must not
+// recycle them); without a cache the block is private to the caller and may
+// alias scratch, enabling buffer reuse across sequential block loads.
+func (t *tableReader) readBlock(h blockHandle, hint AccessHint, scratch []byte) ([]byte, error) {
 	if t.cache != nil {
 		if v, ok := t.cache.Lookup(t.cacheID, h.offset); ok {
 			if t.stats != nil {
@@ -435,15 +459,15 @@ func (t *tableReader) readBlock(h blockHandle, hint AccessHint) ([]byte, error) 
 		if t.stats != nil {
 			t.stats.Add(TickerBlockCacheMiss, 1)
 		}
-	}
-	raw, err := t.readBlockRaw(h, hint)
-	if err != nil {
-		return nil, err
-	}
-	if t.cache != nil {
+		// Cache-bound read: private storage, ownership passes to the cache.
+		raw, err := t.readBlockRaw(h, hint, nil)
+		if err != nil {
+			return nil, err
+		}
 		t.cache.Insert(t.cacheID, h.offset, raw)
+		return raw, nil
 	}
-	return raw, nil
+	return t.readBlockRaw(h, hint, scratch)
 }
 
 // mayContain runs the table's bloom filter for a user key.
@@ -473,14 +497,31 @@ func (t *tableReader) mayContain(userKey []byte) bool {
 // icmp adapts compareInternal to the blockIter comparator signature.
 func icmp(a, b []byte) int { return compareInternal(internalKey(a), internalKey(b)) }
 
+// getScratch carries the reusable per-lookup state of tableReader.get: the
+// index and data block iterators (whose key buffers amortize across
+// lookups) and, for cache-less readers, a private data-block buffer. It is
+// pooled because point lookups are the hottest read path.
+type getScratch struct {
+	idx  blockIter
+	data blockIter
+	buf  []byte // private block buffer, used only when t.cache == nil
+}
+
+var getScratchPool = sync.Pool{
+	New: func() any { return new(getScratch) },
+}
+
 // get finds the newest entry for ikey's user key at or before ikey's
-// sequence. Returns value, found, deleted.
+// sequence. Returns value, found, deleted. The returned value is always a
+// private copy; nothing handed out aliases pooled or cached storage.
 func (t *tableReader) get(ikey internalKey) (value []byte, found, deleted bool, err error) {
 	if !t.mayContain(ikey.userKey()) {
 		return nil, false, false, nil
 	}
-	idx, err := newBlockIter(t.indexRaw)
-	if err != nil {
+	scr := getScratchPool.Get().(*getScratch)
+	defer getScratchPool.Put(scr)
+	idx := &scr.idx
+	if err := idx.init(t.indexRaw); err != nil {
 		return nil, false, false, err
 	}
 	idx.Seek(ikey, icmp)
@@ -491,12 +532,16 @@ func (t *tableReader) get(ikey internalKey) (value []byte, found, deleted bool, 
 	if err != nil {
 		return nil, false, false, err
 	}
-	data, err := t.readBlock(h, HintRandom)
+	data, err := t.readBlock(h, HintRandom, scr.buf)
 	if err != nil {
 		return nil, false, false, err
 	}
-	it, err := newBlockIter(data)
-	if err != nil {
+	if t.cache == nil {
+		// Private block: keep its buffer for the next pooled lookup.
+		scr.buf = data
+	}
+	it := &scr.data
+	if err := it.init(data); err != nil {
 		return nil, false, false, err
 	}
 	if t.env != nil {
@@ -525,19 +570,29 @@ func (t *tableReader) close() error {
 	return t.f.Close()
 }
 
-// tableIter iterates a whole table in internal-key order.
+// tableIter iterates a whole table in internal-key order. The index and
+// data block iterators live inside the struct and are re-initialized in
+// place per block, and cache-less readers (compaction, verify) recycle one
+// private block buffer across sequential loads — steady-state iteration
+// allocates nothing.
 type tableIter struct {
-	t    *tableReader
-	idx  *blockIter
-	data *blockIter
-	err  error
-	hint AccessHint
+	t        *tableReader
+	idx      *blockIter // points at idxState (nil only on init error)
+	data     *blockIter // points at dataState when a block is loaded
+	idxState blockIter
+	dataSt   blockIter
+	scratch  []byte // private block buffer, used only when t.cache == nil
+	err      error
+	hint     AccessHint
 }
 
 // iterator returns an iterator over the table. hint prices block reads.
 func (t *tableReader) iterator(hint AccessHint) *tableIter {
-	idx, err := newBlockIter(t.indexRaw)
-	it := &tableIter{t: t, idx: idx, err: err, hint: hint}
+	it := &tableIter{t: t, hint: hint}
+	it.err = it.idxState.init(t.indexRaw)
+	if it.err == nil {
+		it.idx = &it.idxState
+	}
 	return it
 }
 
@@ -552,12 +607,21 @@ func (it *tableIter) loadDataBlock() {
 		it.err = err
 		return
 	}
-	raw, err := it.t.readBlock(h, it.hint)
+	raw, err := it.t.readBlock(h, it.hint, it.scratch)
 	if err != nil {
 		it.err = err
 		return
 	}
-	it.data, it.err = newBlockIter(raw)
+	if it.t.cache == nil {
+		// Private block: keep the buffer so the next load reuses it. Cached
+		// blocks are shared and must never land in scratch.
+		it.scratch = raw
+	}
+	if err := it.dataSt.init(raw); err != nil {
+		it.err = err
+		return
+	}
+	it.data = &it.dataSt
 }
 
 // SeekToFirst positions at the table's first entry.

@@ -103,9 +103,25 @@ func (v *Version) overlappingFiles(level int, smallestUser, largestUser []byte) 
 	return out
 }
 
+// levelFileForGet returns the single file at a sorted (disjoint) level that
+// may contain userKey, or nil. Only valid for levels >= 1.
+func (v *Version) levelFileForGet(level int, userKey []byte) *FileMeta {
+	files := v.levels[level]
+	// Binary search: first file with Largest >= userKey.
+	i := sort.Search(len(files), func(i int) bool {
+		return bytes.Compare(files[i].Largest.userKey(), userKey) >= 0
+	})
+	if i < len(files) && bytes.Compare(files[i].Smallest.userKey(), userKey) <= 0 {
+		return files[i]
+	}
+	return nil
+}
+
 // filesForGet returns the files that may contain userKey, in search order:
 // all overlapping L0 files newest-first, then at most one file per deeper
-// level (levels are disjoint).
+// level (levels are disjoint). The Get hot path avoids this (it walks levels
+// via levelFileForGet without building slices); this form remains for tests
+// and tooling.
 func (v *Version) filesForGet(userKey []byte) [][]*FileMeta {
 	out := make([][]*FileMeta, 0, len(v.levels))
 	var l0 []*FileMeta
@@ -116,13 +132,8 @@ func (v *Version) filesForGet(userKey []byte) [][]*FileMeta {
 	}
 	out = append(out, l0)
 	for level := 1; level < len(v.levels); level++ {
-		files := v.levels[level]
-		// Binary search: first file with Largest >= userKey.
-		i := sort.Search(len(files), func(i int) bool {
-			return bytes.Compare(files[i].Largest.userKey(), userKey) >= 0
-		})
-		if i < len(files) && bytes.Compare(files[i].Smallest.userKey(), userKey) <= 0 {
-			out = append(out, files[i:i+1])
+		if f := v.levelFileForGet(level, userKey); f != nil {
+			out = append(out, []*FileMeta{f})
 		} else {
 			out = append(out, nil)
 		}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// buildFrameStream encodes n Put request frames back to back, the way a
+// pipelined client's write loop lays them on the wire.
+func buildFrameStream(tb testing.TB, n int) []byte {
+	tb.Helper()
+	var stream bytes.Buffer
+	req := &Request{Op: OpPut, CF: "", Key: []byte("key00000001"), Value: bytes.Repeat([]byte("v"), 128)}
+	body, err := EncodeRequest(nil, req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := writeFrame(&stream, body); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return stream.Bytes()
+}
+
+// TestAllocGateFrame gates the per-frame server path (pooled read buffer,
+// in-place decode, pooled response frame): steady state measures 2
+// allocs/op (the Response and bytes.Reader bookkeeping); the bound leaves
+// headroom for noise only.
+func TestAllocGateFrame(t *testing.T) {
+	stream := buildFrameStream(t, 1)
+	resp := &Response{Status: StatusOK}
+	var r bytes.Reader
+	avg := testing.AllocsPerRun(500, func() {
+		r.Reset(stream)
+		fb := getFrame()
+		body, err := readFrame(&r, fb.b[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb.b = body
+		req := getRequest()
+		if err := DecodeRequestInto(body, req); err != nil {
+			t.Fatal(err)
+		}
+		out := getFrame()
+		out.b = EncodeResponse(out.b[:0], req.Op, resp)
+		putRequest(req)
+		putFrame(fb)
+		err = writeFrame(io.Discard, out.b)
+		putFrame(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	const limit = 4
+	if avg > limit {
+		t.Fatalf("per-frame server path allocates %.1f/op, gate is %d", avg, limit)
+	}
+}
+
+// TestAllocGateClientEncode gates the client-side encode/frame path.
+func TestAllocGateClientEncode(t *testing.T) {
+	req := &Request{Op: OpGet, Key: []byte("key00000001")}
+	avg := testing.AllocsPerRun(500, func() {
+		fb := getFrame()
+		body, err := EncodeRequest(fb.b[:0], req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb.b = body
+		err = writeFrame(io.Discard, fb.b)
+		putFrame(fb)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	const limit = 2
+	if avg > limit {
+		t.Fatalf("client encode path allocates %.1f/op, gate is %d", avg, limit)
+	}
+}
+
+// BenchmarkServerFrame measures the per-frame server path without the
+// network: read one frame from a prepared stream into a pooled buffer,
+// decode the request in place, encode the response into a pooled frame,
+// write it, release everything — exactly what serveConn does per request.
+func BenchmarkServerFrame(b *testing.B) {
+	stream := buildFrameStream(b, 1)
+	resp := &Response{Status: StatusOK}
+	var r bytes.Reader
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(stream)
+		fb := getFrame()
+		body, err := readFrame(&r, fb.b[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb.b = body
+		req := getRequest()
+		if err := DecodeRequestInto(body, req); err != nil {
+			b.Fatal(err)
+		}
+		out := getFrame()
+		out.b = EncodeResponse(out.b[:0], req.Op, resp)
+		putRequest(req)
+		putFrame(fb)
+		err = writeFrame(io.Discard, out.b)
+		putFrame(out)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientEncode measures the client-side request framing path (the
+// per-call cost of Client.Call before the bytes hit the socket).
+func BenchmarkClientEncode(b *testing.B) {
+	req := &Request{Op: OpGet, CF: "", Key: []byte("key00000001")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb := getFrame()
+		body, err := EncodeRequest(fb.b[:0], req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb.b = body
+		err = writeFrame(io.Discard, fb.b)
+		putFrame(fb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

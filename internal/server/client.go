@@ -24,12 +24,13 @@ type Client struct {
 	closed bool
 }
 
-// clientCall is one in-flight request: its encoded body and the slot its
+// clientCall is one in-flight request: its encoded body (a pooled frame the
+// write loop releases after the bytes hit the bufio writer) and the slot its
 // response lands in.
 type clientCall struct {
-	op   byte
-	body []byte
-	slot chan clientResult
+	op    byte
+	frame *frameBuf
+	slot  chan clientResult
 }
 
 type clientResult struct {
@@ -68,7 +69,9 @@ func (c *Client) writeLoop(pending chan<- clientCall) {
 		// Enqueue before writing: the reader must know about the call even
 		// if the response races the local bookkeeping.
 		pending <- call
-		if err := writeFrame(bw, call.body); err != nil {
+		err := writeFrame(bw, call.frame.b)
+		putFrame(call.frame) // bufio copied (or rejected) the bytes
+		if err != nil {
 			c.fail(err)
 			return
 		}
@@ -123,17 +126,24 @@ func (c *Client) fail(err error) {
 	c.conn.Close()
 }
 
-// Call sends one request and blocks for its response.
+// Call sends one request and blocks for its response. The request is
+// encoded into a pooled frame (released by the write loop); the response
+// frame stays freshly allocated because its decoded fields are handed to
+// the caller.
 func (c *Client) Call(req *Request) (*Response, error) {
-	body, err := EncodeRequest(nil, req)
+	fb := getFrame()
+	body, err := EncodeRequest(fb.b[:0], req)
 	if err != nil {
+		putFrame(fb)
 		return nil, err
 	}
+	fb.b = body
 	slot := make(chan clientResult, 1)
 	c.mu.Lock()
 	if c.closed || c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		putFrame(fb)
 		if err == nil {
 			err = net.ErrClosed
 		}
@@ -146,12 +156,13 @@ func (c *Client) Call(req *Request) (*Response, error) {
 	func() {
 		defer func() {
 			// sendCh closes concurrently with Close; surface it as an error
-			// rather than a panic.
+			// rather than a panic. The frame is abandoned to the GC: the
+			// write loop never saw it, so nobody else will put it back.
 			if recover() != nil {
 				slot <- clientResult{err: net.ErrClosed}
 			}
 		}()
-		c.sendCh <- clientCall{op: req.Op, body: body, slot: slot}
+		c.sendCh <- clientCall{op: req.Op, frame: fb, slot: slot}
 	}()
 	res := <-slot
 	if res.err != nil {

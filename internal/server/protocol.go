@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Opcodes. The zero value is invalid on purpose: an all-zero frame is
@@ -139,6 +140,58 @@ type Response struct {
 	Text   string
 }
 
+// frameBuf is a pooled frame body, shared by the server pipeline (request
+// frames stage 1→2, response frames stage 2→3) and the client's encode path.
+// Pooled by pointer so a put never allocates. Ownership is linear: exactly
+// one stage holds a frameBuf at a time, and whoever finishes with it puts it
+// back (safe because the engine's write path copies keys/values out of the
+// frame and responses never alias request memory).
+type frameBuf struct {
+	b []byte
+}
+
+var framePool = sync.Pool{
+	New: func() any { return new(frameBuf) },
+}
+
+func getFrame() *frameBuf  { return framePool.Get().(*frameBuf) }
+func putFrame(f *frameBuf) { framePool.Put(f) }
+
+// requestPool recycles decoded Requests across frames; puts go through
+// putRequest, which zeroes retained references so a pooled Request doesn't
+// pin old frame buffers.
+var requestPool = sync.Pool{
+	New: func() any { return new(Request) },
+}
+
+func getRequest() *Request { return requestPool.Get().(*Request) }
+
+func putRequest(req *Request) {
+	req.reset()
+	requestPool.Put(req)
+}
+
+// reset clears the request for reuse, keeping Keys/Batch/Options capacity.
+func (req *Request) reset() {
+	for i := range req.Keys {
+		req.Keys[i] = nil
+	}
+	for i := range req.Batch {
+		req.Batch[i] = BatchEntry{}
+	}
+	for i := range req.Options {
+		req.Options[i] = OptionKV{}
+	}
+	req.Op = 0
+	req.CF = ""
+	req.Key = nil
+	req.Value = nil
+	req.Keys = req.Keys[:0]
+	req.Limit = 0
+	req.Batch = req.Batch[:0]
+	req.Options = req.Options[:0]
+}
+
 // appendBytes appends a uvarint-length-prefixed byte string.
 func appendBytes(dst, b []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(b)))
@@ -250,121 +303,143 @@ func EncodeRequest(dst []byte, req *Request) ([]byte, error) {
 	return dst, nil
 }
 
-// DecodeRequest parses a request frame body.
+// DecodeRequest parses a request frame body into a fresh Request.
 func DecodeRequest(body []byte) (*Request, error) {
+	req := &Request{}
+	if err := DecodeRequestInto(body, req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// DecodeRequestInto parses a request frame body into req, reusing the
+// capacity of its Keys/Batch/Options slices. req must be zero or reset; the
+// decoded fields alias body. On error req is left partially filled and must
+// be reset before reuse.
+func DecodeRequestInto(body []byte, req *Request) error {
 	r := reader{body}
 	op, err := r.byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if op == opInvalid || op >= opMax {
-		return nil, fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
+		return fmt.Errorf("%w: unknown opcode %d", ErrProtocol, op)
 	}
-	req := &Request{Op: op}
+	req.Op = op
 	switch op {
 	case OpPut:
 		if req.CF, err = r.string(); err != nil {
-			return nil, err
+			return err
 		}
 		if req.Key, err = r.bytes(); err != nil {
-			return nil, err
+			return err
 		}
 		if req.Value, err = r.bytes(); err != nil {
-			return nil, err
+			return err
 		}
 	case OpGet, OpDelete:
 		if req.CF, err = r.string(); err != nil {
-			return nil, err
+			return err
 		}
 		if req.Key, err = r.bytes(); err != nil {
-			return nil, err
+			return err
 		}
 	case OpMultiGet:
 		if req.CF, err = r.string(); err != nil {
-			return nil, err
+			return err
 		}
 		n, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if n > uint64(len(r.buf)) { // each key costs >= 1 byte
-			return nil, ErrProtocol
+			return ErrProtocol
 		}
-		req.Keys = make([][]byte, n)
+		if uint64(cap(req.Keys)) >= n {
+			req.Keys = req.Keys[:n]
+		} else {
+			req.Keys = make([][]byte, n)
+		}
 		for i := range req.Keys {
 			if req.Keys[i], err = r.bytes(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	case OpScan:
 		if req.CF, err = r.string(); err != nil {
-			return nil, err
+			return err
 		}
 		if req.Key, err = r.bytes(); err != nil {
-			return nil, err
+			return err
 		}
 		n, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		req.Limit = int(n)
 	case OpBatch:
 		n, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if n > uint64(len(r.buf)) { // each entry costs >= 1 byte
-			return nil, ErrProtocol
+			return ErrProtocol
 		}
-		req.Batch = make([]BatchEntry, n)
+		if uint64(cap(req.Batch)) >= n {
+			req.Batch = req.Batch[:n]
+		} else {
+			req.Batch = make([]BatchEntry, n)
+		}
 		for i := range req.Batch {
 			kind, err := r.byte()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if kind > 1 {
-				return nil, fmt.Errorf("%w: bad batch entry kind %d", ErrProtocol, kind)
+				return fmt.Errorf("%w: bad batch entry kind %d", ErrProtocol, kind)
 			}
 			e := &req.Batch[i]
 			e.IsDelete = kind == 1
+			e.Value = nil
 			if e.CF, err = r.string(); err != nil {
-				return nil, err
+				return err
 			}
 			if e.Key, err = r.bytes(); err != nil {
-				return nil, err
+				return err
 			}
 			if !e.IsDelete {
 				if e.Value, err = r.bytes(); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	case OpStats:
 	case OpSetOptions:
 		if req.CF, err = r.string(); err != nil {
-			return nil, err
+			return err
 		}
 		n, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if n > uint64(len(r.buf)) { // each pair costs >= 2 bytes
-			return nil, ErrProtocol
+			return ErrProtocol
 		}
-		req.Options = make([]OptionKV, n)
+		if uint64(cap(req.Options)) >= n {
+			req.Options = req.Options[:n]
+		} else {
+			req.Options = make([]OptionKV, n)
+		}
 		for i := range req.Options {
 			if req.Options[i].Name, err = r.string(); err != nil {
-				return nil, err
+				return err
 			}
 			if req.Options[i].Value, err = r.string(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	if err := r.done(); err != nil {
-		return nil, err
-	}
-	return req, nil
+	return r.done()
 }
 
 // EncodeResponse appends the response frame body for the given request

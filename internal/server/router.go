@@ -196,11 +196,27 @@ func (r *Router) MultiGet(cf string, keys [][]byte) ([][]byte, []error) {
 	return vals, errs
 }
 
+// writeBatchPool recycles per-shard WriteBatches across ApplyBatch calls;
+// WriteBatch.Put copies keys/values into its rep, and Clear keeps the rep's
+// capacity, so a pooled batch carries no references to caller memory.
+var writeBatchPool = sync.Pool{
+	New: func() any { return lsm.NewWriteBatch() },
+}
+
 // ApplyBatch splits a batch's entries by shard and commits the per-shard
 // sub-batches concurrently through each shard's group-commit write thread.
 // Atomicity holds per shard; the first error is returned.
 func (r *Router) ApplyBatch(entries []BatchEntry) error {
 	batches := make([]*lsm.WriteBatch, len(r.shards))
+	release := func() {
+		for _, b := range batches {
+			if b != nil {
+				b.Clear()
+				writeBatchPool.Put(b)
+			}
+		}
+	}
+	defer release()
 	for i := range entries {
 		e := &entries[i]
 		hs, err := r.handles(e.CF)
@@ -209,7 +225,7 @@ func (r *Router) ApplyBatch(entries []BatchEntry) error {
 		}
 		s := r.shardFor(e.Key)
 		if batches[s] == nil {
-			batches[s] = lsm.NewWriteBatch()
+			batches[s] = writeBatchPool.Get().(*lsm.WriteBatch)
 		}
 		if e.IsDelete {
 			batches[s].DeleteCF(hs[s], e.Key)

@@ -137,9 +137,13 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// inflight carries one request between pipeline stages.
+// inflight carries one request between pipeline stages: the pooled decoded
+// request and the pooled frame its fields alias. Stage 2 releases both after
+// the response is encoded (the engine copies keys/values on its write path,
+// and responses never alias request memory).
 type inflight struct {
-	req *Request
+	req   *Request
+	frame *frameBuf
 }
 
 // serveConn runs one connection's pipeline until EOF, protocol error, or
@@ -158,11 +162,12 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 
 	reqCh := make(chan inflight, pipelineDepth)
-	respCh := make(chan []byte, pipelineDepth)
+	respCh := make(chan *frameBuf, pipelineDepth)
 
 	// Stage 2: execute. Owns request order for the connection — responses
 	// are produced strictly in request order, which is the pipelining
-	// contract with the client.
+	// contract with the client. Encodes into a pooled frame and releases the
+	// request plus its frame once the response no longer needs them.
 	var execWG sync.WaitGroup
 	execWG.Add(1)
 	go func() {
@@ -172,29 +177,38 @@ func (s *Server) serveConn(c net.Conn) {
 			start := time.Now()
 			resp := s.exec(f.req)
 			s.metrics.book(f.req.Op, time.Since(start), resp.Status == StatusErr)
-			respCh <- EncodeResponse(nil, f.req.Op, resp)
+			out := getFrame()
+			out.b = EncodeResponse(out.b[:0], f.req.Op, resp)
+			putRequest(f.req)
+			putFrame(f.frame)
+			respCh <- out
 		}
 	}()
 
 	// Stage 3: encode/write. Flushes only when no further response is
 	// immediately ready, so bursts of pipelined responses coalesce into few
-	// syscalls.
+	// syscalls. Frames return to the pool once written.
 	var writeWG sync.WaitGroup
 	writeWG.Add(1)
 	go func() {
 		defer writeWG.Done()
 		bw := bufio.NewWriterSize(c, 64<<10)
-		for body := range respCh {
-			if err := writeFrame(bw, body); err != nil {
+		for fb := range respCh {
+			err := writeFrame(bw, fb.b)
+			n := len(fb.b)
+			putFrame(fb)
+			if err != nil {
 				// Sink the rest; the reader will notice the closed conn.
-				for range respCh {
+				for fb := range respCh {
+					putFrame(fb)
 				}
 				return
 			}
-			s.metrics.BytesOut.Add(int64(len(body) + 4))
+			s.metrics.BytesOut.Add(int64(n + 4))
 			if len(respCh) == 0 {
 				if err := bw.Flush(); err != nil {
-					for range respCh {
+					for fb := range respCh {
+						putFrame(fb)
 					}
 					return
 				}
@@ -203,27 +217,32 @@ func (s *Server) serveConn(c net.Conn) {
 		bw.Flush()
 	}()
 
-	// Stage 1: read/decode, on this goroutine. Each frame gets a fresh
-	// buffer: the decoded request aliases it and lives on through the later
-	// pipeline stages.
+	// Stage 1: read/decode, on this goroutine. Each frame reads into a
+	// pooled buffer; the decoded request aliases it, so both travel together
+	// through the pipeline and are released by stage 2.
 	br := bufio.NewReaderSize(c, 64<<10)
 	for {
-		body, err := readFrame(br, nil)
+		fb := getFrame()
+		body, err := readFrame(br, fb.b[:0])
 		if err != nil {
+			putFrame(fb)
 			if errors.Is(err, ErrProtocol) {
 				s.metrics.ProtoErrors.Add(1)
 			}
 			break // EOF, protocol violation, or closed connection
 		}
+		fb.b = body
 		s.metrics.BytesIn.Add(int64(len(body) + 4))
-		req, err := DecodeRequest(body)
-		if err != nil {
+		req := getRequest()
+		if err := DecodeRequestInto(body, req); err != nil {
 			// Malformed body: the stream cannot be trusted past this point.
 			// Drop the connection (after the in-flight tail drains).
+			putRequest(req)
+			putFrame(fb)
 			s.metrics.ProtoErrors.Add(1)
 			break
 		}
-		reqCh <- inflight{req: req}
+		reqCh <- inflight{req: req, frame: fb}
 	}
 	close(reqCh)
 	execWG.Wait()
